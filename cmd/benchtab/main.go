@@ -1,0 +1,39 @@
+// Benchtab regenerates the paper's evaluation: it runs every experiment in
+// DESIGN.md's index (E1–E14) and prints a paper-vs-measured table for each,
+// with a shape verdict. This is the program whose output EXPERIMENTS.md
+// records.
+//
+// Usage:
+//
+//	benchtab            run everything
+//	benchtab E3 E7      run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dorado/internal/bench"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	failures := 0
+	for _, e := range bench.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		tab := e.Run()
+		fmt.Println(tab)
+		if tab.Err != nil || !tab.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) did not match the paper's shape\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Doradoasm assembles Dorado microassembly (.dasm) into a placed
+// microstore image, reporting the placement statistics the paper's §7
+// discusses (pages, branch pairs, utilization), and can run the program on
+// a simulated machine.
+//
+// Usage:
+//
+//	doradoasm [flags] program.dasm
+//
+//	-listing        print the placed program
+//	-run LABEL      run the machine starting at LABEL until Halt
+//	-cycles N       cycle limit for -run (default 1000000)
+//	-trace          disassemble every executed cycle (with -run)
+//	-stats          print machine statistics after -run
+//	-debug          drop into the console debugger instead of running
+//	                (breakpoints, stepping, inspection; 'q' quits)
+//
+// The source format is documented on masm.ParseText; see
+// examples/microcode/multiply.dasm for a worked example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dorado/internal/console"
+	"dorado/internal/core"
+	"dorado/internal/masm"
+	"dorado/internal/trace"
+)
+
+func main() {
+	listing := flag.Bool("listing", false, "print the placed program")
+	run := flag.String("run", "", "run the machine starting at this label")
+	cycles := flag.Uint64("cycles", 1_000_000, "cycle limit for -run")
+	doTrace := flag.Bool("trace", false, "trace every executed cycle (with -run)")
+	stats := flag.Bool("stats", false, "print machine statistics after -run")
+	debug := flag.Bool("debug", false, "start the console debugger (with -run)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: doradoasm [flags] program.dasm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := masm.AssembleText(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placed: %v\n", prog.Stats)
+	if *listing {
+		fmt.Print(prog.Listing())
+	}
+	if *run == "" {
+		return
+	}
+	entry, err := prog.Entry(*run)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.New(core.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	m.Load(&prog.Words)
+	m.Start(entry)
+	if *doTrace {
+		m.SetTracer(trace.NewWriter(os.Stdout, prog))
+	}
+	if *debug {
+		console.New(m, prog).REPL(os.Stdin, os.Stdout)
+		return
+	}
+	halted := m.Run(*cycles)
+	if halted {
+		fmt.Printf("halted at %v after %d cycles (%.3f ms simulated)\n",
+			m.HaltPC(), m.Cycle(), float64(m.Cycle())*core.CycleNS*1e-6)
+	} else {
+		fmt.Printf("cycle limit %d reached (task %d at %v)\n", *cycles, m.CurTask(), m.CurPC())
+	}
+	if *stats {
+		fmt.Print(trace.FormatStats(m.Stats()))
+		fmt.Printf("T=%#04x Q=%#04x COUNT=%d STKP=%d RM0..7 = % 04x\n",
+			m.T(0), m.Q(), m.Count(), m.StackPtr(),
+			[]uint16{m.RM(0), m.RM(1), m.RM(2), m.RM(3), m.RM(4), m.RM(5), m.RM(6), m.RM(7)})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doradoasm:", err)
+	os.Exit(1)
+}

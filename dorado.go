@@ -1,0 +1,276 @@
+// Package dorado is a cycle-level reproduction of the Xerox PARC Dorado
+// processor, the machine described in Lampson & Pier, "A Processor for a
+// High-Performance Personal Computer" (7th Symposium on Computer
+// Architecture, 1980; Xerox PARC CSL-81-1).
+//
+// The package is a facade over the subsystem packages:
+//
+//	internal/microcode  the 34-bit microinstruction set (the architecture)
+//	internal/masm       the microassembler and page placer
+//	internal/memory     cache + storage + map + fast I/O
+//	internal/ifu        the instruction fetch unit
+//	internal/device     I/O controller models (disk, display, ...)
+//	internal/core       the processor: 16 tasks, Hold, data section
+//	internal/emulator   Mesa/BCPL/Lisp/Smalltalk byte-code emulators
+//	internal/bitblt     the BitBlt raster operation
+//	internal/bench      the paper's evaluation, experiment by experiment
+//
+// Quickstart — run a Mesa byte-code program:
+//
+//	sys, _ := dorado.NewSystem(dorado.Mesa)
+//	asm := sys.Asm()
+//	asm.OpB("LIB", 2).OpB("LIB", 40).Op("ADD").Op("HALT")
+//	sys.Boot(asm)
+//	sys.Run(10_000)
+//	fmt.Println(sys.Stack()) // [42]
+//
+// or drop to the microcode level with NewMachine and the masm builder; see
+// examples/ for complete programs and cmd/benchtab for the paper's
+// evaluation tables.
+package dorado
+
+import (
+	"fmt"
+
+	"dorado/internal/bench"
+	"dorado/internal/bitblt"
+	"dorado/internal/core"
+	"dorado/internal/device"
+	"dorado/internal/emulator"
+	"dorado/internal/lispc"
+	"dorado/internal/masm"
+	"dorado/internal/mesac"
+	"dorado/internal/microcode"
+	"dorado/internal/stc"
+)
+
+// Re-exported machine types. The zero Config is the Dorado as built:
+// 60 ns cycle, 4 K-word cache, 8-cycle storage RAMs, all ablations off.
+type (
+	// Machine is the Dorado processor with its memory system and IFU.
+	Machine = core.Machine
+	// Config assembles a Machine.
+	Config = core.Config
+	// Options select the paper's design-alternative ablations.
+	Options = core.Options
+	// Stats counts processor activity.
+	Stats = core.Stats
+	// Device is the hardware half of an I/O controller.
+	Device = device.Device
+	// Builder assembles microcode programs.
+	Builder = masm.Builder
+	// MicroProgram is a placed microstore image.
+	MicroProgram = masm.Program
+	// Asm assembles byte-code programs for an emulator.
+	Asm = emulator.Asm
+	// BitBltParams describes one raster operation.
+	BitBltParams = bitblt.Params
+)
+
+// CycleNS is the machine cycle time in nanoseconds.
+const CycleNS = core.CycleNS
+
+// NewMachine builds a bare machine (microcode level). Load a program
+// assembled with NewBuilder, set TPCs, attach devices, and Step or Run.
+func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
+
+// NewBuilder returns an empty microassembler.
+func NewBuilder() *Builder { return masm.NewBuilder() }
+
+// Language selects one of the four byte-code emulators of §7.
+type Language int
+
+const (
+	// Mesa is the compile-time-checked stack machine (loads/stores in 1–2
+	// microinstructions).
+	Mesa Language = iota
+	// BCPL is the accumulator machine of the Alto lineage.
+	BCPL
+	// Lisp is the Interlisp-style machine: 32-bit tagged items, memory
+	// stack, runtime checks.
+	Lisp
+	// Smalltalk is the dynamic-dispatch machine.
+	Smalltalk
+)
+
+func (l Language) String() string {
+	switch l {
+	case Mesa:
+		return "Mesa"
+	case BCPL:
+		return "BCPL"
+	case Lisp:
+		return "Lisp"
+	case Smalltalk:
+		return "Smalltalk"
+	}
+	return fmt.Sprintf("Language(%d)", int(l))
+}
+
+// System is a machine with an emulator installed: the configuration a
+// Dorado user saw.
+type System struct {
+	Machine  *Machine
+	Language Language
+	Emulator *emulator.Program
+}
+
+// NewSystem builds a machine running the given language's emulator.
+func NewSystem(lang Language) (*System, error) {
+	return NewSystemWith(lang, Config{})
+}
+
+// NewSystemWith is NewSystem with a machine configuration.
+func NewSystemWith(lang Language, cfg Config) (*System, error) {
+	var prog *emulator.Program
+	var err error
+	switch lang {
+	case Mesa:
+		prog, err = emulator.BuildMesa()
+	case BCPL:
+		prog, err = emulator.BuildBCPL()
+	case Lisp:
+		prog, err = emulator.BuildLisp()
+	case Smalltalk:
+		prog, err = emulator.BuildSmalltalk()
+	default:
+		return nil, fmt.Errorf("dorado: unknown language %v", lang)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Machine: m, Language: lang, Emulator: prog}, nil
+}
+
+// Asm returns a byte-code assembler for the system's instruction set.
+func (s *System) Asm() *Asm { return emulator.NewAsm(s.Emulator) }
+
+// Boot loads the assembled byte program and installs the emulator: the
+// first macroinstruction dispatches on the next Run.
+func (s *System) Boot(a *Asm) error {
+	if err := a.Install(s.Machine); err != nil {
+		return err
+	}
+	return s.Emulator.InstallOn(s.Machine)
+}
+
+// Run executes up to maxCycles, returning true if the program halted.
+func (s *System) Run(maxCycles uint64) bool { return s.Machine.Run(maxCycles) }
+
+// Stack returns the hardware evaluation stack, bottom first (meaningful
+// for Mesa and Smalltalk; Lisp keeps its stack in memory).
+func (s *System) Stack() []uint16 {
+	n := int(s.Machine.StackPtr() & 0x3F)
+	out := make([]uint16, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = s.Machine.Stack(i)
+	}
+	return out
+}
+
+// Acc returns the BCPL accumulator (task 0's T register).
+func (s *System) Acc() uint16 { return s.Machine.T(0) }
+
+// LispStack returns the Lisp memory evaluation stack as (tag, value)
+// pairs, bottom first.
+func (s *System) LispStack() [][2]uint16 { return emulator.LispStack(s.Machine) }
+
+// DefineFunc declares a function header for CALL/SEND (entry byte PC and
+// argument count) at the given global slot.
+func (s *System) DefineFunc(slot, entryPC, nargs uint16) {
+	emulator.DefineFunc(s.Machine, slot, entryPC, nargs)
+}
+
+// DefineLispFunc declares a Lisp function header with shallow-bound
+// parameter symbols.
+func (s *System) DefineLispFunc(slot, entryPC uint16, symbols []uint16) {
+	emulator.DefineLispFunc(s.Machine, slot, entryPC, symbols)
+}
+
+// CompileMesa compiles the small Mesa-flavored source language (see
+// internal/mesac for the grammar) to byte code runnable on a Mesa System.
+func CompileMesa(src string) (*mesac.Program, error) { return mesac.Compile(src) }
+
+// CompileLisp compiles s-expression source (see internal/lispc) to byte
+// code runnable on a Lisp System.
+func CompileLisp(src string) (*lispc.Program, error) { return lispc.Compile(src) }
+
+// CompileSmalltalk compiles the object language (see internal/stc) to byte
+// code plus an object-memory image for a Smalltalk System.
+func CompileSmalltalk(src string) (*stc.Program, error) { return stc.Compile(src) }
+
+// BootSource compiles src for the system's language (Mesa, Lisp, or
+// Smalltalk) and boots it.
+func (s *System) BootSource(src string) error {
+	switch s.Language {
+	case Mesa:
+		p, err := mesac.Compile(src)
+		if err != nil {
+			return err
+		}
+		p.InstallOn(s.Machine)
+		return s.Emulator.InstallOn(s.Machine)
+	case Lisp:
+		p, err := lispc.Compile(src)
+		if err != nil {
+			return err
+		}
+		p.InstallOn(s.Machine)
+		return s.Emulator.InstallOn(s.Machine)
+	case Smalltalk:
+		p, err := stc.Compile(src)
+		if err != nil {
+			return err
+		}
+		// The object image is poked after booting so InstallOn's memory
+		// initialization cannot clobber it.
+		if err := s.Emulator.InstallOn(s.Machine); err != nil {
+			return err
+		}
+		p.InstallOn(s.Machine)
+		return nil
+	}
+	return fmt.Errorf("dorado: no compiler for %v (BCPL programs assemble via Asm)", s.Language)
+}
+
+// BuildSystemImage assembles all four emulators into one microstore image
+// (any language bootable from the same store, like the production
+// machine's writable microstore).
+func BuildSystemImage() (*emulator.SystemImage, error) { return emulator.BuildSystemImage() }
+
+// NewBitBlt assembles the BitBlt microcode.
+func NewBitBlt() (*bitblt.Programs, error) { return bitblt.Build() }
+
+// Devices.
+
+// NewDisk models the paper's 10 Mbit/s disk: a word every cyclesPerWord
+// cycles, two words per wakeup.
+func NewDisk(task int) *device.WordSource { return device.NewWordSource(task, 27, 2) }
+
+// NewDisplay models the fast-I/O display; cyclesPerBlock=8 demands the
+// full 530 Mbit/s storage bandwidth.
+func NewDisplay(task int, m *Machine, cyclesPerBlock int) *device.Display {
+	return device.NewDisplay(task, m.Mem(), cyclesPerBlock, 4)
+}
+
+// NewEthernet models a ≈3 Mbit/s serial link (the Alto Ethernet's rate).
+func NewEthernet(task int) *device.WordSource { return device.NewWordSource(task, 89, 2) }
+
+// Experiments returns the paper-reproduction experiment suite (see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded results).
+func Experiments() []bench.Experiment { return bench.Experiments() }
+
+// RunExperiments runs every experiment and returns the tables.
+func RunExperiments() []bench.Table { return bench.All() }
+
+// Microcode-level conveniences re-exported for examples and tools.
+
+// Word is a decoded 34-bit microinstruction.
+type Word = microcode.Word
+
+// Addr is a 12-bit microstore address.
+type Addr = microcode.Addr

@@ -1,0 +1,95 @@
+// Bitblt: run the paper's raster operations over a simulated screen bitmap
+// and report their bandwidths — §7's "34 megabits/sec for simple cases ...
+// 24 megabits/sec" for the filtered merge — then render a small checker
+// pattern to show the bits really moved.
+//
+//	go run ./examples/bitblt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dorado"
+	"dorado/internal/bitblt"
+)
+
+func main() {
+	ps, err := dorado.NewBitBlt()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 1024×808 screen is ~51 K words (the Alto's raster); use a 64-row
+	// band of it.
+	const screen = 0x40000
+	const srcArt = 0x10000
+	band := bitblt.Params{
+		Src: srcArt, Dst: screen, WidthWords: 64, Height: 64,
+		SrcPitch: 64, DstPitch: 64,
+	}
+
+	run := func(p bitblt.Params, label, paper string) {
+		m, err := dorado.NewMachine(dorado.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
+			m.Mem().Poke(a, uint16(a)*0x9E37)
+		}
+		cycles, err := ps.Run(m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %6.1f Mbit/s  (%6d cycles; paper: %s)\n",
+			label, bitblt.MBitPerSec(p, cycles), cycles, paper)
+	}
+
+	fmt.Println("BitBlt over a 1024×64-bit band:")
+	p := band
+	p.Op = bitblt.Fill
+	run(p, "Fill (erase)", "34, simple case")
+	p = band
+	p.Op = bitblt.Copy
+	run(p, "Copy (scroll)", "34, simple case")
+	p = band
+	p.Op = bitblt.CopyShifted
+	p.BitOffset = 3
+	run(p, "Copy at bit offset 3", "between")
+	p = band
+	p.Op = bitblt.Merge
+	p.Filter = 0x00FF
+	run(p, "Merge with filter", "24, complex case")
+
+	// And show the bits: paint a checkerboard with two filtered merges.
+	m, err := dorado.NewMachine(dorado.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const w, h = 4, 8 // words × rows
+	for a := uint32(0); a < w*h; a++ {
+		m.Mem().Poke(srcArt+a, 0xFFFF)
+	}
+	checker := bitblt.Params{
+		Op: bitblt.Merge, Src: srcArt, Dst: screen,
+		WidthWords: w, Height: h, SrcPitch: w, DstPitch: w,
+		Filter: 0xF0F0,
+	}
+	if _, err := ps.Run(m, checker); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfiltered paint (each char = 4 bits):")
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			v := m.Mem().Peek(screen + uint32(row*w+col))
+			for nib := 3; nib >= 0; nib-- {
+				if v>>(4*nib)&0xF == 0xF {
+					fmt.Print("█")
+				} else {
+					fmt.Print("·")
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,124 @@
+// Compiler: the full Dorado software stack — a high-level program compiled
+// to Mesa byte codes (the compilers of §3 "exist for Mesa, Interlisp and
+// Smalltalk"), interpreted by the Mesa emulator microcode, executed one
+// 60 ns microinstruction at a time.
+//
+//	go run ./examples/compiler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dorado"
+)
+
+const source = `
+// Project a year of compound growth, all in 16-bit machine arithmetic.
+func mod(a, b) {
+    while a >= b { a = a - b; }
+    return a;
+}
+
+func fib(n) {
+    if n < 2 { return n; }
+    return fib(n-1) + fib(n-2);
+}
+
+var checksum = 0;
+var i = 1;
+while i <= 16 {
+    checksum = checksum ^ (fib(i) * i) | mod(i * i, 7);
+    i = i + 1;
+}
+return checksum;
+`
+
+func main() {
+	prog, err := dorado.CompileMesa(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d bytes of Mesa byte code, %d functions\n",
+		len(prog.Code), len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		fmt.Printf("  %-6s entry byte %-4d %d arg(s), header slot %#x\n",
+			f.Name, f.Entry, f.Args, f.Slot)
+	}
+
+	sys, err := dorado.NewSystem(dorado.Mesa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.BootSource(source); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.Run(50_000_000) {
+		log.Fatal("did not halt")
+	}
+	st := sys.Machine.Stats()
+	ifu := sys.Machine.IFU().Stats()
+	fmt.Printf("\nresult = %d\n", sys.Stack()[0])
+	fmt.Printf("ran %d macroinstructions in %d cycles (%.2f ms of machine time,\n",
+		ifu.Dispatches, st.Cycles, float64(st.Cycles)*dorado.CycleNS*1e-6)
+	fmt.Printf("%.2f µinst and %.2f cycles per macroinstruction)\n",
+		float64(st.Executed)/float64(ifu.Dispatches),
+		float64(st.Cycles)/float64(ifu.Dispatches))
+
+	// The same function through the Lisp compiler: §7's cost hierarchy at
+	// whole-program level (tagged items, memory stack, checked arithmetic,
+	// shallow-binding calls).
+	mesaFib := `
+func fib(n) {
+    if n < 2 { return n; }
+    return fib(n-1) + fib(n-2);
+}
+return fib(14);
+`
+	lispFib := `
+(define (fib n)
+  (if0 n 0
+    (if0 (- n 1) 1
+      (+ (fib (- n 1)) (fib (- n 2))))))
+(fib 14)
+`
+	mc := runMesa(mesaFib)
+	lc := runLisp(lispFib)
+	fmt.Printf("\nfib(14) head to head (the §7 hierarchy):\n")
+	fmt.Printf("  Mesa: %8d cycles\n", mc)
+	fmt.Printf("  Lisp: %8d cycles  (%.1f× Mesa)\n", lc, float64(lc)/float64(mc))
+}
+
+func runMesa(src string) uint64 {
+	sys, err := dorado.NewSystem(dorado.Mesa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.BootSource(src); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.Run(100_000_000) {
+		log.Fatal("mesa fib did not halt")
+	}
+	if sys.Stack()[0] != 377 {
+		log.Fatalf("mesa fib(14) = %d", sys.Stack()[0])
+	}
+	return sys.Machine.Cycle()
+}
+
+func runLisp(src string) uint64 {
+	sys, err := dorado.NewSystem(dorado.Lisp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.BootSource(src); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.Run(100_000_000) {
+		log.Fatal("lisp fib did not halt")
+	}
+	if st := sys.LispStack(); st[0][1] != 377 {
+		log.Fatalf("lisp fib(14) = %v", st)
+	}
+	return sys.Machine.Cycle()
+}

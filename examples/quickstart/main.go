@@ -1,0 +1,52 @@
+// Quickstart: boot the Mesa emulator on a simulated Dorado, run a small
+// byte-code program, and look at what the machine did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dorado"
+)
+
+func main() {
+	// A Dorado running the Mesa instruction set — the machine's primary
+	// configuration (§3 of the paper: "optimized for the execution of
+	// languages that are compiled into streams of byte codes").
+	sys, err := dorado.NewSystem(dorado.Mesa)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mesa byte code: compute 6! with a loop.
+	//   local 4 = n, local 5 = acc
+	asm := sys.Asm()
+	asm.OpB("LIB", 6).OpB("SL", 4)
+	asm.OpB("LIB", 1).OpB("SL", 5)
+	asm.Label("loop")
+	asm.OpB("LL", 5).OpB("LL", 4).Op("MUL").OpB("SL", 5)  // acc *= n
+	asm.OpB("LL", 4).OpW("LIW", 1).Op("SUB").OpB("SL", 4) // n--
+	asm.OpB("LL", 4).OpL("JNZ", "loop")
+	asm.OpB("LL", 5)
+	asm.Op("HALT")
+
+	if err := sys.Boot(asm); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.Run(100_000) {
+		log.Fatal("program did not halt")
+	}
+
+	fmt.Printf("6! = %v\n", sys.Stack())
+
+	st := sys.Machine.Stats()
+	fmt.Printf("machine: %d cycles (%.1f µs at the 60 ns microcycle)\n",
+		st.Cycles, float64(st.Cycles)*dorado.CycleNS*1e-3)
+	fmt.Printf("         %d microinstructions executed, %d held cycles\n",
+		st.Executed, st.Holds)
+	ifu := sys.Machine.IFU().Stats()
+	fmt.Printf("IFU:     %d macroinstructions dispatched (%.2f µinst each)\n",
+		ifu.Dispatches, float64(st.Executed)/float64(ifu.Dispatches))
+}

@@ -1,0 +1,9 @@
+; reverse.lisp — build and reverse a list, sum it:
+;   dorado -lang lisp -source examples/source/reverse.lisp
+(define (range n)
+  (if0 n nil (cons n (range (- n 1)))))
+(define (revappend l acc)
+  (ifnil l acc (revappend (cdr l) (cons (car l) acc))))
+(define (sum l)
+  (ifnil l 0 (+ (car l) (sum (cdr l)))))
+(sum (revappend (range 30) nil))

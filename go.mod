@@ -1,0 +1,3 @@
+module dorado
+
+go 1.22

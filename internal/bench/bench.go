@@ -1,0 +1,102 @@
+// Package bench regenerates every quantitative claim of the paper's
+// evaluation (§7, plus the performance arguments of §4–§6) on the
+// simulator: one experiment per claim, each producing a table of paper
+// value vs measured value with a shape verdict.
+//
+// The experiment index lives in DESIGN.md; the measured results are
+// recorded in EXPERIMENTS.md. cmd/benchtab prints all tables; the
+// repository-root benchmarks wrap each experiment in a testing.B.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of an experiment table.
+type Row struct {
+	Name     string
+	Paper    string // the paper's reported value, verbatim units
+	Measured string
+	Note     string
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID    string
+	Title string
+	Claim string // the paper sentence being reproduced (abridged)
+	Rows  []Row
+	// Pass reports the shape check: orderings and rough magnitudes match
+	// the paper (absolute equality is not expected on a simulator).
+	Pass bool
+	Err  error
+}
+
+// String renders the table for terminal output.
+func (t Table) String() string {
+	var b strings.Builder
+	verdict := "SHAPE OK"
+	if !t.Pass {
+		verdict = "SHAPE MISMATCH"
+	}
+	if t.Err != nil {
+		verdict = "ERROR: " + t.Err.Error()
+	}
+	fmt.Fprintf(&b, "%s  %s  [%s]\n", t.ID, t.Title, verdict)
+	fmt.Fprintf(&b, "  claim: %s\n", t.Claim)
+	w := 8
+	for _, r := range t.Rows {
+		if len(r.Name) > w {
+			w = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %-18s  %-18s  %s\n", w, "case", "paper", "measured", "note")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s  %-18s  %-18s  %s\n", w, r.Name, r.Paper, r.Measured, r.Note)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func() Table
+}
+
+// Experiments lists every experiment in DESIGN.md order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"E1", E1MesaSimpleOps},
+		{"E2", E2OpcodeClasses},
+		{"E3", E3BitBlt},
+		{"E4", E4DiskUtilization},
+		{"E5", E5FastIO},
+		{"E6", E6SlowIO},
+		{"E7", E7Placement},
+		{"E8", E8GrainAblation},
+		{"E9", E9TaskSwitch},
+		{"E10", E10BypassAblation},
+		{"E11", E11BranchAblation},
+		{"E12", E12HoldVsAlternatives},
+		{"E13", E13MemoryLatency},
+		{"E14", E14FunctionCall},
+	}
+}
+
+// All runs every experiment.
+func All() []Table {
+	var out []Table
+	for _, e := range Experiments() {
+		out = append(out, e.Run())
+	}
+	return out
+}
+
+func fail(id, title string, err error) Table {
+	return Table{ID: id, Title: title, Err: err}
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

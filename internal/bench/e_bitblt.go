@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"dorado/internal/bitblt"
+	"dorado/internal/core"
+)
+
+// E3BitBlt reproduces the §7 BitBlt bandwidths: "34 megabits/sec for
+// simple cases of erasing or scrolling a screen. More complex operations,
+// where the result is a function of the source object, the destination
+// object and a filter, run at 24 megabits/sec."
+func E3BitBlt() Table {
+	const title = "BitBlt bandwidth by operation class"
+	const claim = `"move display objects around in memory at 34 megabits/sec for simple cases ...; more complex operations ... 24 megabits/sec" (§7)`
+	ps, err := bitblt.Build()
+	if err != nil {
+		return fail("E3", title, err)
+	}
+	// A 2048×256-bit region (128 words × 256 rows = 512 kbit), the scale of
+	// a scrolling screen operation.
+	base := bitblt.Params{
+		Src: 0x10000, Dst: 0x40000, WidthWords: 128, Height: 256,
+		SrcPitch: 128, DstPitch: 128,
+	}
+	run := func(p bitblt.Params) (float64, error) {
+		m, err := core.New(core.Config{})
+		if err != nil {
+			return 0, err
+		}
+		// Screen-like contents.
+		for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
+			m.Mem().Poke(a, uint16(a*2654435761))
+		}
+		cycles, err := ps.Run(m, p)
+		if err != nil {
+			return 0, err
+		}
+		return bitblt.MBitPerSec(p, cycles), nil
+	}
+	cases := []struct {
+		name  string
+		paper string
+		p     bitblt.Params
+	}{
+		{"Fill (erase)", "34 (simple)", func() bitblt.Params { p := base; p.Op = bitblt.Fill; p.FillValue = 0; return p }()},
+		{"Copy (scroll)", "34 (simple)", func() bitblt.Params { p := base; p.Op = bitblt.Copy; return p }()},
+		{"CopyShifted (bit-aligned)", "(between)", func() bitblt.Params {
+			p := base
+			p.Op = bitblt.CopyShifted
+			p.BitOffset = 5
+			return p
+		}()},
+		{"Merge (src,dst,filter)", "24 (complex)", func() bitblt.Params {
+			p := base
+			p.Op = bitblt.Merge
+			p.Filter = 0xAAAA
+			return p
+		}()},
+	}
+	var rows []Row
+	rates := map[string]float64{}
+	for _, c := range cases {
+		mbps, err := run(c.p)
+		if err != nil {
+			return fail("E3", title, err)
+		}
+		rates[c.name] = mbps
+		rows = append(rows, Row{c.name, c.paper + " Mbit/s", f1(mbps) + " Mbit/s", ""})
+	}
+	simple := rates["Copy (scroll)"]
+	complexRate := rates["Merge (src,dst,filter)"]
+	pass := simple > complexRate && // the paper's ordering
+		simple > 20 && simple < 150 && // tens of Mbit/s
+		complexRate > 10 && complexRate < 60 &&
+		rates["CopyShifted (bit-aligned)"] < simple
+	return Table{ID: "E3", Title: title, Claim: claim, Rows: rows, Pass: pass}
+}

@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, e := range Experiments() {
+		tab := e.Run()
+		t.Logf("\n%s", tab)
+		if tab.Err != nil {
+			t.Errorf("%s error: %v", tab.ID, tab.Err)
+		}
+		if !tab.Pass {
+			t.Errorf("%s shape mismatch", tab.ID)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package bitblt
+
+import (
+	"testing"
+
+	"dorado/internal/core"
+)
+
+func benchOp(b *testing.B, op Op) {
+	ps, err := Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{
+		Op: op, Src: 0x10000, Dst: 0x40000, WidthWords: 64, Height: 64,
+		SrcPitch: 64, DstPitch: 64, Filter: 0xAAAA, FillValue: 0xFFFF,
+	}
+	if op == CopyShifted {
+		p.BitOffset = 5
+	}
+	m, err := core.New(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := ps.Run(m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += c
+	}
+	b.ReportMetric(MBitPerSec(p, cycles/uint64(b.N)), "Mbit/s")
+}
+
+func BenchmarkFill(b *testing.B)        { benchOp(b, Fill) }
+func BenchmarkCopy(b *testing.B)        { benchOp(b, Copy) }
+func BenchmarkCopyShifted(b *testing.B) { benchOp(b, CopyShifted) }
+func BenchmarkMerge(b *testing.B)       { benchOp(b, Merge) }

@@ -1,0 +1,137 @@
+package bitblt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dorado/internal/core"
+)
+
+func newMachine(t *testing.T) *core.Machine {
+	t.Helper()
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func build(t *testing.T) *Programs {
+	t.Helper()
+	ps, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// checkAgainstReference runs p on a fresh machine and on the pure-Go
+// reference over identical random memory images, then compares the
+// destination rectangles.
+func checkAgainstReference(t *testing.T, ps *Programs, p Params, seed int64) uint64 {
+	t.Helper()
+	m := newMachine(t)
+	rng := rand.New(rand.NewSource(seed))
+	ref := map[uint32]uint16{}
+	for a := uint32(0); a < 0x8000; a++ {
+		v := uint16(rng.Uint32())
+		m.Mem().Poke(a, v)
+		ref[a] = v
+	}
+	cycles, err := ps.Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Reference(func(a uint32) uint16 { return ref[a] },
+		func(a uint32, v uint16) { ref[a] = v }, p); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint32(0); a < 0x8000; a++ {
+		if got := m.Mem().Peek(a); got != ref[a] {
+			t.Fatalf("%v: mem[%#x] = %#04x, reference %#04x", p.Op, a, got, ref[a])
+		}
+	}
+	return cycles
+}
+
+func TestFillMatchesReference(t *testing.T) {
+	ps := build(t)
+	checkAgainstReference(t, ps, Params{
+		Op: Fill, Dst: 0x4000, WidthWords: 20, Height: 8,
+		DstPitch: 32, FillValue: 0xA5A5,
+	}, 1)
+}
+
+func TestCopyMatchesReference(t *testing.T) {
+	ps := build(t)
+	checkAgainstReference(t, ps, Params{
+		Op: Copy, Src: 0x1000, Dst: 0x4000, WidthWords: 24, Height: 10,
+		SrcPitch: 32, DstPitch: 40,
+	}, 2)
+}
+
+func TestCopyShiftedMatchesReference(t *testing.T) {
+	ps := build(t)
+	for _, off := range []uint8{1, 3, 8, 15} {
+		checkAgainstReference(t, ps, Params{
+			Op: CopyShifted, Src: 0x1000, Dst: 0x4000, WidthWords: 16, Height: 4,
+			SrcPitch: 20, DstPitch: 20, BitOffset: off,
+		}, int64(10+off))
+	}
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	ps := build(t)
+	checkAgainstReference(t, ps, Params{
+		Op: Merge, Src: 0x1000, Dst: 0x4000, WidthWords: 16, Height: 8,
+		SrcPitch: 16, DstPitch: 16, Filter: 0x0FF0,
+	}, 3)
+}
+
+func TestValidation(t *testing.T) {
+	cases := []Params{
+		{Op: Copy, WidthWords: 0, Height: 1, SrcPitch: 1, DstPitch: 1},
+		{Op: Copy, WidthWords: 4, Height: 1, SrcPitch: 2, DstPitch: 4},
+		{Op: Copy, WidthWords: 4, Height: 1, SrcPitch: 4, DstPitch: 2},
+		{Op: CopyShifted, WidthWords: 4, Height: 1, SrcPitch: 4, DstPitch: 4, BitOffset: 0},
+		{Op: CopyShifted, WidthWords: 4, Height: 1, SrcPitch: 4, DstPitch: 4, BitOffset: 16},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestSimpleFasterThanComplex(t *testing.T) {
+	// The paper's claim in shape: erase/scroll (simple) beats the
+	// src+dst+filter function (complex).
+	ps := build(t)
+	base := Params{Src: 0x1000, Dst: 0x4000, WidthWords: 64, Height: 32,
+		SrcPitch: 64, DstPitch: 64}
+	pCopy := base
+	pCopy.Op = Copy
+	pMerge := base
+	pMerge.Op = Merge
+	pMerge.Filter = 0xF0F0
+	copyCycles := checkAgainstReference(t, ps, pCopy, 4)
+	mergeCycles := checkAgainstReference(t, ps, pMerge, 5)
+	if copyCycles >= mergeCycles {
+		t.Errorf("Copy (%d cycles) not faster than Merge (%d)", copyCycles, mergeCycles)
+	}
+	t.Logf("Copy %.1f Mbit/s, Merge %.1f Mbit/s",
+		MBitPerSec(pCopy, copyCycles), MBitPerSec(pMerge, mergeCycles))
+}
+
+func TestBandwidthOrderOfMagnitude(t *testing.T) {
+	// Both figures should land in the tens of Mbit/s, like the paper's
+	// 34 and 24.
+	ps := build(t)
+	p := Params{Op: Copy, Src: 0x1000, Dst: 0x4000, WidthWords: 128, Height: 64,
+		SrcPitch: 128, DstPitch: 128}
+	cycles := checkAgainstReference(t, ps, p, 6)
+	mbps := MBitPerSec(p, cycles)
+	if mbps < 10 || mbps > 200 {
+		t.Errorf("copy bandwidth %.1f Mbit/s implausible vs paper's 34", mbps)
+	}
+}

@@ -1,0 +1,262 @@
+// Package console is the debugging face of the simulated Dorado — the
+// role of the machine's console microcomputer (§6.2: "an interface to a
+// console and monitoring microcomputer which is used for initialization
+// and debugging", talking to the processor through CPREG). It provides
+// microstore breakpoints, single-stepping, register and memory inspection,
+// and a small command language usable from tests, tools, or a terminal.
+package console
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dorado/internal/core"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// Debugger drives a Machine under inspection.
+type Debugger struct {
+	M    *core.Machine
+	prog *masm.Program // optional: symbols and listing
+
+	breaks map[microcode.Addr]bool
+}
+
+// New wraps a machine; prog may be nil (no symbols).
+func New(m *core.Machine, prog *masm.Program) *Debugger {
+	return &Debugger{M: m, prog: prog, breaks: map[microcode.Addr]bool{}}
+}
+
+// Break sets a breakpoint at a label or numeric address ("12A" hex or
+// "page.word" forms are accepted).
+func (d *Debugger) Break(where string) (microcode.Addr, error) {
+	a, err := d.resolve(where)
+	if err != nil {
+		return 0, err
+	}
+	d.breaks[a] = true
+	return a, nil
+}
+
+// Clear removes a breakpoint.
+func (d *Debugger) Clear(where string) error {
+	a, err := d.resolve(where)
+	if err != nil {
+		return err
+	}
+	delete(d.breaks, a)
+	return nil
+}
+
+// resolve turns a label or address string into a microstore address.
+func (d *Debugger) resolve(where string) (microcode.Addr, error) {
+	if d.prog != nil {
+		if a, err := d.prog.Entry(where); err == nil {
+			return a, nil
+		}
+	}
+	s := where
+	if page, word, ok := strings.Cut(s, "."); ok {
+		p, err1 := strconv.ParseUint(page, 16, 8)
+		w, err2 := strconv.ParseUint(word, 16, 8)
+		if err1 == nil && err2 == nil && w < microcode.PageSize {
+			return microcode.MakeAddr(uint8(p), uint8(w)), nil
+		}
+	}
+	if v, err := strconv.ParseUint(s, 16, 16); err == nil && v < microcode.StoreSize {
+		return microcode.Addr(v), nil
+	}
+	return 0, fmt.Errorf("console: cannot resolve %q (no such label; addresses are hex or page.word)", where)
+}
+
+// symbol returns the best label for an address.
+func (d *Debugger) symbol(a microcode.Addr) string {
+	if d.prog == nil {
+		return ""
+	}
+	var names []string
+	for n, na := range d.prog.Symbols {
+		if na == a {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		return names[0]
+	}
+	return ""
+}
+
+// Run executes until a breakpoint, Halt, or the cycle budget. It returns
+// the reason it stopped.
+func (d *Debugger) Run(maxCycles uint64) string {
+	limit := d.M.Cycle() + maxCycles
+	for d.M.Cycle() < limit {
+		if d.M.Halted() {
+			return fmt.Sprintf("halted at %v after %d cycles", d.M.HaltPC(), d.M.Cycle())
+		}
+		if d.breaks[d.M.CurPC()] {
+			return fmt.Sprintf("breakpoint at %s", d.where())
+		}
+		d.M.Step()
+	}
+	return fmt.Sprintf("cycle budget exhausted at %s", d.where())
+}
+
+// Step executes n cycles (stopping early at Halt).
+func (d *Debugger) Step(n int) {
+	for i := 0; i < n && !d.M.Halted(); i++ {
+		d.M.Step()
+	}
+}
+
+// where describes the current position.
+func (d *Debugger) where() string {
+	a := d.M.CurPC()
+	if s := d.symbol(a); s != "" {
+		return fmt.Sprintf("%v (%s), task %d, cycle %d", a, s, d.M.CurTask(), d.M.Cycle())
+	}
+	return fmt.Sprintf("%v, task %d, cycle %d", a, d.M.CurTask(), d.M.Cycle())
+}
+
+// Exec runs one debugger command, writing its output to w:
+//
+//	b WHERE        set a breakpoint (label, hex address, or page.word)
+//	d WHERE        delete a breakpoint
+//	run [N]        run up to N cycles (default 1000000) or to break/halt
+//	step [N]       execute N cycles (default 1)
+//	where          show the next instruction
+//	regs           show the data-section registers
+//	tasks          show per-task cycles and TPCs
+//	mem ADDR [N]   dump N memory words at hex VA (default 8)
+//	stack          show the hardware stack
+//	breaks         list breakpoints
+func (d *Debugger) Exec(line string, w io.Writer) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	arg := func(i int, def uint64) uint64 {
+		if len(fields) > i {
+			if v, err := strconv.ParseUint(fields[i], 0, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch fields[0] {
+	case "b", "break":
+		if len(fields) < 2 {
+			return fmt.Errorf("console: b needs a location")
+		}
+		a, err := d.Break(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "breakpoint at %v\n", a)
+	case "d", "delete":
+		if len(fields) < 2 {
+			return fmt.Errorf("console: d needs a location")
+		}
+		return d.Clear(fields[1])
+	case "run":
+		fmt.Fprintln(w, d.Run(arg(1, 1_000_000)))
+	case "step", "s":
+		d.Step(int(arg(1, 1)))
+		fmt.Fprintln(w, d.where())
+	case "where", "w":
+		fmt.Fprintf(w, "%s\n  %v\n", d.where(), d.currentWord())
+	case "regs", "r":
+		d.regs(w)
+	case "tasks":
+		d.tasks(w)
+	case "mem":
+		if len(fields) < 2 {
+			return fmt.Errorf("console: mem needs an address")
+		}
+		va, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return fmt.Errorf("console: bad address %q", fields[1])
+		}
+		n := arg(2, 8)
+		for i := uint64(0); i < n; i++ {
+			fmt.Fprintf(w, "%06x: %04x\n", va+i, d.M.Mem().Peek(uint32(va+i)))
+		}
+	case "stack":
+		depth := int(d.M.StackPtr() & 0x3F)
+		fmt.Fprintf(w, "STKP=%d:", d.M.StackPtr())
+		for i := 1; i <= depth; i++ {
+			fmt.Fprintf(w, " %04x", d.M.Stack(i))
+		}
+		fmt.Fprintln(w)
+	case "breaks":
+		var as []microcode.Addr
+		for a := range d.breaks {
+			as = append(as, a)
+		}
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		for _, a := range as {
+			fmt.Fprintf(w, "%v %s\n", a, d.symbol(a))
+		}
+	default:
+		return fmt.Errorf("console: unknown command %q", fields[0])
+	}
+	return nil
+}
+
+func (d *Debugger) currentWord() microcode.Word {
+	if d.prog != nil {
+		return d.prog.Words[d.M.CurPC()]
+	}
+	return microcode.Word{}
+}
+
+func (d *Debugger) regs(w io.Writer) {
+	m := d.M
+	fmt.Fprintf(w, "T=%04x Q=%04x COUNT=%d RBASE=%d MEMBASE=%d STKP=%02x SHIFTCTL=%04x CPREG=%04x\n",
+		m.T(m.CurTask()), m.Q(), m.Count(), m.RBase(), m.MemBase(),
+		m.StackPtr(), m.ShiftCtl(), m.CPReg())
+	for row := 0; row < 2; row++ {
+		fmt.Fprintf(w, "RM%02d:", row*8)
+		for i := 0; i < 8; i++ {
+			fmt.Fprintf(w, " %04x", m.RM(row*8+i))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (d *Debugger) tasks(w io.Writer) {
+	st := d.M.Stats()
+	for t := 0; t < core.NumTasks; t++ {
+		if st.TaskCycles[t] == 0 && d.M.TPC(t) == 0 {
+			continue
+		}
+		marker := " "
+		if t == d.M.CurTask() {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s task %-2d tpc=%v cycles=%d (%.1f%%)\n",
+			marker, t, d.M.TPC(t), st.TaskCycles[t], 100*st.Utilization(t))
+	}
+}
+
+// REPL reads commands from r until EOF or "q".
+func (d *Debugger) REPL(r io.Reader, w io.Writer) {
+	sc := bufio.NewScanner(r)
+	fmt.Fprint(w, "> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "q" || line == "quit" {
+			return
+		}
+		if err := d.Exec(line, w); err != nil {
+			fmt.Fprintln(w, err)
+		}
+		fmt.Fprint(w, "> ")
+	}
+}

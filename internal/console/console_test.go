@@ -1,0 +1,130 @@
+package console
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dorado/internal/core"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+func debugMachine(t *testing.T) (*Debugger, *masm.Program) {
+	t.Helper()
+	p, err := masm.AssembleText(`
+start:  ff=count=9
+loop:   alu=a+1 a=t lc=t
+        br count,done,loop
+done:   const=0x2A alu=b lc=rm r=1
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	return New(m, p), p
+}
+
+func TestBreakpointByLabel(t *testing.T) {
+	d, p := debugMachine(t)
+	if _, err := d.Break("done"); err != nil {
+		t.Fatal(err)
+	}
+	msg := d.Run(10_000)
+	if !strings.Contains(msg, "breakpoint") || !strings.Contains(msg, "done") {
+		t.Fatalf("run stopped with %q", msg)
+	}
+	if d.M.CurPC() != p.MustEntry("done") {
+		t.Fatalf("stopped at %v", d.M.CurPC())
+	}
+	// The loop ran to completion before the break.
+	if d.M.T(0) != 10 {
+		t.Errorf("T = %d at breakpoint", d.M.T(0))
+	}
+	// Continuing past the breakpoint requires a step first.
+	d.Step(1)
+	msg = d.Run(10_000)
+	if !strings.Contains(msg, "halted") {
+		t.Fatalf("second run: %q", msg)
+	}
+	if d.M.RM(1) != 0x2A {
+		t.Errorf("RM1 = %#x after halt", d.M.RM(1))
+	}
+}
+
+func TestBreakpointByAddressForms(t *testing.T) {
+	d, p := debugMachine(t)
+	a := p.MustEntry("loop")
+	// page.word form.
+	if _, err := d.Break(a.String()); err != nil {
+		t.Fatalf("page.word form: %v", err)
+	}
+	if err := d.Clear(a.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Break("zzz"); err == nil {
+		t.Error("unknown label should fail")
+	}
+}
+
+func TestExecCommands(t *testing.T) {
+	d, _ := debugMachine(t)
+	var out bytes.Buffer
+	cmds := []string{
+		"b done",
+		"breaks",
+		"run",
+		"regs",
+		"where",
+		"stack",
+		"tasks",
+		"step 1",
+		"run 100",
+		"mem 0 4",
+	}
+	for _, c := range cmds {
+		if err := d.Exec(c, &out); err != nil {
+			t.Fatalf("%q: %v", c, err)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"breakpoint at", "T=000a", "halted", "task 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if err := d.Exec("bogus", &out); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := d.Exec("", &out); err != nil {
+		t.Error("blank line should be ignored")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	d, _ := debugMachine(t)
+	in := strings.NewReader("b done\nrun\nregs\nq\n")
+	var out bytes.Buffer
+	d.REPL(in, &out)
+	if !strings.Contains(out.String(), "breakpoint") {
+		t.Fatalf("REPL output:\n%s", out.String())
+	}
+}
+
+func TestResolveNumeric(t *testing.T) {
+	d, _ := debugMachine(t)
+	a, err := d.resolve("12A")
+	if err != nil || a != microcode.Addr(0x12A) {
+		t.Fatalf("hex resolve: %v %v", a, err)
+	}
+	a, err = d.resolve("0F.3")
+	if err != nil || a != microcode.MakeAddr(0x0F, 3) {
+		t.Fatalf("page.word resolve: %v %v", a, err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+func TestNoBypassProducesStaleReads(t *testing.T) {
+	// T ← 5; T ← T+1 immediately after. With bypassing (the real Dorado)
+	// the second instruction sees 5 and computes 6. With the Model-0 gap
+	// (NoBypass) it reads the stale T — the paper's "subtle bugs".
+	prog := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 5, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+		b.Emit(masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+		b.Halt()
+		return b
+	}
+	m := buildMachine(t, Config{}, prog())
+	mustHalt(t, m, 100)
+	if m.T(0) != 6 {
+		t.Errorf("bypassed: T = %d, want 6", m.T(0))
+	}
+	m = buildMachine(t, Config{Options: Options{NoBypass: true}}, prog())
+	mustHalt(t, m, 100)
+	if m.T(0) == 6 {
+		t.Error("NoBypass produced the bypassed answer; ablation not modeled")
+	}
+	if m.T(0) != 1 { // stale T=0, +1
+		t.Errorf("NoBypass: T = %d, want 1 (stale read)", m.T(0))
+	}
+}
+
+func TestNoBypassWithPaddingIsCorrectButSlower(t *testing.T) {
+	// Inserting a NOP between dependent instructions (what Model-0
+	// microcoders had to do) restores correctness at a 1-cycle cost.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 5, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{}) // padding
+	b.Emit(masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Halt()
+	m := buildMachine(t, Config{Options: Options{NoBypass: true}}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 6 {
+		t.Errorf("padded NoBypass: T = %d, want 6", m.T(0))
+	}
+}
+
+func TestNoBypassRMChain(t *testing.T) {
+	// RM writes suffer the same delay.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 7, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 3})
+	b.Emit(masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 3, LC: microcode.LCLoadRM})
+	b.Halt()
+	m := buildMachine(t, Config{Options: Options{NoBypass: true}}, b)
+	mustHalt(t, m, 100)
+	if m.RM(3) != 1 {
+		t.Errorf("NoBypass RM chain = %d, want 1 (stale)", m.RM(3))
+	}
+	// The delayed write of instruction 2 (stale 0 + 1) lands during Halt,
+	// overwriting instruction 1's 7.
+}
+
+func TestDelayedBranchCostsOneCyclePerBranch(t *testing.T) {
+	// A COUNT loop of N iterations has N conditional branches; the
+	// delayed-branch design adds exactly N dead cycles.
+	prog := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{FF: microcode.FFCountBase + 9})
+		b.EmitAt("loop", masm.I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+		b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+		b.Halt()
+		return b
+	}
+	m1 := buildMachine(t, Config{}, prog())
+	mustHalt(t, m1, 1000)
+	m2 := buildMachine(t, Config{Options: Options{DelayedBranch: true}}, prog())
+	mustHalt(t, m2, 1000)
+	if m2.T(0) != m1.T(0) {
+		t.Fatalf("delayed branch changed the result: %d vs %d", m2.T(0), m1.T(0))
+	}
+	branches := uint64(10) // the branch executes 10 times
+	if m2.Cycle() != m1.Cycle()+branches {
+		t.Errorf("delayed branch cost %d extra cycles, want %d",
+			m2.Cycle()-m1.Cycle(), branches)
+	}
+	if m2.Stats().BranchStalls != branches {
+		t.Errorf("BranchStalls = %d, want %d", m2.Stats().BranchStalls, branches)
+	}
+}
+
+func TestFixedWaitMemoryPaysWorstCase(t *testing.T) {
+	// A cache-hit fetch+use costs ~1 held cycle with Hold, but the full
+	// miss latency in the fixed-wait design (§5.7's first alternative).
+	prog := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 64, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+		b.Emit(masm.I{A: microcode.ASelFetch, R: 1}) // warm it
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+		b.Emit(masm.I{A: microcode.ASelFetch, R: 1}) // hit
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+		b.Halt()
+		return b
+	}
+	m1 := buildMachine(t, Config{}, prog())
+	mustHalt(t, m1, 1000)
+	m2 := buildMachine(t, Config{Options: Options{FixedWaitMemory: true}}, prog())
+	mustHalt(t, m2, 1000)
+	if m2.T(0) != m1.T(0) {
+		t.Fatalf("fixed-wait changed the result")
+	}
+	if m2.Cycle() <= m1.Cycle()+20 {
+		t.Errorf("fixed-wait cost only %d extra cycles; want ≈25 per hit",
+			m2.Cycle()-m1.Cycle())
+	}
+}
+
+func TestPollingWithProbeMD(t *testing.T) {
+	// The §5.7 polling alternative: microcode probes MD readiness and spins.
+	// Works, but the spin cycles are burned by this task instead of being
+	// available to others.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 0x4000, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1}) // miss
+	b.EmitAt("poll", masm.I{FF: microcode.FFProbeMD})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondMB, "poll", "ready")})
+	b.EmitAt("ready", masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	m.Mem().Poke(0x4000, 0x00AB)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 0x00AB {
+		t.Errorf("polled read = %#04x", m.T(0))
+	}
+	st := m.Stats()
+	if st.HoldMD != 0 {
+		t.Errorf("polling path should not hold on MD; HoldMD=%d", st.HoldMD)
+	}
+	// The poll loop executed many times: executed count ≫ instruction count.
+	if st.Executed < 20 {
+		t.Errorf("executed %d: poll loop did not spin", st.Executed)
+	}
+}
+
+// TestInstructionPipelineTiming validates the Figure-2 property the
+// simulator must preserve: one microinstruction completes per cycle, and a
+// result is usable by the immediately following instruction (bypassing).
+func TestInstructionPipelineTiming(t *testing.T) {
+	b := masm.NewBuilder()
+	b.Label("start")
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.Emit(masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	}
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	if m.T(0) != n {
+		t.Errorf("T = %d, want %d: back-to-back dependent instructions broken", m.T(0), n)
+	}
+	if m.Cycle() != n+1 {
+		t.Errorf("%d instructions took %d cycles, want %d (one per cycle)", n+1, m.Cycle(), n+1)
+	}
+}
+
+// TestTaskPipelineTiming validates Figure 3: wakeup at cycle c, NEXT shows
+// the task at c+1, first instruction at c+2 — and the switch itself costs
+// the emulator nothing.
+func TestTaskPipelineTiming(t *testing.T) {
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m, prog := buildMachineProg(t, Config{}, b)
+	p := newProbe(5, 20)
+	if err := m.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTPC(5, prog.MustEntry("svc"))
+	for m.Cycle() < 60 {
+		m.Step()
+	}
+	if len(p.notified) != 1 || p.notified[0] != 21 {
+		t.Errorf("NEXT at %v, want [21] (wakeup+1)", p.notified)
+	}
+	// The emulator executed on every cycle except the two service cycles.
+	st := m.Stats()
+	if st.TaskCycles[0]+st.TaskCycles[5] != st.Cycles {
+		t.Errorf("cycles unaccounted: %d+%d != %d", st.TaskCycles[0], st.TaskCycles[5], st.Cycles)
+	}
+	if st.TaskCycles[5] != 2 {
+		t.Errorf("service consumed %d cycles, want 2", st.TaskCycles[5])
+	}
+}

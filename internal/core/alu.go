@@ -1,0 +1,102 @@
+package core
+
+import "dorado/internal/microcode"
+
+// aluOp evaluates one ALU operation as configured by an ALUFM word
+// (§6.3.3). For arithmetic functions the carry-in comes from the ALUFM
+// carry control; carry-out and signed overflow are reported for the branch
+// conditions.
+func aluOp(ctl microcode.ALUCtl, a, b uint16, savedCarry bool) (res uint16, carry, ovf bool) {
+	var x, y uint16
+	var cin0 uint32
+	switch ctl.Fn {
+	case microcode.ALUAplusB:
+		x, y, cin0 = a, b, 0
+	case microcode.ALUAminusB:
+		x, y, cin0 = a, ^b, 1
+	case microcode.ALUBminusA:
+		x, y, cin0 = b, ^a, 1
+	case microcode.ALUAplus1:
+		x, y, cin0 = a, 0, 1
+	case microcode.ALUAminus1:
+		x, y, cin0 = a, 0xFFFF, 0
+	case microcode.ALUA:
+		return a, false, false
+	case microcode.ALUB:
+		return b, false, false
+	case microcode.ALUNotA:
+		return ^a, false, false
+	case microcode.ALUNotB:
+		return ^b, false, false
+	case microcode.ALUAandB:
+		return a & b, false, false
+	case microcode.ALUAorB:
+		return a | b, false, false
+	case microcode.ALUAxorB:
+		return a ^ b, false, false
+	case microcode.ALUAandNotB:
+		return a &^ b, false, false
+	case microcode.ALUAorNotB:
+		return a | ^b, false, false
+	case microcode.ALUXnor:
+		return ^(a ^ b), false, false
+	case microcode.ALUZero:
+		return 0, false, false
+	default:
+		return 0, false, false
+	}
+	cin := cin0
+	switch ctl.Cin {
+	case microcode.CarryZero:
+		cin = 0
+	case microcode.CarryOne:
+		cin = 1
+	case microcode.CarrySaved:
+		cin = 0
+		if savedCarry {
+			cin = 1
+		}
+	}
+	sum := uint32(x) + uint32(y) + cin
+	res = uint16(sum)
+	carry = sum > 0xFFFF
+	ovf = (x^res)&(y^res)&0x8000 != 0
+	return res, carry, ovf
+}
+
+// mulStep performs one multiply step (§6.3.3: Q "is automatically shifted
+// in useful ways during multiply and divide step microinstructions").
+//
+// With the accumulator in T (the A operand), the multiplicand on B, and the
+// multiplier in Q, sixteen consecutive
+//
+//	T ← MulStep(T, multiplicand)
+//
+// instructions leave the 32-bit product in T‖Q: each step conditionally
+// adds the multiplicand and shifts the (T,Q) pair right one bit.
+func (m *Machine) mulStep(a, b uint16) uint16 {
+	sum := uint32(a)
+	if m.q&1 != 0 {
+		sum += uint32(b)
+	}
+	m.q = m.q>>1 | uint16(sum&1)<<15
+	return uint16(sum >> 1) // bit 16 (the carry) lands in bit 15
+}
+
+// divStep performs one restoring-divide step: with the 32-bit dividend in
+// T‖Q (T = high half, the A operand) and the divisor on B, sixteen
+// consecutive
+//
+//	T ← DivStep(T, divisor)
+//
+// instructions leave the quotient in Q and the remainder in T (valid when
+// the initial T < divisor, i.e. the quotient fits 16 bits).
+func (m *Machine) divStep(a, b uint16) uint16 {
+	rem := uint32(a)<<1 | uint32(m.q>>15)
+	m.q <<= 1
+	if rem >= uint32(b) && b != 0 {
+		rem -= uint32(b)
+		m.q |= 1
+	}
+	return uint16(rem)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dorado/internal/microcode"
+)
+
+func ctl(fn microcode.ALUFn) microcode.ALUCtl { return microcode.ALUCtl{Fn: fn} }
+
+func TestALUArithmetic(t *testing.T) {
+	cases := []struct {
+		fn    microcode.ALUFn
+		a, b  uint16
+		want  uint16
+		carry bool
+	}{
+		{microcode.ALUAplusB, 2, 3, 5, false},
+		{microcode.ALUAplusB, 0xFFFF, 1, 0, true},
+		{microcode.ALUAminusB, 5, 3, 2, true},       // no borrow → carry out
+		{microcode.ALUAminusB, 3, 5, 0xFFFE, false}, // borrow
+		{microcode.ALUBminusA, 3, 5, 2, true},
+		{microcode.ALUAplus1, 0xFFFF, 0, 0, true},
+		{microcode.ALUAminus1, 0, 0, 0xFFFF, false},
+	}
+	for _, c := range cases {
+		got, carry, _ := aluOp(ctl(c.fn), c.a, c.b, false)
+		if got != c.want || carry != c.carry {
+			t.Errorf("%v(%#x,%#x) = %#x,carry=%v; want %#x,%v",
+				c.fn, c.a, c.b, got, carry, c.want, c.carry)
+		}
+	}
+}
+
+func TestALULogic(t *testing.T) {
+	a, b := uint16(0xF0F0), uint16(0xFF00)
+	cases := map[microcode.ALUFn]uint16{
+		microcode.ALUA:        a,
+		microcode.ALUB:        b,
+		microcode.ALUNotA:     ^a,
+		microcode.ALUNotB:     ^b,
+		microcode.ALUAandB:    a & b,
+		microcode.ALUAorB:     a | b,
+		microcode.ALUAxorB:    a ^ b,
+		microcode.ALUAandNotB: a &^ b,
+		microcode.ALUAorNotB:  a | ^b,
+		microcode.ALUXnor:     ^(a ^ b),
+		microcode.ALUZero:     0,
+	}
+	for fn, want := range cases {
+		got, carry, ovf := aluOp(ctl(fn), a, b, false)
+		if got != want || carry || ovf {
+			t.Errorf("%v = %#x (carry=%v ovf=%v), want %#x", fn, got, carry, ovf, want)
+		}
+	}
+}
+
+func TestALUAddMatchesIntegers(t *testing.T) {
+	f := func(a, b uint16) bool {
+		got, carry, _ := aluOp(ctl(microcode.ALUAplusB), a, b, false)
+		sum := uint32(a) + uint32(b)
+		return got == uint16(sum) && carry == (sum > 0xFFFF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUSubMatchesIntegers(t *testing.T) {
+	f := func(a, b uint16) bool {
+		got, carry, _ := aluOp(ctl(microcode.ALUAminusB), a, b, false)
+		return got == a-b && carry == (a >= b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUSignedOverflow(t *testing.T) {
+	// 0x7FFF + 1 overflows signed.
+	_, _, ovf := aluOp(ctl(microcode.ALUAplusB), 0x7FFF, 1, false)
+	if !ovf {
+		t.Error("0x7fff+1 should overflow")
+	}
+	_, _, ovf = aluOp(ctl(microcode.ALUAplusB), 1, 1, false)
+	if ovf {
+		t.Error("1+1 should not overflow")
+	}
+	// 0x8000 - 1 overflows signed.
+	_, _, ovf = aluOp(ctl(microcode.ALUAminusB), 0x8000, 1, false)
+	if !ovf {
+		t.Error("-32768 - 1 should overflow")
+	}
+}
+
+func TestALUCarryControls(t *testing.T) {
+	// CarryOne forces A+B+1.
+	got, _, _ := aluOp(microcode.ALUCtl{Fn: microcode.ALUAplusB, Cin: microcode.CarryOne}, 2, 3, false)
+	if got != 6 {
+		t.Errorf("A+B+1 = %d", got)
+	}
+	// CarryZero turns A-B into A+^B (one less).
+	got, _, _ = aluOp(microcode.ALUCtl{Fn: microcode.ALUAminusB, Cin: microcode.CarryZero}, 5, 3, false)
+	if got != 1 {
+		t.Errorf("A-B-1 = %d", got)
+	}
+	// CarrySaved chains multi-precision adds.
+	got, _, _ = aluOp(microcode.ALUCtl{Fn: microcode.ALUAplusB, Cin: microcode.CarrySaved}, 2, 3, true)
+	if got != 6 {
+		t.Errorf("A+B+saved = %d", got)
+	}
+	got, _, _ = aluOp(microcode.ALUCtl{Fn: microcode.ALUAplusB, Cin: microcode.CarrySaved}, 2, 3, false)
+	if got != 5 {
+		t.Errorf("A+B+0saved = %d", got)
+	}
+}
+
+func TestMulStepSequence(t *testing.T) {
+	// 16 MulSteps compute a full 16×16→32 unsigned multiply.
+	check := func(x, y uint16) {
+		m := &Machine{}
+		m.q = y // multiplier
+		acc := uint16(0)
+		for i := 0; i < 16; i++ {
+			acc = m.mulStep(acc, x)
+		}
+		got := uint32(acc)<<16 | uint32(m.q)
+		want := uint32(x) * uint32(y)
+		if got != want {
+			t.Errorf("%d × %d = %#08x, want %#08x", x, y, got, want)
+		}
+	}
+	check(3, 5)
+	check(0xFFFF, 0xFFFF)
+	check(12345, 54321)
+	check(0, 999)
+	check(0x8000, 2)
+}
+
+func TestMulStepProperty(t *testing.T) {
+	f := func(x, y uint16) bool {
+		m := &Machine{}
+		m.q = y
+		acc := uint16(0)
+		for i := 0; i < 16; i++ {
+			acc = m.mulStep(acc, x)
+		}
+		return uint32(acc)<<16|uint32(m.q) == uint32(x)*uint32(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivStepSequence(t *testing.T) {
+	check := func(dividend uint32, divisor uint16) {
+		if divisor == 0 || dividend/uint32(divisor) > 0xFFFF {
+			return
+		}
+		m := &Machine{}
+		m.q = uint16(dividend)
+		rem := uint16(dividend >> 16)
+		for i := 0; i < 16; i++ {
+			rem = m.divStep(rem, divisor)
+		}
+		if uint32(m.q) != dividend/uint32(divisor) || uint32(rem) != dividend%uint32(divisor) {
+			t.Errorf("%d / %d = q%d r%d, want q%d r%d",
+				dividend, divisor, m.q, rem, dividend/uint32(divisor), dividend%uint32(divisor))
+		}
+	}
+	check(100, 7)
+	check(0xFFFFFFF, 0x7FFF)
+	check(65536, 2)
+	check(1, 1)
+	check(0, 5)
+}
+
+func TestDivStepProperty(t *testing.T) {
+	f := func(dividend uint32, divisor uint16) bool {
+		if divisor == 0 || dividend/uint32(divisor) > 0xFFFF {
+			return true
+		}
+		m := &Machine{}
+		m.q = uint16(dividend)
+		rem := uint16(dividend >> 16)
+		for i := 0; i < 16; i++ {
+			rem = m.divStep(rem, divisor)
+		}
+		return uint32(m.q) == dividend/uint32(divisor) && uint32(rem) == dividend%uint32(divisor)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

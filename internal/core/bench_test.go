@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// BenchmarkStepALULoop measures simulator throughput on pure data-section
+// work (no memory traffic): host ns per simulated 60 ns cycle.
+func BenchmarkStepALULoop(b *testing.B) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT,
+		LC: microcode.LCLoadT, Flow: masm.Goto("start")})
+	p, err := bl.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkStepMemoryLoop measures throughput with a cache-hit fetch+use
+// per pair of cycles.
+func BenchmarkStepMemoryLoop(b *testing.B) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{A: microcode.ASelFetch, R: 1})
+	bl.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT,
+		Flow: masm.Goto("start")})
+	p, err := bl.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	m.SetRM(1, 64)
+	m.Mem().Warm(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkStepWithDevices measures throughput with two live controllers.
+func BenchmarkStepWithDevices(b *testing.B) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT,
+		LC: microcode.LCLoadT, Flow: masm.Goto("start")})
+	bl.EmitAt("svc", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	bl.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	p, err := bl.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	for _, task := range []int{9, 11} {
+		d := newProbeBench(task)
+		if err := m.Attach(d); err != nil {
+			b.Fatal(err)
+		}
+		m.SetIOAddress(task, uint16(task))
+		m.SetTPC(task, p.MustEntry("svc"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// newProbeBench is a periodic device for benchmarking.
+func newProbeBench(task int) *benchDev { return &benchDev{task: task} }
+
+type benchDev struct {
+	task int
+	wake bool
+	n    uint64
+}
+
+func (d *benchDev) Task() int { return d.task }
+func (d *benchDev) Tick(now uint64) {
+	d.n++
+	if d.n%50 == 0 {
+		d.wake = true
+	}
+}
+func (d *benchDev) Wakeup() bool           { return d.wake }
+func (d *benchDev) NotifyNext(uint64)      { d.wake = false }
+func (d *benchDev) Input(uint64) uint16    { return uint16(d.n) }
+func (d *benchDev) Output(uint16, uint64)  {}
+func (d *benchDev) Control(uint16, uint64) {}
+func (d *benchDev) Atten() bool            { return false }

@@ -1,0 +1,352 @@
+// Package core implements the Dorado processor: the paper's primary
+// contribution. It executes the microinstruction set of internal/microcode
+// one 60 ns cycle at a time, with:
+//
+//   - 16 fixed-priority microcode tasks multiplexed over the processor,
+//     switched on demand with zero overhead (§5.1–5.3): all vital state
+//     (TPC, LINK, T, MD, IOADDRESS, branch conditions) is task-indexed;
+//   - the two-stage task-arbitration pipeline of §5.4/§6.2.1 (WAKEUP latch →
+//     priority encode → TPC read → switch), reproducing the two-cycle
+//     wakeup-to-run latency and two-cycle minimum grain;
+//   - Hold (§5.7): an instruction that uses not-ready memory data, starts a
+//     reference the memory cannot accept, or consumes IFU output that is
+//     not ready becomes "no-op, jump to self" while the clocks keep running,
+//     so higher-priority tasks absorb the dead cycles;
+//   - the data section of §6.3: 16-bit ALU behind ALUFM, 256-word RM bank
+//     addressed through RBASE, four 64-word hardware stacks with
+//     overflow/underflow checking, task-specific T, shared COUNT and Q,
+//     the 32-bit barrel shifter with zero/MD masking, and the FF catalog;
+//   - data bypassing (§5.6): architecturally, results of instruction n are
+//     visible to instruction n+1; the Model-0 ablation (Options.NoBypass)
+//     delays register-file writes by one instruction, reproducing the
+//     behavior the paper calls "a number of subtle bugs and a significant
+//     loss of performance".
+//
+// Pipeline fidelity: the real machine overlaps fetch and execute over three
+// cycles (Figure 2), but with universal bypassing the architectural effect
+// is exactly one microinstruction per cycle, which is how the simulator
+// executes. The timing phenomena the paper analyzes — Hold, wakeup latency,
+// allocation grain, branch cost, bypass cost — are modeled explicitly,
+// several of them behind Options ablations so the paper's design arguments
+// can be re-measured.
+package core
+
+import (
+	"fmt"
+
+	"dorado/internal/device"
+	"dorado/internal/ifu"
+	"dorado/internal/memory"
+	"dorado/internal/microcode"
+)
+
+// CycleNS is the machine cycle time in nanoseconds (60 ns, §1; stitchwelded
+// prototypes ran at 50 ns, §6.4).
+const CycleNS = 60
+
+// NumTasks is the number of microcode priority levels (§5.1).
+const NumTasks = 16
+
+// Options select the paper's design-alternative ablations. The zero value
+// is the Dorado as built.
+type Options struct {
+	// NoBypass reproduces the Model-0 gaps in bypass logic (§5.6):
+	// register-file writes become visible to the *second* following
+	// instruction instead of the first. Microcode that has not been padded
+	// (masm's PadForNoBypass) computes wrong answers — exactly the paper's
+	// "subtle bugs".
+	NoBypass bool
+	// DelayedBranch reproduces the conventional alternative to the
+	// late-condition-select branch (§5.5): every conditional branch inserts
+	// one dead cycle for the target fetch.
+	DelayedBranch bool
+	// ExplicitNotify reproduces the simpler task-scheduler design of
+	// §6.2.1: devices are not told their task number appears on NEXT;
+	// microcode must acknowledge wakeups explicitly (FF IOAttenAck),
+	// raising the minimum allocation grain from two cycles to three.
+	ExplicitNotify bool
+	// FixedWaitMemory reproduces the first §5.7 alternative to Hold:
+	// every use of memory data waits the fixed worst-case (miss) time.
+	FixedWaitMemory bool
+}
+
+// Config assembles a Machine.
+type Config struct {
+	Memory  memory.Config
+	IFU     ifu.Config
+	Options Options
+	// FaultTask, when 1..15, is woken (via its READY flipflop) whenever the
+	// memory system records a map fault — the Dorado's fault-handling
+	// discipline: faults are service requests to a microcode task, not
+	// processor traps.
+	FaultTask int
+}
+
+// taskState groups the task-specific registers (§5.3).
+type taskState struct {
+	tpc   microcode.Addr // microcode program counter
+	link  microcode.Addr // subroutine linkage (§6.2.3)
+	t     uint16         // working storage
+	ioadr uint16         // IOADDRESS: which device Input/Output talks to
+	// branch-condition register (§5.3)
+	zero, neg, carry, ovf bool
+	savedCarry            bool // for CarrySaved multi-precision arithmetic
+	mb                    bool // the MB flag (FF SetMB/ClearMB/ProbeMD)
+	stackErr              bool
+}
+
+// pendingWrite models the Model-0 missing bypass: a register-file write
+// that has left the ALU but not yet reached the RAM.
+type pendingWrite struct {
+	valid   bool
+	toT     bool
+	task    int // for T
+	toRM    bool
+	rmIndex uint8
+	toStack bool
+	stIndex uint8
+	val     uint16
+}
+
+// Machine is one Dorado processor with its memory system, IFU, and devices.
+type Machine struct {
+	cfg Config
+
+	im  [microcode.StoreSize]microcode.Word
+	mem *memory.System
+	ifu *ifu.Unit
+
+	devs   [NumTasks]device.Device // by task number
+	byAddr [NumTasks]device.Device // by IOADDRESS (low 4 bits)
+
+	// Control section (§6.2).
+	tasks    [NumTasks]taskState
+	ready    uint16 // READY flipflops: preempted or explicitly-readied tasks
+	bestNext int    // BESTNEXTTASK pipeline register
+	curTask  int    // THISTASK
+	lastTask int    // LASTTASK
+	curPC    microcode.Addr
+
+	// Data section (§6.3).
+	rm       [256]uint16
+	stack    [256]uint16 // four 64-word stacks (§6.3.3)
+	stackPtr uint8       // [stack:2][word:6]
+	count    uint16
+	q        uint16
+	rbase    uint8 // 4 bits
+	membase  uint8 // 5 bits
+	shiftCtl uint16
+	alufm    [16]microcode.ALUCtl
+	cpreg    uint16
+
+	pend pendingWrite // NoBypass delayed write
+
+	tracer Tracer
+
+	halted bool
+	haltPC microcode.Addr
+	cycle  uint64
+	stalls uint64 // DelayedBranch dead cycles owed
+	stats  Stats
+}
+
+// Stats counts processor activity.
+type Stats struct {
+	Cycles       uint64
+	Executed     uint64 // instructions completed (not held)
+	Holds        uint64
+	HoldMD       uint64 // held on memory data not ready
+	HoldMem      uint64 // held on memory unable to accept a reference
+	HoldIFU      uint64 // held on IFU dispatch/operand not ready
+	TaskSwitches uint64
+	Blocks       uint64
+	Preemptions  uint64
+	BranchStalls uint64 // DelayedBranch ablation dead cycles
+	TaskCycles   [NumTasks]uint64
+	TaskExecuted [NumTasks]uint64
+}
+
+// Utilization returns the fraction of cycles spent running task t.
+func (s *Stats) Utilization(t int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TaskCycles[t]) / float64(s.Cycles)
+}
+
+// New builds a Machine.
+func New(cfg Config) (*Machine, error) {
+	mem, err := memory.New(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		mem:   mem,
+		ifu:   ifu.New(mem, cfg.IFU),
+		alufm: microcode.DefaultALUFM(),
+	}
+	// Unloaded microstore halts immediately.
+	for i := range m.im {
+		m.im[i] = microcode.Word{FF: microcode.FFHalt}
+	}
+	if ft := cfg.FaultTask; ft > 0 && ft < NumTasks {
+		mem.OnFault(func(memory.Fault) { m.ready |= 1 << ft })
+	}
+	return m, nil
+}
+
+// Mem returns the memory system.
+func (m *Machine) Mem() *memory.System { return m.mem }
+
+// IFU returns the instruction fetch unit.
+func (m *Machine) IFU() *ifu.Unit { return m.ifu }
+
+// Load installs a microstore image (e.g. masm.Program.Words).
+func (m *Machine) Load(im *[microcode.StoreSize]microcode.Word) { m.im = *im }
+
+// Attach registers a device on its task number; its IOADDRESS is the task
+// number as well (the convention all bundled microcode uses).
+func (m *Machine) Attach(d device.Device) error {
+	t := d.Task()
+	if t <= 0 || t >= NumTasks {
+		return fmt.Errorf("core: device task %d out of range 1..15", t)
+	}
+	if m.devs[t] != nil {
+		return fmt.Errorf("core: task %d already has a device", t)
+	}
+	m.devs[t] = d
+	m.byAddr[t] = d
+	return nil
+}
+
+// Start boots (or re-boots) the machine: task 0 begins executing at a on
+// the next Step, and a previous Halt is cleared.
+func (m *Machine) Start(a microcode.Addr) {
+	m.SetTPC(0, a)
+	m.curTask = 0
+	m.curPC = a
+	m.halted = false
+}
+
+// SetTPC sets a task's microcode program counter. Call before running, and
+// for every task that has a device (a wakeup to a task with a zero TPC runs
+// whatever is at microstore address 0).
+func (m *Machine) SetTPC(task int, a microcode.Addr) { m.tasks[task&15].tpc = a }
+
+// TPC reads a task's program counter.
+func (m *Machine) TPC(task int) microcode.Addr { return m.tasks[task&15].tpc }
+
+// Halted reports whether the machine has executed FF Halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// HaltPC returns the address of the halting instruction.
+func (m *Machine) HaltPC() microcode.Addr { return m.haltPC }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Stats returns a snapshot of the counters.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.cycle
+	return s
+}
+
+// Register accessors for tests, loaders, and the console.
+
+// RM reads general register i (absolute index, not RBASE-relative).
+func (m *Machine) RM(i int) uint16 { return m.rm[i&0xFF] }
+
+// SetRM writes general register i.
+func (m *Machine) SetRM(i int, v uint16) { m.rm[i&0xFF] = v }
+
+// T reads a task's T register.
+func (m *Machine) T(task int) uint16 { return m.tasks[task&15].t }
+
+// SetT writes a task's T register.
+func (m *Machine) SetT(task int, v uint16) { m.tasks[task&15].t = v }
+
+// Count reads COUNT.
+func (m *Machine) Count() uint16 { return m.count }
+
+// SetCount writes COUNT.
+func (m *Machine) SetCount(v uint16) { m.count = v }
+
+// Q reads the multiply/divide aid register.
+func (m *Machine) Q() uint16 { return m.q }
+
+// SetQ writes Q.
+func (m *Machine) SetQ(v uint16) { m.q = v }
+
+// StackPtr reads STACKPTR ([stack:2][word:6]).
+func (m *Machine) StackPtr() uint8 { return m.stackPtr }
+
+// SetStackPtr writes STACKPTR.
+func (m *Machine) SetStackPtr(v uint8) { m.stackPtr = v }
+
+// Stack reads stack word i (absolute index into the 256-word stack memory).
+func (m *Machine) Stack(i int) uint16 { return m.stack[i&0xFF] }
+
+// SetStack writes stack word i.
+func (m *Machine) SetStack(i int, v uint16) { m.stack[i&0xFF] = v }
+
+// RBase reads the RM bank register.
+func (m *Machine) RBase() uint8 { return m.rbase }
+
+// SetRBase writes the RM bank register.
+func (m *Machine) SetRBase(v uint8) { m.rbase = v & 0xF }
+
+// MemBase reads the 5-bit base-register selector.
+func (m *Machine) MemBase() uint8 { return m.membase }
+
+// SetMemBase writes the base-register selector.
+func (m *Machine) SetMemBase(v uint8) { m.membase = v & 0x1F }
+
+// SetIOAddress sets a task's IOADDRESS register.
+func (m *Machine) SetIOAddress(task int, v uint16) { m.tasks[task&15].ioadr = v }
+
+// ShiftCtl reads the SHIFTCTL register.
+func (m *Machine) ShiftCtl() uint16 { return m.shiftCtl }
+
+// SetShiftCtl writes the SHIFTCTL register.
+func (m *Machine) SetShiftCtl(v uint16) { m.shiftCtl = v }
+
+// CPReg reads the console-processor register (§6.2.3).
+func (m *Machine) CPReg() uint16 { return m.cpreg }
+
+// SetCPReg writes the console-processor register.
+func (m *Machine) SetCPReg(v uint16) { m.cpreg = v }
+
+// CurTask returns the task executing in the current cycle.
+func (m *Machine) CurTask() int { return m.curTask }
+
+// CurPC returns the address of the instruction executing this cycle.
+func (m *Machine) CurPC() microcode.Addr { return m.curPC }
+
+// TraceEvent describes one executed (or held) cycle for a Tracer.
+type TraceEvent struct {
+	Cycle uint64
+	Task  int
+	PC    microcode.Addr
+	Held  bool
+	Word  microcode.Word
+}
+
+// Tracer receives one event per cycle when installed (debugging aid;
+// stands in for the Dorado's console-processor monitoring, §6.2).
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) a cycle tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// Run executes until Halt or maxCycles, returning true if halted.
+func (m *Machine) Run(maxCycles uint64) bool {
+	limit := m.cycle + maxCycles
+	for !m.halted && m.cycle < limit {
+		m.Step()
+	}
+	return m.halted
+}

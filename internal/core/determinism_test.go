@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/device"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// TestDeterminism runs a complex scenario (emulator + three devices with
+// different cadences + cache misses) twice and requires byte-identical
+// statistics: the simulator has no hidden nondeterminism, which every
+// experiment in internal/bench depends on.
+func TestDeterminism(t *testing.T) {
+	build := func() (*Machine, *device.WordSource, *device.Display) {
+		b := masm.NewBuilder()
+		// Emulator: strided fetches (some miss) plus arithmetic.
+		b.EmitAt("start", masm.I{Const: 0x00FF, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 2})
+		b.Emit(masm.I{B: microcode.BSelRM, R: 2, FF: microcode.FFPutCount})
+		b.EmitAt("loop", masm.I{A: microcode.ASelFetch, R: 1, ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+		b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+		b.EmitAt("idle", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0,
+			LC: microcode.LCLoadRM, Flow: masm.Goto("idle")})
+		// Disk service.
+		b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+		b.Emit(masm.I{A: microcode.ASelStore, R: 3, B: microcode.BSelT,
+			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM, Block: true, Flow: masm.Goto("disk")})
+		// Display service.
+		b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 4,
+			ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
+		b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
+		p, err := b.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("start"))
+		disk := device.NewWordSource(11, 27, 2)
+		if err := m.Attach(disk); err != nil {
+			t.Fatal(err)
+		}
+		m.SetIOAddress(11, 11)
+		m.SetTPC(11, p.MustEntry("disk"))
+		m.SetRM(3, 0x7000)
+		disp := device.NewDisplay(13, m.Mem(), 16, 4)
+		disp.SetBase(0x20000)
+		if err := m.Attach(disp); err != nil {
+			t.Fatal(err)
+		}
+		m.SetIOAddress(13, 13)
+		m.SetTPC(13, p.MustEntry("disp"))
+		m.SetT(13, 16)
+		m.SetRM(1, 0x5000) // stride target (cold)
+		return m, disk, disp
+	}
+	m1, d1, v1 := build()
+	m2, d2, v2 := build()
+	m1.Run(100_000)
+	m2.Run(100_000)
+	if m1.Stats() != m2.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", m1.Stats(), m2.Stats())
+	}
+	if m1.Mem().Stats() != m2.Mem().Stats() {
+		t.Fatalf("memory stats diverged")
+	}
+	if d1.Consumed() != d2.Consumed() || v1.BlocksMoved() != v2.BlocksMoved() {
+		t.Fatalf("device progress diverged")
+	}
+	if m1.T(0) != m2.T(0) || m1.RM(0) != m2.RM(0) {
+		t.Fatalf("register state diverged")
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"dorado/internal/microcode"
+)
+
+// exec runs the instruction at (curTask, curPC) for one cycle. It returns
+// held=true when the instruction could not proceed (§5.7: it becomes
+// "no-op, jump to self": no state changes, nextPC = curPC, Block
+// suppressed), blocked=true when the instruction released the processor,
+// and the successor address otherwise.
+func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
+	w := m.im[m.curPC]
+	ts := &m.tasks[m.curTask]
+	op := w.NextOp()
+	ffop := w.FFOp()
+	m.stats.TaskCycles[m.curTask]++
+
+	// ---- Hold phase: detect every reason this instruction cannot proceed,
+	// without changing any state (§5.7). ----
+	if w.UsesMD() && !m.mdReady(now) {
+		return m.hold(&m.stats.HoldMD)
+	}
+	if w.UsesIFUData() && !m.ifu.OperandReady() {
+		return m.hold(&m.stats.HoldIFU)
+	}
+	if op.Kind == microcode.NextIFUJump && !m.ifu.DispatchReady(now) {
+		return m.hold(&m.stats.HoldIFU)
+	}
+	rIndex := m.rbase<<4 | w.RAddr&0xF
+	useStack := w.Block && m.curTask == 0 // "selects a stack operation for task 0" (§6.3.1)
+	if w.ASel.StartsMemRef() {
+		var disp uint16
+		switch {
+		case w.ASel == microcode.ASelFetchIFU || w.ASel == microcode.ASelStoreIFU:
+			disp = m.ifu.PeekOperand() // readiness checked above
+		case useStack:
+			disp = m.stack[m.stackPtr]
+		default:
+			disp = m.rm[rIndex]
+		}
+		// An FF MemBase constant in the same instruction takes effect
+		// before the reference (FF decodes at t0-t1, §5.5); the hold check
+		// must use the same base the issue will.
+		mb := m.membase
+		if ffop >= microcode.FFMemBaseBase && ffop < microcode.FFMemBaseBase+32 {
+			mb = ffop - microcode.FFMemBaseBase
+		}
+		va := m.mem.VA(mb, disp)
+		ok := false
+		if w.ASel.IsStore() {
+			ok = m.mem.CanWrite(va, now)
+		} else {
+			ok = m.mem.CanRead(m.curTask, va, now)
+		}
+		if !ok {
+			return m.hold(&m.stats.HoldMem)
+		}
+	}
+
+	// ---- Operand fetch (first half-cycle, t0–t1 of Figure 2). ----
+
+	// The RM-or-stack word: the stack modifier replaces RM for both the A
+	// and B sides and turns RAddress into a signed STACKPTR delta (§6.3.3:
+	// "If STACK is used in a microinstruction, it replaces any use of RM").
+	var rmVal uint16
+	var stNewPtr uint8
+	if useStack {
+		rmVal = m.stack[m.stackPtr]
+		delta := int(w.StackDelta())
+		word := int(m.stackPtr & 0x3F)
+		nw := word + delta
+		if nw < 0 || nw > 63 {
+			ts.stackErr = true // underflow/overflow checking (§6.3.3)
+		}
+		stNewPtr = m.stackPtr&0xC0 | uint8(nw&0x3F)
+	} else {
+		rmVal = m.rm[rIndex]
+	}
+
+	var aVal uint16
+	switch w.ASel {
+	case microcode.ASelRM, microcode.ASelFetch, microcode.ASelStore:
+		aVal = rmVal
+	case microcode.ASelT:
+		aVal = ts.t
+	case microcode.ASelIFUData, microcode.ASelFetchIFU, microcode.ASelStoreIFU:
+		aVal = m.ifu.Operand()
+	case microcode.ASelMD:
+		aVal = m.mem.MD(m.curTask, now)
+	}
+
+	var bVal uint16
+	switch w.BSel {
+	case microcode.BSelRM:
+		bVal = rmVal
+	case microcode.BSelT:
+		bVal = ts.t
+	case microcode.BSelQ:
+		bVal = m.q
+	case microcode.BSelMD:
+		bVal = m.mem.MD(m.curTask, now)
+	default: // the §5.9 constant scheme
+		bVal = w.BSel.ConstValue(w.FF)
+	}
+	if ffop == microcode.FFInput {
+		// IODATA drives the B bus (§6.3.2: the bus "can serve as a source
+		// as well"), so one instruction can move a device word through the
+		// ALU *and* into memory — the 3-cycles-per-2-words disk idiom (§7).
+		if d := m.byAddr[ts.ioadr&15]; d != nil {
+			bVal = d.Input(now)
+		} else {
+			bVal = 0
+		}
+	}
+
+	// Model-0 missing bypass (§5.6): the previous instruction's register
+	// write lands only now, after this instruction read its operands.
+	if m.cfg.Options.NoBypass {
+		m.flushPending()
+	}
+
+	// ---- ALU (second half-cycle through cycle 3 first half). ----
+	ctl := m.alufm[w.ALUOp&0xF]
+	res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
+	ts.zero = res == 0
+	ts.neg = res&0x8000 != 0
+	ts.carry = carry
+	ts.ovf = ovf
+	if ctl.Fn.IsArith() {
+		ts.savedCarry = carry
+	}
+
+	// ---- FF function (decoded at t0–t1, §5.5). May drive RESULT. ----
+	result := res
+	if ffop != microcode.FFNop && ffop != microcode.FFInput {
+		result = m.execFF(ffop, w, aVal, rmVal, bVal, res, now)
+	}
+
+	// ---- Memory reference issue (MEMADDRESS is a copy of A, §6.3.2).
+	// execFF has already applied any same-instruction MEMBASE change. ----
+	if w.ASel.StartsMemRef() {
+		va := m.mem.VA(m.membase, aVal)
+		if !w.ASel.IsStore() {
+			if !m.mem.StartRead(m.curTask, va, now) {
+				panic("core: StartRead refused after CanRead")
+			}
+		} else {
+			// The stored word is the B bus — which FFInput may be driving
+			// from IODATA (§5.8: memory reference + I/O transfer in one
+			// instruction).
+			if !m.mem.StartWrite(m.curTask, va, bVal, now) {
+				panic("core: StartWrite refused after CanWrite")
+			}
+		}
+	}
+
+	// ---- Result stores (second half of cycle 3, t3–t4). ----
+	wIndex := rIndex
+	if ffop >= microcode.FFRMDestBase && ffop < microcode.FFRMDestBase+16 {
+		// "loading a different register can be specified by FF" (§6.3.3).
+		wIndex = m.rbase<<4 | ffop&0xF
+	}
+	if w.LC.LoadsT() || w.LC.LoadsRM() {
+		m.storeResult(w, ts, wIndex, stNewPtr, useStack, result)
+	}
+	if useStack {
+		m.stackPtr = stNewPtr
+	}
+
+	// ---- NEXTPC (§6.2.2). ----
+	nextPC = m.nextAddr(w, op, ts, bVal, now)
+	if op.Kind == microcode.NextBranch && m.cfg.Options.DelayedBranch {
+		m.stalls = 1 // the conventional-design ablation: +1 cycle per branch
+	}
+
+	m.stats.Executed++
+	m.stats.TaskExecuted[m.curTask]++
+	// For task 0 the Block bit is the stack modifier, not a release: the
+	// emulator never blocks (§5.1: task 0 requests service at all times).
+	blocked = w.Block && m.curTask != 0
+	return false, blocked, nextPC
+}
+
+// hold accounts one held cycle.
+func (m *Machine) hold(counter *uint64) (bool, bool, microcode.Addr) {
+	*counter++
+	m.stats.Holds++
+	return true, false, m.curPC
+}
+
+// mdReady consults the memory, honoring the fixed-wait ablation (§5.7).
+func (m *Machine) mdReady(now uint64) bool {
+	if m.cfg.Options.FixedWaitMemory {
+		return m.mem.MDReadyFixed(m.curTask, now)
+	}
+	return m.mem.MDReady(m.curTask, now)
+}
+
+// storeResult routes RESULT to RM/stack and/or T, immediately (bypassed) or
+// delayed one instruction (the NoBypass ablation).
+func (m *Machine) storeResult(w microcode.Word, ts *taskState, rIndex, stNewPtr uint8, useStack bool, result uint16) {
+	if !m.cfg.Options.NoBypass {
+		if w.LC.LoadsT() {
+			ts.t = result
+		}
+		if w.LC.LoadsRM() {
+			if useStack {
+				m.stack[stNewPtr] = result
+			} else {
+				m.rm[rIndex] = result
+			}
+		}
+		return
+	}
+	p := pendingWrite{valid: true, val: result}
+	if w.LC.LoadsT() {
+		p.toT = true
+		p.task = m.curTask
+	}
+	if w.LC.LoadsRM() {
+		if useStack {
+			p.toStack = true
+			p.stIndex = stNewPtr
+		} else {
+			p.toRM = true
+			p.rmIndex = rIndex
+		}
+	}
+	m.flushPending() // at most one write can be in flight
+	m.pend = p
+}
+
+// flushPending lands the delayed register write of the NoBypass ablation.
+func (m *Machine) flushPending() {
+	if !m.pend.valid {
+		return
+	}
+	if m.pend.toT {
+		m.tasks[m.pend.task].t = m.pend.val
+	}
+	if m.pend.toRM {
+		m.rm[m.pend.rmIndex] = m.pend.val
+	}
+	if m.pend.toStack {
+		m.stack[m.pend.stIndex] = m.pend.val
+	}
+	m.pend = pendingWrite{}
+}
+
+// nextAddr computes NEXTPC from the NextControl field (§6.2.2, Figure 7).
+func (m *Machine) nextAddr(w microcode.Word, op microcode.NextOp, ts *taskState, bVal uint16, now uint64) microcode.Addr {
+	page := m.curPC &^ microcode.Addr(microcode.WordMask)
+	switch op.Kind {
+	case microcode.NextGoto:
+		return page | microcode.Addr(op.W)
+	case microcode.NextCall:
+		ts.link = (m.curPC + 1) & microcode.AddrMask
+		return page | microcode.Addr(op.W)
+	case microcode.NextBranch:
+		t := page | microcode.Addr(op.W)
+		if m.evalCond(op.Cond, ts, now) {
+			t |= 1 // ORed into the low bit of NEXTPC (§5.5)
+		}
+		return t
+	case microcode.NextLongGoto:
+		return microcode.MakeAddr(w.FF, op.W)
+	case microcode.NextLongCall:
+		ts.link = (m.curPC + 1) & microcode.AddrMask
+		return microcode.MakeAddr(w.FF, op.W)
+	case microcode.NextReturn:
+		return ts.link
+	case microcode.NextIFUJump:
+		a := m.ifu.Dispatch(now)
+		if e := m.ifu.LastEntry(); e.LoadMemBase {
+			// §6.3.3: MEMBASE loaded from the IFU at the start of a
+			// macroinstruction.
+			m.membase = e.MemBase & 0x1F
+		}
+		return a
+	case microcode.NextDispatch8:
+		return page | microcode.Addr(w.FF&0x8) | microcode.Addr(bVal&7)
+	case microcode.NextDispatch256:
+		return microcode.Addr(w.FF&0xF)<<8 | microcode.Addr(bVal&0xFF)
+	}
+	panic(fmt.Sprintf("core: reserved NextControl %#02x at %v", w.Next, m.curPC))
+}
+
+// evalCond evaluates one of the eight branch conditions (§5.5). Conditions
+// derive from the *current* instruction's ALU outputs — the Dorado computes
+// and uses a branch condition in the same microinstruction, with the
+// late-arriving bit folded into the microstore chip select so it costs no
+// cycle (§5.5).
+func (m *Machine) evalCond(c microcode.Condition, ts *taskState, now uint64) bool {
+	switch c {
+	case microcode.CondALUZero:
+		return ts.zero
+	case microcode.CondALUNeg:
+		return ts.neg
+	case microcode.CondCarry:
+		return ts.carry
+	case microcode.CondCountNZ:
+		// "decremented and tested for zero in one microinstruction" (§6.3.3):
+		// taken while COUNT≠0, decrementing as a side effect.
+		if m.count != 0 {
+			m.count--
+			return true
+		}
+		return false
+	case microcode.CondOverflow:
+		return ts.ovf
+	case microcode.CondStackError:
+		v := ts.stackErr
+		ts.stackErr = false
+		return v
+	case microcode.CondIOAtten:
+		if d := m.byAddr[ts.ioadr&15]; d != nil {
+			return d.Atten()
+		}
+		return false
+	case microcode.CondMB:
+		return ts.mb
+	}
+	return false
+}

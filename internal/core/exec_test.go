@@ -1,0 +1,409 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// buildMachine assembles b and loads it into a fresh machine with task 0
+// started at the "start" label.
+func buildMachine(t *testing.T, cfg Config, b *masm.Builder) *Machine {
+	t.Helper()
+	m, _ := buildMachineProg(t, cfg, b)
+	return m
+}
+
+// buildMachineProg is buildMachine returning the placed program too (for
+// tests that set up device-task TPCs from labels).
+func buildMachineProg(t *testing.T, cfg Config, b *masm.Builder) (*Machine, *masm.Program) {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	start, err := p.Entry("start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(start)
+	return m, p
+}
+
+// mustHalt runs until Halt, failing on timeout.
+func mustHalt(t *testing.T, m *Machine, max uint64) {
+	t.Helper()
+	if !m.Run(max) {
+		t.Fatalf("machine did not halt in %d cycles (task %d pc %v)", max, m.CurTask(), m.CurPC())
+	}
+}
+
+func TestIncrementLoop(t *testing.T) {
+	// T counts up while COUNT counts 9→0: ten iterations.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFCountBase + 9})
+	b.EmitAt("loop", masm.I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	if got := m.T(0); got != 10 {
+		t.Errorf("T = %d, want 10", got)
+	}
+	// 1 setup + 10×(inc+branch) + halt.
+	if m.Stats().Executed != 1+20+1 {
+		t.Errorf("executed %d instructions", m.Stats().Executed)
+	}
+}
+
+func TestConstantsIntoRegisters(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 0x00FE, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Const: 0xFF80, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 5})
+	b.Emit(masm.I{Const: 0x4200, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 6})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x00FE {
+		t.Errorf("T = %#04x", m.T(0))
+	}
+	if m.RM(5) != 0xFF80 {
+		t.Errorf("RM5 = %#04x", m.RM(5))
+	}
+	if m.RM(6) != 0x4200 {
+		t.Errorf("RM6 = %#04x", m.RM(6))
+	}
+}
+
+func TestRMBankViaRBase(t *testing.T) {
+	b := masm.NewBuilder()
+	// RBASE←2 via put-from-B (constant 2 on B), then RM[2*16+3] ← T.
+	b.EmitAt("start", masm.I{Const: 2, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutRBase})
+	b.Emit(masm.I{Const: 0x0077, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 3})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.RM(2*16+3) != 0x0077 {
+		t.Errorf("RM[35] = %#04x", m.RM(2*16+3))
+	}
+	if m.RM(3) != 0 {
+		t.Errorf("RM[3] = %#04x, bank not applied", m.RM(3))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Flow: masm.Call("sub")})
+	// Continuation (must be at call+1): mark T bit 1.
+	b.Emit(masm.I{Const: 0x0001, HasConst: true, ALU: microcode.ALUAorB, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Halt()
+	// Subroutine: T ← 0x0100.
+	b.EmitAt("sub", masm.I{Const: 0x0100, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT, Flow: masm.Return()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x0101 {
+		t.Errorf("T = %#04x: call/return path broken", m.T(0))
+	}
+}
+
+func TestNestedCallViaLinkSave(t *testing.T) {
+	// LINK is a single task-specific register; nested calls save it
+	// explicitly (the paper: LINK "can also be loaded from a data bus").
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Flow: masm.Call("outer")})
+	b.Emit(masm.I{Const: 0x0001, HasConst: true, ALU: microcode.ALUAorB, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Halt()
+	b.EmitAt("outer", masm.I{FF: microcode.FFGetLink, LC: microcode.LCLoadRM, R: 9})
+	b.Emit(masm.I{Flow: masm.Call("inner")})
+	b.Emit(masm.I{B: microcode.BSelRM, R: 9, FF: microcode.FFPutLink, Flow: masm.Return()}) // restore + return
+	b.EmitAt("inner", masm.I{Const: 0x0010, HasConst: true, ALU: microcode.ALUAorB, A: microcode.ASelT, LC: microcode.LCLoadT, Flow: masm.Return()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x0011 {
+		t.Errorf("T = %#04x: nested call broken", m.T(0))
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	b := masm.NewBuilder()
+	// Push 3 constants, then pop and sum them.
+	b.EmitAt("start", masm.I{Const: 10, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1}) // push 10
+	b.Emit(masm.I{Const: 20, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1})            // push 20
+	b.Emit(masm.I{Const: 30, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1})            // push 30
+	// T ← pop (30); then T ← T + pop twice.
+	b.Emit(masm.I{ALU: microcode.ALUA, Block: true, R: 15, LC: microcode.LCLoadT}) // pop: delta −1
+	b.Emit(masm.I{ALU: microcode.ALUAplusB, Block: true, R: 15, B: microcode.BSelT, LC: microcode.LCLoadT})
+	b.Emit(masm.I{ALU: microcode.ALUAplusB, Block: true, R: 15, B: microcode.BSelT, LC: microcode.LCLoadT})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 60 {
+		t.Errorf("T = %d, want 60", m.T(0))
+	}
+	if m.StackPtr() != 0 {
+		t.Errorf("STACKPTR = %d, want 0", m.StackPtr())
+	}
+}
+
+func TestStackUnderflowSetsError(t *testing.T) {
+	b := masm.NewBuilder()
+	// Pop from an empty stack → StackError branch condition.
+	b.EmitAt("start", masm.I{ALU: microcode.ALUA, Block: true, R: 15, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondStackError, "ok", "err")})
+	b.EmitAt("ok", masm.I{Flow: masm.Goto("done")})
+	b.EmitAt("err", masm.I{Const: 0x00EE, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x00EE {
+		t.Errorf("T = %#04x: underflow not detected", m.T(0))
+	}
+}
+
+func TestFourIndependentStacks(t *testing.T) {
+	b := masm.NewBuilder()
+	// Select stack 2 (STACKPTR = 0x80), push 7; select stack 0, push 9.
+	b.EmitAt("start", masm.I{Const: 0x0080, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutStackPtr})
+	b.Emit(masm.I{Const: 7, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1})
+	b.Emit(masm.I{Const: 0, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutStackPtr})
+	b.Emit(masm.I{Const: 9, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.Stack(0x81) != 7 {
+		t.Errorf("stack2[1] = %d", m.Stack(0x81))
+	}
+	if m.Stack(0x01) != 9 {
+		t.Errorf("stack0[1] = %d", m.Stack(0x01))
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	// Compare-and-branch in one instruction: T-RM sets flags, branch on zero.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 5, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Const: 5, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{ALU: microcode.ALUAminusB, A: microcode.ASelT, B: microcode.BSelRM, R: 1,
+		Flow: masm.Branch(microcode.CondALUZero, "ne", "eq")})
+	b.EmitAt("ne", masm.I{Const: 0x00BB, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT, Flow: masm.Goto("done")})
+	b.EmitAt("eq", masm.I{Const: 0x00AA, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x00AA {
+		t.Errorf("T = %#04x: equal compare took wrong arm", m.T(0))
+	}
+}
+
+func TestMemoryFetchStore(t *testing.T) {
+	b := masm.NewBuilder()
+	// RM1 = address 100; store T=0x1234 to mem[100]; fetch it back into T.
+	b.EmitAt("start", masm.I{Const: 100, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{Const: 0x12FF, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT})
+	b.Emit(masm.I{Const: 0, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT}) // clear T
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+	b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT}) // holds until MD ready
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 0x12FF {
+		t.Errorf("T = %#04x after store/fetch round trip", m.T(0))
+	}
+	if m.Mem().Peek(100) != 0x12FF {
+		t.Errorf("mem[100] = %#04x", m.Mem().Peek(100))
+	}
+	st := m.Stats()
+	if st.HoldMD == 0 {
+		t.Error("MD use after fetch should have held at least one cycle")
+	}
+}
+
+func TestHoldCostHitVsMiss(t *testing.T) {
+	// Fetch+use with a warm cache holds ~1 cycle; a cold miss holds ~25.
+	prog := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 64, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+		b.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+		b.Emit(masm.I{A: microcode.ASelFetch, R: 1}) // second fetch: now warm
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+		b.Halt()
+		return b
+	}
+	m := buildMachine(t, Config{}, prog())
+	mustHalt(t, m, 1000)
+	st := m.Stats()
+	// Cold: 25 held cycles (miss latency 26, MD used the cycle after issue);
+	// warm: 1 held cycle (hit latency 2).
+	if st.HoldMD < 20 || st.HoldMD > 30 {
+		t.Errorf("HoldMD = %d, want ≈26 (miss) + 1 (hit)", st.HoldMD)
+	}
+}
+
+func TestShifterThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	// RM1=0x1234, T=0x5678; SHIFTCTL=rot4; Shift → T.
+	b.EmitAt("start", masm.I{Const: 0x1200, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{Const: 0x0034, HasConst: true, ALU: microcode.ALUAorB, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Const: 0x5600, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Const: 0x0078, HasConst: true, ALU: microcode.ALUAorB, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Emit(masm.I{FF: microcode.FFRotBase + 4})
+	b.Emit(masm.I{FF: microcode.FFShiftNoMask, R: 1, LC: microcode.LCLoadT})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x2345 {
+		t.Errorf("shift result = %#04x, want 0x2345", m.T(0))
+	}
+}
+
+func TestDispatch8Execution(t *testing.T) {
+	b := masm.NewBuilder()
+	labels := []string{"d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"}
+	b.EmitAt("start", masm.I{Const: 5, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, Flow: masm.Dispatch8(labels...)})
+	for i, l := range labels {
+		b.EmitAt(l, masm.I{Const: uint16(0x10 + i), HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT, Flow: masm.Goto("done")})
+	}
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x15 {
+		t.Errorf("dispatch landed at %#04x, want 0x15", m.T(0))
+	}
+}
+
+func TestDispatch256Execution(t *testing.T) {
+	b := masm.NewBuilder()
+	table := make([]string, 256)
+	for i := range table {
+		table[i] = "low"
+		if i >= 128 {
+			table[i] = "high"
+		}
+	}
+	b.EmitAt("start", masm.I{Const: 0x00C3, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, Flow: masm.Dispatch256(table)})
+	b.EmitAt("low", masm.I{Const: 1, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT, Flow: masm.Goto("done")})
+	b.EmitAt("high", masm.I{Const: 2, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT, Flow: masm.Goto("done")})
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 2 {
+		t.Errorf("dispatch256(0xC3) landed wrong: T=%d", m.T(0))
+	}
+}
+
+func TestMultiplyMicrocode(t *testing.T) {
+	// Full 16-step multiply in microcode: Q=multiplier, RM1=multiplicand,
+	// T accumulates; loop via COUNT.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 0xFF00, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT}) // T=0xFF00 temp
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutQ})                                             // Q=0xFF00 (multiplier)
+	b.Emit(masm.I{Const: 0x00FF, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})     // RM1=0x00FF
+	b.Emit(masm.I{Const: 0, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})                 // T=0
+	b.Emit(masm.I{FF: microcode.FFCountBase + 15})
+	b.EmitAt("mul", masm.I{FF: microcode.FFMulStep, A: microcode.ASelT, B: microcode.BSelRM, R: 1, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "mul")})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	got := uint32(m.T(0))<<16 | uint32(m.Q())
+	if got != 0xFF00*0x00FF {
+		t.Errorf("product = %#x, want %#x", got, 0xFF00*0x00FF)
+	}
+}
+
+func TestHaltFromUnusedStore(t *testing.T) {
+	// Jumping into unplaced microstore halts instead of executing garbage.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 0x0FFF, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutLink})
+	b.Emit(masm.I{Flow: masm.Return()}) // top of the store: never placed
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.HaltPC() != 0x0FFF {
+		t.Errorf("halted at %v, want 0FF.F", m.HaltPC())
+	}
+}
+
+func TestIOAddressAndLoopback(t *testing.T) {
+	// Covered in sched_test.go with devices; here: IOADDRESS put/get.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 7, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutIOAddress})
+	b.Emit(masm.I{FF: microcode.FFGetIOAddress, LC: microcode.LCLoadRM, R: 2})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.RM(2) != 7 {
+		t.Errorf("IOADDRESS readback = %d", m.RM(2))
+	}
+}
+
+func TestLoadBothWritesRMAndT(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 0x00AB, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadBoth, R: 6})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.RM(6) != 0x00AB || m.T(0) != 0x00AB {
+		t.Errorf("LoadBoth: RM6=%#x T=%#x", m.RM(6), m.T(0))
+	}
+}
+
+func TestStackOverflowSetsError(t *testing.T) {
+	// 64 pushes fit stack 0 exactly... the 64th crosses into word 0 again:
+	// pushing from word 63 wraps and must flag.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFCountBase + 14}) // 15 iterations of 4+... use explicit loop of 63 pushes? Use COUNT 62.
+	b.Emit(masm.I{Const: 62, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutCount})
+	b.EmitAt("push", masm.I{Const: 1, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, Block: true, R: 1,
+		Flow: masm.Branch(microcode.CondCountNZ, "more", "push")})
+	// 63 pushes done (ptr=63); no error yet.
+	b.EmitAt("more", masm.I{Flow: masm.Branch(microcode.CondStackError, "ok1", "bad")})
+	b.EmitAt("ok1", masm.I{Const: 1, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, Block: true, R: 1}) // the 64th push: overflow
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondStackError, "bad2", "flagged")})
+	b.EmitAt("bad", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	b.EmitAt("bad2", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	b.EmitAt("flagged", masm.I{Const: 0x0042, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 10_000)
+	if m.T(0) != 0x0042 {
+		t.Fatalf("overflow detection path wrong (T=%#x, STKP=%d)", m.T(0), m.StackPtr())
+	}
+}
+
+func TestDispatch8FromQ(t *testing.T) {
+	// The dispatch selector comes from the B bus; any B source works.
+	b := masm.NewBuilder()
+	labels := []string{"q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"}
+	b.EmitAt("start", masm.I{Const: 6, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutQ})
+	b.Emit(masm.I{B: microcode.BSelQ, Flow: masm.Dispatch8(labels...)})
+	for i, l := range labels {
+		b.EmitAt(l, masm.I{Const: uint16(i), HasConst: true, ALU: microcode.ALUB,
+			LC: microcode.LCLoadT, Flow: masm.Goto("fin")})
+	}
+	b.EmitAt("fin", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 6 {
+		t.Errorf("dispatch on Q landed at %d", m.T(0))
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/ifu"
+	"dorado/internal/masm"
+	"dorado/internal/memory"
+	"dorado/internal/microcode"
+)
+
+// TestFaultTaskHandlesWriteProtect wires the whole fault path: task 0
+// stores into a write-protected page; the memory records the fault and the
+// machine wakes the fault task, whose microcode reads (and clears) the
+// fault registers and counts the event — the Dorado discipline of treating
+// faults as service requests rather than traps.
+func TestFaultTaskHandlesWriteProtect(t *testing.T) {
+	b := masm.NewBuilder()
+	// Task 0: two stores into page 6 (write-protected), then spin counting.
+	b.EmitAt("start", masm.I{Const: 6 * 256, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT})
+	// The fault register holds a single fault: give the handler time to
+	// service the first before raising the second (back-to-back faults
+	// coalesce, exactly like a device re-requesting before NotifyNext).
+	b.Emit(masm.I{FF: microcode.FFCountBase + 10})
+	b.EmitAt("gap", masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "gap")})
+	b.Emit(masm.I{A: microcode.ASelRM, R: 1, ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT})
+	b.EmitAt("spin", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0,
+		LC: microcode.LCLoadRM, Flow: masm.Goto("spin")})
+	// Task 14, the fault handler: record FaultHi into RM4, FaultLo into
+	// RM5 (clearing the fault), bump the fault count in RM6, block.
+	b.EmitAt("fault", masm.I{FF: microcode.FFGetFaultHi, LC: microcode.LCLoadRM, R: 4})
+	b.Emit(masm.I{FF: microcode.FFGetFaultLo, LC: microcode.LCLoadRM, R: 5})
+	b.Emit(masm.I{A: microcode.ASelRM, R: 6, ALU: microcode.ALUAplus1,
+		LC: microcode.LCLoadRM, Block: true, Flow: masm.Goto("fault")})
+	m, p := buildMachineProg(t, Config{FaultTask: 14}, b)
+	m.SetTPC(14, p.MustEntry("fault"))
+	m.Mem().SetMapFlags(6, memory.MapFlags{WP: true})
+	for m.Cycle() < 200 {
+		m.Step()
+	}
+	if m.RM(6) != 2 {
+		t.Fatalf("fault task handled %d faults, want 2", m.RM(6))
+	}
+	wantHi := uint16(memory.FaultWP)<<12 | uint16((6*256)>>16)
+	if m.RM(4) != wantHi {
+		t.Errorf("FaultHi = %#04x, want %#04x", m.RM(4), wantHi)
+	}
+	if m.RM(5) != 6*256+1 {
+		t.Errorf("FaultLo = %#04x, want %#04x (second fault's VA)", m.RM(5), 6*256+1)
+	}
+	// The faulting stores were suppressed.
+	if m.Mem().Peek(6*256) != 0 || m.Mem().Peek(6*256+1) != 0 {
+		t.Error("write-protected page was modified")
+	}
+	// Task 0 kept running throughout (faults are not traps).
+	if m.RM(0) == 0 {
+		t.Error("emulator never resumed after faults")
+	}
+}
+
+// TestIFULoadsMemBaseOnDispatch exercises §6.3.3's "MEMBASE can be loaded
+// from the IFU at the start of a macroinstruction".
+func TestIFULoadsMemBaseOnDispatch(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Flow: masm.IFUJump()})
+	// The handler fetches displacement 1 using whatever MEMBASE the
+	// dispatch installed.
+	b.EmitAt("h", masm.I{Const: 1, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+	b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+	b.Emit(masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	m.Mem().SetBase(12, 0x8000)
+	m.Mem().Poke(0x8001, 0x0AFE)
+	m.Mem().Poke(0x4000, 0x0100) // code: one opcode byte 1
+	u := m.IFU()
+	u.SetCodeBase(0x4000)
+	u.SetEntry(1, ifu.Entry{Handler: p.MustEntry("h"), LoadMemBase: true, MemBase: 12, Name: "MBOP"})
+	u.Reset(0, 0)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 0x0AFE {
+		t.Fatalf("fetch used wrong base: T=%#04x", m.T(0))
+	}
+	if m.MemBase() != 12 {
+		t.Errorf("MEMBASE = %d after dispatch", m.MemBase())
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dorado/internal/device"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// loadT emits T ← v (v must satisfy the §5.9 one-instruction rule).
+func loadT(v uint16) masm.I {
+	return masm.I{Const: v, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT}
+}
+
+// loadT2 emits the §5.9 two-instruction form for constants whose bytes are
+// both "interesting": T ← hi·256, then T ← T OR lo.
+func loadT2(b *masm.Builder, v uint16) {
+	b.Emit(masm.I{Const: v & 0xFF00, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Const: v & 0x00FF, HasConst: true, ALU: microcode.ALUAorB,
+		A: microcode.ASelT, LC: microcode.LCLoadT})
+}
+
+func TestCPRegThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", loadT(0x00AB))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFCPRegPut})
+	b.Emit(masm.I{FF: microcode.FFCPRegGet, LC: microcode.LCLoadRM, R: 2})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.CPReg() != 0x00AB || m.RM(2) != 0x00AB {
+		t.Errorf("CPREG=%#x RM2=%#x", m.CPReg(), m.RM(2))
+	}
+}
+
+func TestReadWriteTPCThroughMicrocode(t *testing.T) {
+	// WriteTPC: TPC[COUNT&15] ← B; ReadTPC: RESULT ← TPC[B&15].
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFCountBase + 7}) // target task 7
+	loadT2(b, 0x0123)
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFWriteTPC})
+	b.Emit(loadT(7))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFReadTPC, LC: microcode.LCLoadRM, R: 3})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.TPC(7) != 0x0123 {
+		t.Errorf("TPC[7] = %v", m.TPC(7))
+	}
+	if m.RM(3) != 0x0123 {
+		t.Errorf("ReadTPC = %#x", m.RM(3))
+	}
+}
+
+func TestReadyBExplicitWakeup(t *testing.T) {
+	// Task 0 readies task 6 explicitly (no device); task 6 runs two
+	// instructions and blocks forever.
+	b := masm.NewBuilder()
+	b.EmitAt("start", loadT(6))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFReadyB})
+	b.EmitAt("spin", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0,
+		LC: microcode.LCLoadRM, Flow: masm.Branch(microcode.CondCarry, "spin", "spin2")})
+	b.EmitAt("spin2", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m, p := buildMachineProg(t, Config{}, b)
+	m.SetTPC(6, p.MustEntry("svc"))
+	for m.Cycle() < 50 {
+		m.Step()
+	}
+	if m.RM(1) != 1 {
+		t.Errorf("explicitly-readied task ran %d times, want 1", m.RM(1))
+	}
+}
+
+func TestMapOpsThroughMicrocode(t *testing.T) {
+	// Map virtual page 3 to real page 5, then fetch through it.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 3 * 256, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, R: 1}) // A displacement inside vpage 3
+	b.Emit(loadT(5))
+	b.Emit(masm.I{A: microcode.ASelRM, R: 1, B: microcode.BSelT, FF: microcode.FFMapSet})
+	b.Emit(masm.I{A: microcode.ASelRM, R: 1, FF: microcode.FFMapGet, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+	b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadRM, R: 3})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	// Seed the real page through the (still identity) mapping of vpage 5.
+	m.Mem().Poke(5*256, 0x0777)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 5 {
+		t.Errorf("MapGet = %d, want 5", m.T(0))
+	}
+	if m.RM(3) != 0x0777 {
+		t.Errorf("fetch through map = %#x, want 0x0777", m.RM(3))
+	}
+}
+
+func TestFlushThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Const: 64, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1}) // load the line
+	b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelRM, R: 1, FF: microcode.FFFlushCache})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	if m.Mem().CacheResident(64) {
+		t.Error("line still resident after microcode flush")
+	}
+}
+
+func TestIOAttenCondition(t *testing.T) {
+	att := &attenDev{Nop: device.Nop{TaskNum: 4}}
+	b := masm.NewBuilder()
+	b.EmitAt("start", loadT(4))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutIOAddress})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondIOAtten, "calm", "urgent")})
+	b.EmitAt("calm", loadT(1))
+	b.Emit(masm.I{Flow: masm.Goto("done")})
+	b.EmitAt("urgent", loadT(2))
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	if err := m.Attach(att); err != nil {
+		t.Fatal(err)
+	}
+	att.atten = true
+	mustHalt(t, m, 100)
+	if m.T(0) != 2 {
+		t.Errorf("attention branch not taken: T=%d", m.T(0))
+	}
+}
+
+type attenDev struct {
+	device.Nop
+	atten bool
+}
+
+func (d *attenDev) Atten() bool { return d.atten }
+
+func TestCarryAndOverflowBranches(t *testing.T) {
+	b := masm.NewBuilder()
+	// 0xFFFF + 1 → carry, no signed overflow.
+	b.EmitAt("start", loadT(0xFFFF))
+	b.Emit(masm.I{A: microcode.ASelT, Const: 1, HasConst: true, ALU: microcode.ALUAplusB,
+		Flow: masm.Branch(microcode.CondCarry, "nc", "c")})
+	b.EmitAt("nc", masm.I{FF: microcode.FFHalt, Flow: masm.Self()}) // wrong
+	// 0x7FFF + 1 → overflow.
+	b.EmitAt("c", loadT(0x7FFF))
+	b.Emit(masm.I{A: microcode.ASelT, Const: 1, HasConst: true, ALU: microcode.ALUAplusB,
+		Flow: masm.Branch(microcode.CondOverflow, "novf", "ovf")})
+	b.EmitAt("novf", masm.I{FF: microcode.FFHalt, Flow: masm.Self()}) // wrong
+	b.EmitAt("ovf", loadT(0x00AA))
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x00AA {
+		t.Fatalf("halted on a wrong branch arm (T=%#x)", m.T(0))
+	}
+}
+
+func TestMBFlagThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFSetMB})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondMB, "clear", "set")})
+	b.EmitAt("clear", masm.I{FF: microcode.FFHalt, Flow: masm.Self()}) // wrong
+	b.EmitAt("set", masm.I{FF: microcode.FFClearMB})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondMB, "ok", "bad")})
+	b.EmitAt("ok", loadT(0x0042))
+	b.Halt()
+	b.EmitAt("bad", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.T(0) != 0x0042 {
+		t.Fatalf("MB flag path wrong (T=%#x)", m.T(0))
+	}
+}
+
+func TestDivideMicrocode(t *testing.T) {
+	// 32-bit ÷ 16-bit with DivStep: dividend T‖Q, divisor RM1.
+	b := masm.NewBuilder()
+	b.Label("start")
+	loadT2(b, 0x3039) // Q low = 12345
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutQ})
+	b.Emit(masm.I{Const: 0x0007, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(loadT(0)) // dividend high = 0
+	b.Emit(masm.I{FF: microcode.FFCountBase + 15})
+	b.EmitAt("div", masm.I{FF: microcode.FFDivStep, A: microcode.ASelT,
+		B: microcode.BSelRM, R: 1, LC: microcode.LCLoadT,
+		Flow: masm.Branch(microcode.CondCountNZ, "done", "div")})
+	b.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 1000)
+	if m.Q() != 12345/7 || m.T(0) != 12345%7 {
+		t.Errorf("12345/7 = q%d r%d, want q%d r%d", m.Q(), m.T(0), 12345/7, 12345%7)
+	}
+}
+
+func TestALUFMReprogramming(t *testing.T) {
+	// Reprogram ALUOp slot 15 (normally "0") to A+B with forced carry-in:
+	// a one-instruction A+B+1.
+	ctl := microcode.EncodeALUCtl(microcode.ALUCtl{Fn: microcode.ALUAplusB, Cin: microcode.CarryOne})
+	b := masm.NewBuilder()
+	b.EmitAt("start", loadT(uint16(ctl)))
+	b.Emit(masm.I{B: microcode.BSelT, ALU: 15, FF: microcode.FFPutALUFM})
+	b.Emit(loadT(20))
+	b.Emit(masm.I{A: microcode.ASelT, Const: 21, HasConst: true, ALU: 15, LC: microcode.LCLoadRM, R: 2})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.RM(2) != 42 {
+		t.Errorf("A+B+1 through reprogrammed ALUFM = %d, want 42", m.RM(2))
+	}
+}
+
+func TestALUShiftsThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", loadT(0x0081))
+	b.Emit(masm.I{A: microcode.ASelT, ALU: microcode.ALUA, FF: microcode.FFALULsh,
+		LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelT, ALU: microcode.ALUA, FF: microcode.FFALURsh,
+		LC: microcode.LCLoadRM, R: 2})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	mustHalt(t, m, 100)
+	if m.RM(1) != 0x0102 || m.RM(2) != 0x0040 {
+		t.Errorf("lsh=%#x rsh=%#x", m.RM(1), m.RM(2))
+	}
+}
+
+func TestShiftMaskMDThroughMicrocode(t *testing.T) {
+	// Field insert: merge T's low nibble into bits 4..7 of a memory word.
+	b2 := masm.NewBuilder()
+	b2.EmitAt("start", masm.I{Const: 0x0100, HasConst: true, ALU: microcode.ALUB,
+		LC: microcode.LCLoadRM, R: 1})
+	loadT2(b2, microcode.EncodeShiftCtl(microcode.FieldInsert(4, 4)))
+	b2.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutShiftCtl})
+	b2.Emit(loadT(0x000A))
+	b2.Emit(masm.I{A: microcode.ASelT, ALU: microcode.ALUA, LC: microcode.LCLoadRM, R: 2})
+	b2.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+	b2.Emit(masm.I{FF: microcode.FFShiftMaskMD, R: 2, LC: microcode.LCLoadT})
+	b2.Halt()
+	m := buildMachine(t, Config{}, b2)
+	m.Mem().Poke(0x0100, 0xF00F)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 0xF0AF {
+		t.Errorf("field insert = %#04x, want 0xf0af", m.T(0))
+	}
+}
+
+func TestBaseRegisterLoadsThroughMicrocode(t *testing.T) {
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFMemBaseBase + 9})
+	b.Emit(loadT(0x4000))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutBaseLo})
+	b.Emit(loadT(0x0002))
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutBaseHi})
+	b.Emit(masm.I{FF: microcode.FFGetBaseLo, LC: microcode.LCLoadRM, R: 2})
+	// Fetch displacement 1 through base 9 = 0x24000.
+	b.Emit(masm.I{Const: 1, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+	b.Emit(masm.I{A: microcode.ASelFetch, R: 1})
+	b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadRM, R: 3})
+	b.Halt()
+	m := buildMachine(t, Config{}, b)
+	m.Mem().Poke(0x24001, 0x0BEE)
+	mustHalt(t, m, 1000)
+	if m.Mem().Base(9) != 0x24000 {
+		t.Errorf("base 9 = %#x", m.Mem().Base(9))
+	}
+	if m.RM(2) != 0x4000 {
+		t.Errorf("GetBaseLo = %#x", m.RM(2))
+	}
+	if m.RM(3) != 0x0BEE {
+		t.Errorf("fetch through loaded base = %#x", m.RM(3))
+	}
+}
+
+// TestEmulatorInvariantUnderDeviceTiming is the zero-overhead property as
+// a randomized test: the emulator's final result is identical no matter
+// when devices interrupt.
+func TestEmulatorInvariantUnderDeviceTiming(t *testing.T) {
+	build := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 0x00FF, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+		b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutCount})
+		b.EmitAt("loop", masm.I{ALU: microcode.ALUAplusB, A: microcode.ASelRM, R: 0,
+			B: microcode.BSelT, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT,
+			Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+		b.Halt()
+		b.EmitAt("svc", masm.I{FF: microcode.FFInput, ALU: microcode.ALUAplus1,
+			A: microcode.ASelRM, R: 9, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+		return b
+	}
+	base := buildMachine(t, Config{}, build())
+	mustHalt(t, base, 100000)
+	want := base.RM(0)
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		m, p := buildMachineProg(t, Config{}, build())
+		for task := 3; task <= 8; task++ {
+			var at []uint64
+			for i := 0; i < 5; i++ {
+				at = append(at, uint64(rng.Intn(400)))
+			}
+			pr := newProbe(task, at...)
+			if err := m.Attach(pr); err != nil {
+				t.Fatal(err)
+			}
+			m.SetIOAddress(task, uint16(task))
+			m.SetTPC(task, p.MustEntry("svc"))
+		}
+		mustHalt(t, m, 100000)
+		if m.RM(0) != want {
+			t.Fatalf("trial %d: result %d under random interrupts, want %d", trial, m.RM(0), want)
+		}
+	}
+}
+
+// TestSharedCountSaveRestore documents §5.3's sharing rule: "count and q
+// are normally used only by the emulator. However, they can be used by
+// other tasks if their contents are explicitly saved and restored." A
+// device task that borrows COUNT with save/restore leaves the emulator's
+// loop unharmed.
+func TestSharedCountSaveRestore(t *testing.T) {
+	b := masm.NewBuilder()
+	// Emulator: a long COUNT loop.
+	b.EmitAt("start", masm.I{Const: 0x00C8, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutCount})
+	b.EmitAt("loop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+	b.Halt()
+	// Device: saves COUNT into its own RM register, runs a 3-iteration
+	// COUNT loop of its own, restores, blocks.
+	b.EmitAt("svc", masm.I{FF: microcode.FFGetCount, LC: microcode.LCLoadRM, R: 9})
+	b.Emit(masm.I{FF: microcode.FFCountBase + 2})
+	b.EmitAt("svcloop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 8, LC: microcode.LCLoadRM,
+		Flow: masm.Branch(microcode.CondCountNZ, "svcdone", "svcloop")})
+	b.EmitAt("svcdone", masm.I{B: microcode.BSelRM, R: 9, FF: microcode.FFPutCount})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m, p := buildMachineProg(t, Config{}, b)
+	pr := newProbe(8, 50, 150)
+	if err := m.Attach(pr); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTPC(8, p.MustEntry("svc"))
+	mustHalt(t, m, 10_000)
+	if m.RM(0) != 201 {
+		t.Errorf("emulator loop ran %d times, want 201 (COUNT corrupted?)", m.RM(0))
+	}
+	if m.RM(8) != 6 {
+		t.Errorf("device loop iterations = %d, want 6 (2 wakeups × 3)", m.RM(8))
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "math/bits"
+
+// Step advances the machine one 60 ns cycle, reproducing the task pipeline
+// of §6.2.1:
+//
+//	cycle c:   device wakeup lines latch into WAKEUP at t0
+//	           (arbitration during c produces BESTNEXTTASK)
+//	cycle c+1: NEXT = max(BESTNEXTTASK, THISTASK), or BESTNEXTTASK on Block;
+//	           devices see their number on NEXT and may drop the wakeup;
+//	           the winner's microinstruction is fetched via its TPC
+//	cycle c+2: the instruction executes
+//
+// which yields the paper's two-cycle wakeup-to-run latency and two-cycle
+// minimum allocation grain: a wakeup dropped when NEXT shows the task
+// number is latched too late to stop the *next* arbitration, so the task
+// always runs at least two instructions.
+func (m *Machine) Step() {
+	if m.halted {
+		return
+	}
+	now := m.cycle
+
+	// Device and IFU hardware advance first: lines raised during this
+	// cycle are visible to this cycle's WAKEUP latch.
+	for _, d := range m.devs {
+		if d != nil {
+			d.Tick(now)
+		}
+	}
+	m.ifu.Tick(now)
+
+	// WAKEUP latch (t0): device lines, READY flipflops, and task 0, which
+	// "requests service from the processor at all times" (§5.1). Latched
+	// *before* NotifyNext below, so a wakeup dropped because of this
+	// cycle's NEXT first disappears from the next latch — the 2-cycle grain.
+	lines := uint16(1) | m.ready
+	for t := 1; t < NumTasks; t++ {
+		if m.devs[t] != nil && m.devs[t].Wakeup() {
+			lines |= 1 << t
+		}
+	}
+
+	// Execute this cycle's instruction (or burn a DelayedBranch dead cycle).
+	var held, blocked bool
+	var nextPC = m.curPC
+	if m.stalls > 0 {
+		m.stalls--
+		m.stats.BranchStalls++
+		m.stats.TaskCycles[m.curTask]++
+	} else {
+		held, blocked, nextPC = m.exec(now)
+	}
+	if m.tracer != nil {
+		m.tracer.Trace(TraceEvent{
+			Cycle: now, Task: m.curTask, PC: m.curPC, Held: held, Word: m.im[m.curPC],
+		})
+	}
+
+	// NEXT computation: the running task keeps the processor until it
+	// blocks, unless a higher-priority task preempts (§6.2.1: "NEXT
+	// normally gets the larger of BESTNEXTTASK and THISTASK").
+	next := m.bestNext
+	if !blocked && m.curTask > next {
+		next = m.curTask
+	}
+
+	if next != m.curTask {
+		// The departing task's state is captured entirely by its TPC; that
+		// is the zero-overhead context switch of §5.3.
+		m.tasks[m.curTask].tpc = nextPC
+		if blocked {
+			m.ready &^= 1 << m.curTask
+			m.stats.Blocks++
+		} else {
+			// Preempted: remember to resume it (§6.2.1 READY flipflops).
+			m.ready |= 1 << m.curTask
+			m.stats.Preemptions++
+		}
+		m.stats.TaskSwitches++
+		m.lastTask = m.curTask
+		m.curTask = next
+		m.curPC = m.tasks[next].tpc
+	} else {
+		if blocked {
+			// Block with no other requester (or wakeup still latched):
+			// the task continues — the §6.2.1 "otherwise it will continue
+			// to run" case.
+			m.stats.Blocks++
+			m.ready &^= 1 << m.curTask
+		}
+		m.curPC = nextPC
+	}
+	// Service granted: clear the READY flipflop and let the device see its
+	// number on the NEXT bus (§6.2.1) — unless the machine is built with
+	// explicit notification (the grain-3 ablation).
+	m.ready &^= 1 << next
+	if !m.cfg.Options.ExplicitNotify && m.devs[next] != nil {
+		m.devs[next].NotifyNext(now)
+	}
+
+	// Arbitration: priority-encode this cycle's latch into BESTNEXTTASK
+	// for use in the next cycle's NEXT computation.
+	m.bestNext = 15 - bits.LeadingZeros16(lines)
+	m.cycle++
+}

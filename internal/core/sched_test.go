@@ -1,0 +1,413 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/device"
+	"dorado/internal/ifu"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// probe is a test device: it raises its wakeup at chosen cycles and drops
+// it when it sees its task on NEXT (like real controller hardware).
+type probe struct {
+	device.Nop
+	raiseAt  map[uint64]bool
+	wake     bool
+	notified []uint64
+	inputs   uint64
+}
+
+func newProbe(task int, at ...uint64) *probe {
+	p := &probe{Nop: device.Nop{TaskNum: task}, raiseAt: map[uint64]bool{}}
+	for _, c := range at {
+		p.raiseAt[c] = true
+	}
+	return p
+}
+
+func (p *probe) Tick(now uint64) {
+	if p.raiseAt[now] {
+		p.wake = true
+	}
+}
+func (p *probe) Wakeup() bool { return p.wake }
+func (p *probe) NotifyNext(now uint64) {
+	if p.wake {
+		p.notified = append(p.notified, now)
+	}
+	p.wake = false
+}
+func (p *probe) Input(now uint64) uint16 { p.inputs++; return uint16(p.inputs) }
+
+// emulatorLoop emits an endless task-0 loop incrementing RM0.
+func emulatorLoop(b *masm.Builder) {
+	b.EmitAt("start", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0, LC: microcode.LCLoadRM, Flow: masm.Goto("start")})
+}
+
+func TestWakeupToRunLatencyIsTwoCycles(t *testing.T) {
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	// Service: RM1++ then block back to the top.
+	b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m := buildMachine(t, Config{}, b)
+	p := newProbe(5, 10)
+	if err := m.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	prog := mustAssemble(t, b)
+	m.SetTPC(5, prog.MustEntry("svc"))
+
+	for m.Cycle() < 12 {
+		m.Step()
+		if m.RM(1) != 0 {
+			t.Fatalf("service ran before cycle 12 (at %d)", m.Cycle())
+		}
+	}
+	m.Step() // executes cycle 12
+	if m.RM(1) != 1 {
+		t.Fatalf("service did not run at cycle 12 (wakeup+2); RM1=%d", m.RM(1))
+	}
+	// NEXT showed the task number one cycle earlier.
+	if len(p.notified) != 1 || p.notified[0] != 11 {
+		t.Errorf("NotifyNext at %v, want [11]", p.notified)
+	}
+}
+
+// mustAssemble re-assembles a builder (builders are single-shot per
+// Assemble; tests that need symbols assemble once and share).
+func mustAssemble(t *testing.T, b *masm.Builder) *masm.Program {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTwoInstructionGrain(t *testing.T) {
+	// A two-instruction service runs exactly twice per wakeup-service; a
+	// one-instruction service (block on the first instruction) still runs
+	// two instructions, because the wakeup is cleared from the pipe one
+	// latch too late (§6.2.1: "otherwise it will continue to run").
+	run := func(oneInst bool) (svcRuns uint16, m *Machine) {
+		b := masm.NewBuilder()
+		emulatorLoop(b)
+		if oneInst {
+			b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM,
+				Block: true, Flow: masm.Goto("svc")})
+		} else {
+			b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+			b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+		}
+		m = buildMachine(t, Config{}, b)
+		p := newProbe(5, 10)
+		if err := m.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+		m.SetTPC(5, mustAssemble(t, b).MustEntry("svc"))
+		for m.Cycle() < 40 {
+			m.Step()
+		}
+		return m.RM(1), m
+	}
+	if inc, _ := run(false); inc != 1 {
+		t.Errorf("2-instruction service incremented %d times per wakeup, want 1", inc)
+	}
+	// One-instruction service: the task re-runs once before leaving, so the
+	// counter advances by 2 for a single wakeup.
+	if inc, _ := run(true); inc != 2 {
+		t.Errorf("1-instruction service incremented %d times, want 2 (the §6.2.1 grain)", inc)
+	}
+}
+
+func TestPreemptionPreservesEmulatorResult(t *testing.T) {
+	// Task 0 sums COUNT down from 199; a device interrupts every 50 cycles.
+	// The final sum must be identical to an undisturbed run: context
+	// switches are invisible to the preempted microcode (§5.2).
+	build := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 0x00C7, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+		b.Emit(masm.I{B: microcode.BSelT, FF: microcode.FFPutCount})
+		// loop: RM0 += COUNT (via Get) ... simpler: RM0++ each iteration.
+		b.EmitAt("loop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+		b.Halt()
+		b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+		return b
+	}
+	// Undisturbed run.
+	b1 := build()
+	m1 := buildMachine(t, Config{}, b1)
+	mustHalt(t, m1, 10000)
+	want := m1.RM(0)
+	quiet := m1.Cycle()
+
+	// Interrupted run.
+	b2 := build()
+	m2 := buildMachine(t, Config{}, b2)
+	p := newProbe(7, 50, 100, 150, 200, 250, 300)
+	if err := m2.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m2.SetTPC(7, mustAssemble(t, b2).MustEntry("svc"))
+	mustHalt(t, m2, 10000)
+	if m2.RM(0) != want {
+		t.Errorf("interrupted emulator computed %d, undisturbed %d", m2.RM(0), want)
+	}
+	if m2.RM(1) != 6 {
+		t.Errorf("services run = %d, want 6", m2.RM(1))
+	}
+	st := m2.Stats()
+	if st.Preemptions == 0 {
+		t.Error("no preemptions recorded")
+	}
+	// Zero-overhead switching: the interrupted run is longer only by the
+	// service instructions themselves (2 per wakeup), nothing else.
+	if got := m2.Cycle() - quiet; got != 6*2 {
+		t.Errorf("interruption overhead = %d cycles, want exactly 12 (6 services × 2 instructions)", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// Two devices wake simultaneously; the higher task number runs first.
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	b.EmitAt("svc5", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 5, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc5")})
+	b.EmitAt("svc9", masm.I{ALU: microcode.ALUA, A: microcode.ASelRM, R: 5, LC: microcode.LCLoadRM, B: microcode.BSelRM}) // copy RM5 snapshot
+	b.Emit(masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 9, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc9")})
+	m := buildMachine(t, Config{}, b)
+	p5, p9 := newProbe(5, 10), newProbe(9, 10)
+	if err := m.Attach(p5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(p9); err != nil {
+		t.Fatal(err)
+	}
+	prog := mustAssemble(t, b)
+	m.SetTPC(5, prog.MustEntry("svc5"))
+	m.SetTPC(9, prog.MustEntry("svc9"))
+	for m.Cycle() < 40 {
+		m.Step()
+	}
+	if m.RM(9) != 1 || m.RM(5) != 1 {
+		t.Fatalf("both services should have run: RM9=%d RM5=%d", m.RM(9), m.RM(5))
+	}
+	// Task 9 ran first: when it snapshotted RM5 (first service instruction),
+	// task 5 had not run yet.
+	if len(p9.notified) == 0 || len(p5.notified) == 0 || p9.notified[0] >= p5.notified[0] {
+		t.Errorf("priority order wrong: task9 notified %v, task5 %v", p9.notified, p5.notified)
+	}
+}
+
+func TestHigherPriorityRunsDuringHold(t *testing.T) {
+	// Task 0 misses in the cache and uses MD immediately: ~25 held cycles.
+	// A device waking inside that window is serviced without delaying the
+	// emulator at all (§5.7: "Cycles which would otherwise be dead time are
+	// consumed instead by higher priority tasks doing useful work").
+	build := func() *masm.Builder {
+		b := masm.NewBuilder()
+		b.EmitAt("start", masm.I{Const: 0x4000, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, R: 1})
+		b.Emit(masm.I{A: microcode.ASelFetch, R: 1})                                    // cold miss
+		b.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelMD, LC: microcode.LCLoadT}) // holds ~25 cycles
+		b.Halt()
+		b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 2, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+		return b
+	}
+	b1 := build()
+	m1 := buildMachine(t, Config{}, b1)
+	mustHalt(t, m1, 1000)
+	quiet := m1.Cycle()
+
+	b2 := build()
+	m2 := buildMachine(t, Config{}, b2)
+	p := newProbe(11, 5) // wakes while the emulator is held
+	if err := m2.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m2.SetTPC(11, mustAssemble(t, b2).MustEntry("svc"))
+	mustHalt(t, m2, 1000)
+	if m2.RM(2) != 1 {
+		t.Fatalf("device not serviced during hold")
+	}
+	if m2.Cycle() != quiet {
+		t.Errorf("service during hold cost %d extra cycles, want 0 (quiet %d, busy %d)",
+			int64(m2.Cycle())-int64(quiet), quiet, m2.Cycle())
+	}
+	if m2.Stats().TaskCycles[11] == 0 {
+		t.Error("task 11 cycles not accounted")
+	}
+}
+
+func TestBlockReturnsToEmulator(t *testing.T) {
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m := buildMachine(t, Config{}, b)
+	p := newProbe(5, 10)
+	if err := m.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTPC(5, mustAssemble(t, b).MustEntry("svc"))
+	for m.Cycle() < 100 {
+		m.Step()
+	}
+	st := m.Stats()
+	if st.Blocks == 0 {
+		t.Error("no blocks recorded")
+	}
+	// The emulator got every cycle except the service's two instructions
+	// (and kept running afterwards).
+	if st.TaskCycles[0] != st.Cycles-2 {
+		t.Errorf("task0 cycles = %d of %d, want all but 2", st.TaskCycles[0], st.Cycles)
+	}
+}
+
+func TestExplicitNotifyAblation(t *testing.T) {
+	// In ExplicitNotify mode the device never sees NEXT; without an ack its
+	// wakeup stays up and the task keeps getting service. Microcode with an
+	// FF IOAttenAck (one extra instruction) services correctly — the §6.2.1
+	// three-cycle grain.
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	// The acknowledgement must be in the FIRST service instruction, and even
+	// then its effect reaches the arbitration pipeline one latch later — so
+	// the task cannot block before its THIRD instruction (§6.2.1: "the
+	// notification could not be done earlier than the first instruction ...
+	// the grain would be three cycles").
+	b.EmitAt("svc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM,
+		FF: microcode.FFIOAttenAck})
+	b.Emit(masm.I{})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("svc")})
+	m := buildMachine(t, Config{Options: Options{ExplicitNotify: true}}, b)
+	p := newProbe(5, 10)
+	if err := m.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetIOAddress(5, 5)
+	m.SetTPC(5, mustAssemble(t, b).MustEntry("svc"))
+	for m.Cycle() < 60 {
+		m.Step()
+	}
+	if m.RM(1) != 1 {
+		t.Errorf("explicit-notify service ran %d times, want exactly 1", m.RM(1))
+	}
+	if len(p.notified) != 1 {
+		t.Errorf("device acked %d times", len(p.notified))
+	}
+	// Grain: task 5 consumed exactly 3 cycles.
+	if got := m.Stats().TaskCycles[5]; got != 3 {
+		t.Errorf("task5 cycles = %d, want 3 (the grain-3 ablation)", got)
+	}
+}
+
+func TestSlowIOInputToMemory(t *testing.T) {
+	// The disk idiom: one instruction moves a device word to memory while
+	// incrementing the buffer pointer (§5.8 "memory reference and I/O
+	// transfer in a single instruction").
+	b := masm.NewBuilder()
+	emulatorLoop(b)
+	// svc: T←Input; then mem[RM1]←T, RM1++; then mem[RM1]←Input, RM1++, block.
+	b.EmitAt("svc", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT, ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput, ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+		Block: true, Flow: masm.Goto("svc")})
+	m := buildMachine(t, Config{}, b)
+	p := newProbe(6, 20)
+	if err := m.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetIOAddress(6, 6)
+	m.SetTPC(6, mustAssemble(t, b).MustEntry("svc"))
+	m.SetRM(1, 0x300) // buffer pointer
+	for m.Cycle() < 200 {
+		m.Step()
+	}
+	if m.Mem().Peek(0x300) != 1 || m.Mem().Peek(0x301) != 2 {
+		t.Errorf("device words not in memory: %d,%d", m.Mem().Peek(0x300), m.Mem().Peek(0x301))
+	}
+	if m.RM(1) != 0x302 {
+		t.Errorf("buffer pointer = %#x, want 0x302", m.RM(1))
+	}
+}
+
+func TestIFUMacroProgram(t *testing.T) {
+	// A two-opcode macro machine: INC (T++) and HALTOP, each handler one
+	// microinstruction ending in IFUJump.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Flow: masm.IFUJump()}) // boot: dispatch first opcode
+	b.EmitAt("inc", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT, Flow: masm.IFUJump()})
+	b.EmitAt("haltop", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+
+	// Macroprogram: 5 × INC, then HALT.
+	code := []byte{1, 1, 1, 1, 1, 2}
+	for i := 0; i+1 < len(code); i += 2 {
+		m.Mem().Poke(0x4000+uint32(i/2), uint16(code[i])<<8|uint16(code[i+1]))
+	}
+	u := m.IFU()
+	u.SetCodeBase(0x4000)
+	if err := u.SetEntry(1, ifu.Entry{Handler: p.MustEntry("inc"), Name: "INC"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SetEntry(2, ifu.Entry{Handler: p.MustEntry("haltop"), Name: "HALT"}); err != nil {
+		t.Fatal(err)
+	}
+	u.Reset(0, 0)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 5 {
+		t.Errorf("T = %d, want 5", m.T(0))
+	}
+	// Steady-state: each INC is one microinstruction — one cycle each once
+	// the IFU buffer is warm. Total should be small.
+	if m.Cycle() > 30 {
+		t.Errorf("macro program took %d cycles; IFU pipelining broken", m.Cycle())
+	}
+}
+
+func TestIFUOperandDelivery(t *testing.T) {
+	// Opcode with alpha operand: T ← T + alpha.
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{Flow: masm.IFUJump()})
+	b.EmitAt("addi", masm.I{ALU: microcode.ALUAplusB, A: microcode.ASelIFUData, B: microcode.BSelT, LC: microcode.LCLoadT, Flow: masm.IFUJump()})
+	b.EmitAt("haltop", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	code := []byte{1, 10, 1, 20, 1, 30, 2, 0}
+	for i := 0; i+1 < len(code); i += 2 {
+		m.Mem().Poke(0x4000+uint32(i/2), uint16(code[i])<<8|uint16(code[i+1]))
+	}
+	u := m.IFU()
+	u.SetCodeBase(0x4000)
+	u.SetEntry(1, ifu.Entry{Handler: p.MustEntry("addi"), Operands: 1, Name: "ADDI"})
+	u.SetEntry(2, ifu.Entry{Handler: p.MustEntry("haltop"), Name: "HALT"})
+	u.Reset(0, 0)
+	mustHalt(t, m, 1000)
+	if m.T(0) != 60 {
+		t.Errorf("T = %d, want 60", m.T(0))
+	}
+}

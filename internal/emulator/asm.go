@@ -1,0 +1,175 @@
+package emulator
+
+import (
+	"fmt"
+
+	"dorado/internal/core"
+	"dorado/internal/microcode"
+)
+
+// Asm assembles macroinstruction byte programs against an emulator's
+// opcode table, with labels and wide-operand fixups.
+type Asm struct {
+	prog   *Program
+	code   []byte
+	labels map[string]uint16
+	fix    []fixup
+	err    error
+}
+
+type fixup struct {
+	pos   int
+	label string
+}
+
+// NewAsm returns an assembler for p's instruction set.
+func NewAsm(p *Program) *Asm {
+	return &Asm{prog: p, labels: map[string]uint16{}}
+}
+
+func (a *Asm) fail(format string, args ...any) *Asm {
+	if a.err == nil {
+		a.err = fmt.Errorf("emulator asm: "+format, args...)
+	}
+	return a
+}
+
+func (a *Asm) opcode(name string, wantOperands int) (uint8, bool) {
+	op, ok := a.prog.Opcodes[name]
+	if !ok {
+		a.fail("unknown opcode %q", name)
+		return 0, false
+	}
+	e := a.prog.Table[op]
+	if e.Operands != wantOperands {
+		a.fail("opcode %q takes %d operand bytes, got %d", name, e.Operands, wantOperands)
+		return 0, false
+	}
+	return op, true
+}
+
+// Label defines a label at the current byte PC.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		return a.fail("duplicate label %q", name)
+	}
+	a.labels[name] = uint16(len(a.code))
+	return a
+}
+
+// PC returns the current byte position.
+func (a *Asm) PC() uint16 { return uint16(len(a.code)) }
+
+// LabelPC returns the byte position of a defined label.
+func (a *Asm) LabelPC(name string) (uint16, error) {
+	pc, ok := a.labels[name]
+	if !ok {
+		return 0, fmt.Errorf("emulator asm: no label %q", name)
+	}
+	return pc, nil
+}
+
+// Op emits a zero-operand opcode.
+func (a *Asm) Op(name string) *Asm {
+	if op, ok := a.opcode(name, 0); ok {
+		a.code = append(a.code, op)
+	}
+	return a
+}
+
+// OpB emits an opcode with a one-byte operand.
+func (a *Asm) OpB(name string, operand uint8) *Asm {
+	if op, ok := a.opcode(name, 1); ok {
+		a.code = append(a.code, op, operand)
+	}
+	return a
+}
+
+// OpW emits an opcode with a wide (two-byte) operand.
+func (a *Asm) OpW(name string, operand uint16) *Asm {
+	if op, ok := a.opcode(name, 2); ok {
+		if !a.prog.Table[op].Wide {
+			return a.fail("opcode %q takes two byte operands; use OpB2", name)
+		}
+		a.code = append(a.code, op, uint8(operand>>8), uint8(operand))
+	}
+	return a
+}
+
+// OpB2 emits an opcode with two independent one-byte operands.
+func (a *Asm) OpB2(name string, b1, b2 uint8) *Asm {
+	if op, ok := a.opcode(name, 2); ok {
+		if a.prog.Table[op].Wide {
+			return a.fail("opcode %q takes one wide operand; use OpW", name)
+		}
+		a.code = append(a.code, op, b1, b2)
+	}
+	return a
+}
+
+// OpL emits an opcode whose wide operand is the byte PC of a label,
+// resolved when Bytes is called.
+func (a *Asm) OpL(name, label string) *Asm {
+	if op, ok := a.opcode(name, 2); ok {
+		a.fix = append(a.fix, fixup{pos: len(a.code) + 1, label: label})
+		a.code = append(a.code, op, 0, 0)
+	}
+	return a
+}
+
+// Bytes resolves fixups and returns the program.
+func (a *Asm) Bytes() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, f := range a.fix {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("emulator asm: undefined label %q", f.label)
+		}
+		a.code[f.pos] = uint8(target >> 8)
+		a.code[f.pos+1] = uint8(target)
+	}
+	return a.code, nil
+}
+
+// Install loads the assembled bytes into the machine's code area.
+func (a *Asm) Install(m *core.Machine) error {
+	code, err := a.Bytes()
+	if err != nil {
+		return err
+	}
+	LoadCode(m, code)
+	return nil
+}
+
+// ExtractCtl returns the RF wide operand (a SHIFTCTL register value) that
+// extracts the w-bit field at bit position pos of a memory word.
+func ExtractCtl(pos, w uint8) uint16 {
+	return microcode.EncodeShiftCtl(microcode.FieldExtract(pos, w))
+}
+
+// InsertCtl returns the WF wide operand that inserts a right-justified
+// w-bit value at bit position pos of a memory word.
+func InsertCtl(pos, w uint8) uint16 {
+	return microcode.EncodeShiftCtl(microcode.FieldInsert(pos, w))
+}
+
+// DefineFunc writes a two-word function header {entry byte PC, nargs} at
+// word `slot` of the global area; CALL's wide operand names the slot.
+func DefineFunc(m *core.Machine, slot uint16, entryPC uint16, nargs uint16) {
+	m.Mem().Poke(VAGlobal+uint32(slot), entryPC)
+	m.Mem().Poke(VAGlobal+uint32(slot)+1, nargs)
+}
+
+// DefineLispFunc writes a Lisp function header {entry byte PC, nargs,
+// parameter symbol addresses...} at global slot; each symbol address names
+// a two-word value cell (used for shallow binding).
+func DefineLispFunc(m *core.Machine, slot uint16, entryPC uint16, syms []uint16) {
+	mem := m.Mem()
+	mem.Poke(VAGlobal+uint32(slot), entryPC)
+	mem.Poke(VAGlobal+uint32(slot)+1, uint16(len(syms)))
+	for i, sym := range syms {
+		mem.Poke(VAGlobal+uint32(slot)+2+uint32(i), sym)
+	}
+}

@@ -1,0 +1,52 @@
+package emulator
+
+import (
+	"testing"
+
+	"dorado/internal/core"
+)
+
+// benchMesa runs a Mesa loop workload once per iteration, reporting
+// simulated macroinstructions per host second.
+func BenchmarkMesaEmulation(b *testing.B) {
+	p, err := BuildMesa()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewAsm(p)
+	a.OpB("LIB", 200).OpB("SL", 4)
+	a.Label("loop")
+	a.OpB("LL", 4).OpW("LIW", 1).Op("SUB").OpB("SL", 4)
+	a.OpB("LL", 4).OpL("JNZ", "loop")
+	a.Op("HALT")
+	if err := a.Install(m); err != nil {
+		b.Fatal(err)
+	}
+	var macro uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.InstallOn(m); err != nil {
+			b.Fatal(err)
+		}
+		if !m.Run(10_000_000) {
+			b.Fatal("did not halt")
+		}
+		macro += m.IFU().Stats().Dispatches
+	}
+	b.ReportMetric(float64(macro)/float64(b.N), "macroinst/op")
+}
+
+// BenchmarkBuildEmulators measures microcode assembly of all four.
+func BenchmarkBuildEmulators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, f := range []func() (*Program, error){BuildMesa, BuildBCPL, BuildLisp, BuildSmalltalk} {
+			if _, err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

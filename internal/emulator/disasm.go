@@ -1,0 +1,43 @@
+package emulator
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a macroinstruction byte stream against an emulator's
+// decode table, one instruction per line with byte offsets — the
+// macro-level counterpart of masm.Program.Listing.
+func Disassemble(p *Program, code []byte) string {
+	var b strings.Builder
+	i := 0
+	for i < len(code) {
+		op := code[i]
+		e := p.Table[op]
+		if !e.Valid {
+			fmt.Fprintf(&b, "%4d: %02x          ??\n", i, op)
+			i++
+			continue
+		}
+		switch {
+		case e.Operands == 0:
+			fmt.Fprintf(&b, "%4d: %02x          %s\n", i, op, e.Name)
+			i++
+		case e.Operands == 1 && i+1 < len(code):
+			fmt.Fprintf(&b, "%4d: %02x %02x       %s %d\n", i, op, code[i+1], e.Name, code[i+1])
+			i += 2
+		case e.Operands == 2 && i+2 < len(code):
+			if e.Wide {
+				v := uint16(code[i+1])<<8 | uint16(code[i+2])
+				fmt.Fprintf(&b, "%4d: %02x %02x %02x    %s %d\n", i, op, code[i+1], code[i+2], e.Name, v)
+			} else {
+				fmt.Fprintf(&b, "%4d: %02x %02x %02x    %s %d,%d\n", i, op, code[i+1], code[i+2], e.Name, code[i+1], code[i+2])
+			}
+			i += 3
+		default:
+			fmt.Fprintf(&b, "%4d: %02x          %s (truncated operands)\n", i, op, e.Name)
+			i = len(code)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+// Package emulator contains the byte-code emulators of §7 of the paper:
+// microcode interpreters for four language virtual machines — Mesa, BCPL,
+// Lisp, and Smalltalk — written against the internal/masm microassembler
+// and executed by the internal/core processor through the IFU.
+//
+// The paper's reported per-opcode costs, which experiment E2 reproduces:
+//
+//   - "A typical microinstruction sequence for a load or store instruction
+//     is only one or two microinstructions in Mesa (or BCPL), and five in
+//     Lisp."
+//   - "More complex operations (such as read/write field or array element)
+//     take five to ten microinstructions in Mesa and ten to twenty in Lisp.
+//     Note that Lisp does runtime checking of parameters, while in Mesa
+//     most checking is done at compile time."
+//   - "Function calls take about 50 microinstructions for Mesa and 200 for
+//     Lisp."
+//
+// Each emulator is an instruction-set *reconstruction* (the real Alto/Mesa
+// PrincOps, Interlisp and Smalltalk-76 byte codes are far larger): the
+// opcode families and their microcode structure — hardware evaluation
+// stack for Mesa, an accumulator for BCPL, two-word tagged items with a
+// memory stack and runtime type checks for Lisp, dynamic method lookup for
+// Smalltalk — are chosen so the per-class instruction counts land where
+// the paper reports them for structural reasons, not by tuning delays.
+//
+// Shared machine conventions (see layout.go): the hardware stack is the
+// Mesa/Smalltalk evaluation stack; memory base registers 2–6 address the
+// local frame, global area, memory stack, heap, and system page; RM bank 0
+// registers 8–15 are the emulator's pointer registers.
+package emulator

@@ -1,0 +1,63 @@
+package emulator
+
+import (
+	"fmt"
+
+	"dorado/internal/masm"
+)
+
+// SystemImage is the entire emulator suite in one microstore — the way the
+// production Dorado's writable store held all of its microcode at once
+// (§7's "essentially full microstore" was the emulators plus I/O handlers
+// plus BitBlt). Every component keeps its own pages; symbols carry a
+// component prefix ("mesa/boot", "lisp/l.callf", ...). A machine loaded
+// with the image can boot any of the four languages by installing that
+// language's view.
+type SystemImage struct {
+	// Micro is the combined microstore (shared by every view below).
+	Micro *masm.Program
+	// Mesa, BCPL, Lisp, Smalltalk are the per-language views: decode
+	// tables and boot addresses resolved against the combined image.
+	Mesa, BCPL, Lisp, Smalltalk *Program
+}
+
+// BuildSystemImage assembles the four emulators and splices them into a
+// single microstore image.
+func BuildSystemImage() (*SystemImage, error) {
+	type part struct {
+		name  string
+		build func() (*Program, error)
+	}
+	parts := []part{
+		{"mesa", BuildMesa},
+		{"bcpl", BuildBCPL},
+		{"lisp", BuildLisp},
+		{"smalltalk", BuildSmalltalk},
+	}
+	combined := masm.EmptyProgram()
+	for _, pt := range parts {
+		ep, err := pt.build()
+		if err != nil {
+			return nil, fmt.Errorf("emulator: image: %s: %v", pt.name, err)
+		}
+		combined, err = masm.SpliceAs(combined, ep.Micro, pt.name+"/")
+		if err != nil {
+			return nil, fmt.Errorf("emulator: image: splicing %s: %v", pt.name, err)
+		}
+	}
+	img := &SystemImage{Micro: combined}
+	var err error
+	if img.Mesa, err = finishMesa(combined, "mesa/"); err != nil {
+		return nil, err
+	}
+	if img.BCPL, err = finishBCPL(combined, "bcpl/"); err != nil {
+		return nil, err
+	}
+	if img.Lisp, err = finishLisp(combined, "lisp/"); err != nil {
+		return nil, err
+	}
+	if img.Smalltalk, err = finishSmalltalk(combined, "smalltalk/"); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

@@ -1,0 +1,237 @@
+package emulator
+
+import (
+	"testing"
+
+	"dorado/internal/core"
+)
+
+func TestMesaRecursiveFactorial(t *testing.T) {
+	// fact(n) = n==0 ? 1 : n*fact(n-1): true recursion through the frame
+	// free list.
+	m, _ := newMesaMachine(t, func(a *Asm) {
+		a.OpB("LIB", 7).OpW("CALL", 100)
+		a.Op("HALT")
+		a.Label("fact")
+		a.OpB("LL", 2).OpL("JZ", "base") // arg at frame slot 2
+		a.OpB("LL", 2).OpB("LL", 2).OpW("LIW", 1).Op("SUB")
+		a.OpW("CALL", 100) // fact(n-1)
+		a.Op("MUL")
+		a.Op("RET")
+		a.Label("base")
+		a.OpB("LIB", 1)
+		a.Op("RET")
+	})
+	// "fact" begins at byte 2+3+1 = 6.
+	DefineFunc(m, 100, 6, 1)
+	st := runToHalt(t, m, 1_000_000)
+	if len(st) != 1 || st[0] != 5040 {
+		t.Fatalf("7! = %v, want [5040]", st)
+	}
+}
+
+func TestMesaDeepRecursionReleasesFrames(t *testing.T) {
+	// 40 nested calls (the frame pool holds 95 spares): the free list must
+	// come back intact so a second deep call succeeds.
+	m, _ := newMesaMachine(t, func(a *Asm) {
+		a.OpB("LIB", 40).OpW("CALL", 100)
+		a.OpB("LIB", 40).OpW("CALL", 100)
+		a.Op("ADD")
+		a.Op("HALT")
+		a.Label("down")
+		a.OpB("LL", 2).OpL("JZ", "leaf")
+		a.OpB("LL", 2).OpW("LIW", 1).Op("SUB")
+		a.OpW("CALL", 100)
+		a.Op("INC")
+		a.Op("RET")
+		a.Label("leaf")
+		a.OpB("LIB", 0)
+		a.Op("RET")
+	})
+	DefineFunc(m, 100, 12, 1) // LIB(2)+CALL(3)+LIB(2)+CALL(3)+ADD(1)+HALT(1) = 12
+	st := runToHalt(t, m, 1_000_000)
+	if len(st) != 1 || st[0] != 80 {
+		t.Fatalf("two deep descents = %v, want [80]", st)
+	}
+}
+
+func TestMesaArraySum(t *testing.T) {
+	// Sum a 64-element vector through RF-free absolute fetches: build the
+	// address on the stack and use RF with a full-word descriptor.
+	m, _ := newMesaMachine(t, func(a *Asm) {
+		a.OpB("LIB", 0).OpB("SL", 5)  // acc
+		a.OpB("LIB", 64).OpB("SL", 4) // i = 64
+		a.Label("loop")
+		// addr = 0x0200 + i - 1
+		a.OpW("LIW", 0x0200-1+0).OpB("LL", 4).Op("ADD")
+		a.OpW("RF", ExtractCtl(0, 16)) // read the whole word
+		a.OpB("LL", 5).Op("ADD").OpB("SL", 5)
+		a.OpB("LL", 4).OpW("LIW", 1).Op("SUB").OpB("SL", 4)
+		a.OpB("LL", 4).OpL("JNZ", "loop")
+		a.OpB("LL", 5)
+		a.Op("HALT")
+	})
+	var want uint16
+	for i := 0; i < 64; i++ {
+		v := uint16(i * 3)
+		m.Mem().Poke(0x0200+uint32(i), v)
+		want += v
+	}
+	st := runToHalt(t, m, 1_000_000)
+	if len(st) != 1 || st[0] != want {
+		t.Fatalf("vector sum = %v, want [%d]", st, want)
+	}
+}
+
+func TestLispListBuildAndWalk(t *testing.T) {
+	// Build (1 2 3 4 5) with CONS, then walk it with CDR/CAR summing.
+	m := newLispMachine(t, func(a *Asm) {
+		a.Op("PUSHNIL")
+		for n := 5; n >= 1; n-- {
+			// (cons n list): stack wants [car, cdr] with cdr on top —
+			// current top is the list; push n then swap? No swap opcode:
+			// use locals.
+			a.OpB("POPL", 4)          // list → local
+			a.OpW("PUSHK", uint16(n)) // car
+			a.OpB("PUSHL", 4)         // cdr
+			a.Op("CONS")
+		}
+		// Sum the list into local 6.
+		a.OpW("PUSHK", 0).OpB("POPL", 6)
+		a.Label("walk")
+		a.OpB("POPL", 4)  // list → local
+		a.OpB("PUSHL", 4) // (two copies)
+		a.OpB("PUSHL", 4)
+		a.Op("CAR")
+		a.OpB("PUSHL", 6).Op("ADDF").OpB("POPL", 6) // acc += car
+		a.Op("CDR")
+		a.OpB("POPL", 4)
+		a.OpB("PUSHL", 4)
+		a.OpL("JNIL", "end")
+		a.OpB("PUSHL", 4)
+		a.OpL("JMP", "walk")
+		a.Label("end")
+		a.OpB("PUSHL", 6)
+		a.Op("HALT")
+	})
+	st := lispRun(t, m, 1_000_000)
+	if len(st) != 1 || st[0] != [2]uint16{TagFixnum, 15} {
+		t.Fatalf("list sum = %v, want [[1 15]]", st)
+	}
+}
+
+func TestLispRecursiveSum(t *testing.T) {
+	// f(n) = n==0(via JNIL? no zero test) ... use fixnum countdown with
+	// recursion: f(n) = n + f(n-1), base case detected by a counter local.
+	// Without a fixnum-zero jump opcode the macro compiler uses JNIL on a
+	// sentinel; simpler: fixed-depth recursion of 10 calls.
+	const symN = VAHeap + 0x400
+	m := newLispMachine(t, func(a *Asm) {
+		a.OpW("PUSHK", 10).OpW("CALLF", 200)
+		a.Op("HALT")
+		a.Label("f") // arg item in frame slots 4,5
+		// 9 more nested calls, each passing arg-1... emulate fixed depth by
+		// checking a global countdown is impractical here; instead call a
+		// second function that just doubles, proving nested CALLF/RETF
+		// under shallow binding.
+		a.OpB("PUSHL", 4).OpW("CALLF", 210)
+		a.Op("RETF")
+		a.Label("g")
+		a.OpB("PUSHL", 4).OpB("PUSHL", 4).Op("ADDF")
+		a.Op("RETF")
+	})
+	fPC := uint16(3 + 3 + 1) // PUSHK(3)+CALLF(3)+HALT(1)
+	gPC := fPC + 2 + 3 + 1   // PUSHL(2)+CALLF(3)+RETF(1)
+	DefineLispFunc(m, 200, fPC, []uint16{symN})
+	DefineLispFunc(m, 210, gPC, []uint16{symN + 8})
+	st := lispRun(t, m, 1_000_000)
+	if len(st) != 1 || st[0] != [2]uint16{TagFixnum, 20} {
+		t.Fatalf("f(10) = %v, want [[1 20]]", st)
+	}
+	// Bindings fully unwound.
+	if m.RM(15) != VABind {
+		t.Errorf("binding stack not rewound: %#x", m.RM(15))
+	}
+}
+
+func TestSmalltalkTwoClassesDispatch(t *testing.T) {
+	// The same selector dispatches to different methods by receiver class:
+	// Integer>>tag answers 1, Point>>tag answers 2.
+	m := newSTMachine(t, func(a *Asm) {
+		a.OpW("PUSHK", 5)
+		a.OpB2("SEND", 9, 0) // Integer>>tag
+		a.Op("PUSHSELF")
+		a.OpB2("SEND", 9, 0) // Point>>tag
+		a.Op("ADDI")
+		a.Op("HALT")
+		a.Label("itag")
+		a.OpW("PUSHK", 1)
+		a.Op("RETTOP")
+		a.Label("ptag")
+		a.OpW("PUSHK", 2)
+		a.Op("RETTOP")
+	})
+	buildSmalltalkWorld(m, [][2]uint16{{9, 330}}, [][2]uint16{{9, 340}})
+	// Bytes: PUSHK(3)+SEND(3)+PUSHSELF(1)+SEND(3)+ADDI(1)+HALT(1) = 12.
+	DefineFunc(m, 330, 12, 0)
+	DefineFunc(m, 340, 12+3+1, 0)
+	m.Mem().Poke(VAFrames+2, stPointObj)
+	st := stRun(t, m, 1_000_000)
+	want := uint16(3<<1 | 1)
+	if len(st) != 1 || st[0] != want {
+		t.Fatalf("polymorphic tags = %v, want [%d]", st, want)
+	}
+}
+
+func TestSmalltalkSendWithArguments(t *testing.T) {
+	// Point>>addX: arg — reads the argument from its frame (slot 3) and an
+	// instance variable, demonstrating argument passing through SEND.
+	m := newSTMachine(t, func(a *Asm) {
+		a.Op("PUSHSELF")
+		a.OpW("PUSHK", 12)
+		a.OpB2("SEND", 4, 1)
+		a.Op("HALT")
+		a.Label("addx")
+		a.OpB("PUSHIV", 1) // x = 30
+		a.OpB("PUSHL", 3)  // the argument (12, tagged)
+		a.Op("ADDI")
+		a.Op("RETTOP")
+	})
+	buildSmalltalkWorld(m, nil, [][2]uint16{{4, 350}})
+	DefineFunc(m, 350, 1+3+3+1, 0) // PUSHSELF+PUSHK+SEND+HALT = 8
+	m.Mem().Poke(VAFrames+2, stPointObj)
+	st := stRun(t, m, 1_000_000)
+	// x is stored tagged (30<<1|1 = 61); ADDI over tags: (61 + 25 - 1) = 85
+	// = (42<<1|1): 30+12 = 42 in SmallInteger arithmetic.
+	want := uint16(42<<1 | 1)
+	if len(st) != 1 || st[0] != want {
+		t.Fatalf("addX = %v, want [%d]", st, want)
+	}
+}
+
+// TestEmulatorsShareNoState is a hygiene check: building two systems and
+// running them interleaved cannot cross-contaminate (the builders are
+// reentrant; machines own all state).
+func TestEmulatorsShareNoState(t *testing.T) {
+	m1, _ := newMesaMachine(t, func(a *Asm) {
+		a.OpB("LIB", 11).Op("HALT")
+	})
+	m2, _ := newMesaMachine(t, func(a *Asm) {
+		a.OpB("LIB", 22).Op("HALT")
+	})
+	step := func(m *core.Machine) {
+		if !m.Halted() {
+			m.Step()
+		}
+	}
+	for i := 0; i < 200; i++ {
+		step(m1)
+		step(m2)
+	}
+	if !m1.Halted() || !m2.Halted() {
+		t.Fatal("machines did not halt")
+	}
+	if m1.Stack(1) != 11 || m2.Stack(1) != 22 {
+		t.Fatalf("cross-contamination: %d, %d", m1.Stack(1), m2.Stack(1))
+	}
+}

@@ -1,0 +1,148 @@
+package lispc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Sexpr is a parsed s-expression: an atom, a number, or a list. The
+// reader is shared with the other s-expression front ends (internal/stc).
+type Sexpr struct {
+	atom     string
+	isNumber bool
+	num      uint16
+	list     []*Sexpr
+	isList   bool
+}
+
+// Atom returns the atom text ("" for numbers and lists).
+func (e *Sexpr) Atom() string { return e.atom }
+
+// IsNumber reports whether e is a numeric literal.
+func (e *Sexpr) IsNumber() bool { return e.isNumber }
+
+// Number returns the numeric value (0 unless IsNumber).
+func (e *Sexpr) Number() uint16 { return e.num }
+
+// List returns the elements (nil for atoms).
+func (e *Sexpr) List() []*Sexpr { return e.list }
+
+// Head returns the leading atom of a list form ("" otherwise).
+func (e *Sexpr) Head() string {
+	if e.isList && len(e.list) > 0 {
+		return e.list[0].atom
+	}
+	return ""
+}
+
+func (e *Sexpr) isDefine() bool {
+	return e.isList && len(e.list) >= 3 && e.list[0].atom == "define"
+}
+
+// defineHead extracts (define (name params...) ...).
+func (e *Sexpr) defineHead() (name string, params []string, err error) {
+	head := e.list[1]
+	if !head.isList || len(head.list) == 0 || head.list[0].atom == "" {
+		return "", nil, fmt.Errorf("lispc: define needs (name params...)")
+	}
+	name = head.list[0].atom
+	for _, p := range head.list[1:] {
+		if p.atom == "" || p.isNumber {
+			return "", nil, fmt.Errorf("lispc: %s: parameter names must be atoms", name)
+		}
+		params = append(params, p.atom)
+	}
+	return name, params, nil
+}
+
+// ParseForms reads a sequence of top-level forms. Comments run from ';'
+// to end of line.
+func ParseForms(src string) ([]*Sexpr, error) {
+	p := &sparser{src: src}
+	var out []*Sexpr
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return out, nil
+		}
+		e, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+type sparser struct {
+	src string
+	pos int
+	ln  int
+}
+
+func (p *sparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *sparser) skipSpace() {
+	for !p.eof() {
+		ch := p.src[p.pos]
+		switch {
+		case ch == ';':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		case ch == '\n':
+			p.ln++
+			p.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *sparser) parse() (*Sexpr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, fmt.Errorf("lispc: unexpected end of input")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		e := &Sexpr{isList: true}
+		for {
+			p.skipSpace()
+			if p.eof() {
+				return nil, fmt.Errorf("lispc: unterminated list")
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				return e, nil
+			}
+			sub, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			e.list = append(e.list, sub)
+		}
+	}
+	if p.src[p.pos] == ')' {
+		return nil, fmt.Errorf("lispc: unexpected )")
+	}
+	start := p.pos
+	for !p.eof() && !strings.ContainsRune("() \t\r\n;", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	if word == "" {
+		return nil, fmt.Errorf("lispc: empty atom")
+	}
+	if unicode.IsDigit(rune(word[0])) || (word[0] == '-' && len(word) > 1 && unicode.IsDigit(rune(word[1]))) {
+		v, err := strconv.ParseInt(word, 0, 32)
+		if err != nil || v > 0xFFFF || v < -0x8000 {
+			return nil, fmt.Errorf("lispc: bad number %q", word)
+		}
+		return &Sexpr{isNumber: true, num: uint16(v)}, nil
+	}
+	return &Sexpr{atom: strings.ToLower(word)}, nil
+}

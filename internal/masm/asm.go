@@ -1,0 +1,221 @@
+package masm
+
+import (
+	"fmt"
+
+	"dorado/internal/microcode"
+)
+
+// Builder accumulates symbolic microinstructions and assembles them into a
+// placed microstore image.
+type Builder struct {
+	insts   []*inst
+	pending []string // labels waiting for the next Emit
+	err     error    // first construction error, reported by Assemble
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Label attaches a label to the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if name == "" {
+		b.setErr(fmt.Errorf("masm: empty label"))
+		return b
+	}
+	b.pending = append(b.pending, name)
+	return b
+}
+
+// Emit appends one instruction.
+func (b *Builder) Emit(i I) *Builder {
+	in := &inst{I: i, labels: b.pending, index: len(b.insts)}
+	b.pending = nil
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// EmitAt is Emit preceded by Label(name).
+func (b *Builder) EmitAt(name string, i I) *Builder {
+	return b.Label(name).Emit(i)
+}
+
+// Nop emits a no-op that falls through.
+func (b *Builder) Nop() *Builder { return b.Emit(I{}) }
+
+// Halt emits an instruction that stops the simulated machine.
+func (b *Builder) Halt() *Builder {
+	return b.Emit(I{FF: microcode.FFHalt, Flow: Self()})
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Len reports the number of instructions emitted so far (before dispatch
+// trampoline expansion).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Assemble resolves labels, expands dispatch tables, places every
+// instruction into the paged microstore under the NextControl constraints,
+// and returns the finished Program.
+func (b *Builder) Assemble() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pending) > 0 {
+		return nil, fmt.Errorf("masm: trailing label %q with no instruction", b.pending[0])
+	}
+	if n := len(b.insts); n > 0 {
+		last := b.insts[n-1]
+		if last.Flow.Kind == FlowSeq {
+			return nil, fmt.Errorf("masm: last instruction (%s) falls through past the end", describe(last))
+		}
+	}
+	// Work on fresh copies so Assemble is reentrant (a Builder can be
+	// assembled more than once, e.g. to re-place after edits).
+	insts := make([]*inst, len(b.insts))
+	for i, in := range b.insts {
+		c := *in
+		c.d8table = nil
+		c.addr, c.placed, c.pinned = 0, false, false
+		insts[i] = &c
+	}
+	a := &assembly{
+		insts:      insts,
+		builderLen: len(insts),
+		labels:     map[string]*inst{},
+	}
+	if err := a.resolveLabels(); err != nil {
+		return nil, err
+	}
+	if err := a.expandDispatches(); err != nil {
+		return nil, err
+	}
+	if err := a.buildAtoms(); err != nil {
+		return nil, err
+	}
+	if err := a.place(); err != nil {
+		return nil, err
+	}
+	return a.fixup()
+}
+
+// assembly is the in-flight state of one Assemble call.
+type assembly struct {
+	insts      []*inst
+	builderLen int // instructions emitted by the user; trampolines follow
+	labels     map[string]*inst
+
+	atoms       *atomSet
+	byInst      map[int]*atom
+	clusterList []*cluster
+
+	// dispatch256 regions: regionOf[instIndex] = region for the dispatcher.
+	regions     []*region
+	pages       [microcode.NumPages]uint16 // occupancy bitmasks
+	pagesOpened int
+}
+
+// region is a reserved 256-word DISPATCH256 area (16 whole pages).
+type region struct {
+	index       int     // 0..15
+	trampolines []*inst // exactly 256, pinned to region*256+k
+	dispatcher  *inst
+}
+
+func describe(in *inst) string {
+	if len(in.labels) > 0 {
+		return fmt.Sprintf("%q (#%d)", in.labels[0], in.index)
+	}
+	return fmt.Sprintf("#%d", in.index)
+}
+
+func (a *assembly) resolveLabels() error {
+	for _, in := range a.insts {
+		for _, l := range in.labels {
+			if prev, dup := a.labels[l]; dup {
+				return fmt.Errorf("masm: label %q defined at both #%d and #%d", l, prev.index, in.index)
+			}
+			a.labels[l] = in
+		}
+	}
+	return nil
+}
+
+// lookup resolves a label, or returns the instruction after `from` for the
+// empty label (the "next emitted" convention).
+func (a *assembly) lookup(label string, from *inst) (*inst, error) {
+	if label == "" {
+		return a.follower(from)
+	}
+	in, ok := a.labels[label]
+	if !ok {
+		return nil, fmt.Errorf("masm: undefined label %q referenced by %s", label, describe(from))
+	}
+	return in, nil
+}
+
+// follower returns the instruction emitted immediately after in. Generated
+// trampolines do not count: user code must not fall off its own end.
+func (a *assembly) follower(in *inst) (*inst, error) {
+	if in.index+1 >= a.builderLen {
+		return nil, fmt.Errorf("masm: %s needs a following instruction", describe(in))
+	}
+	return a.insts[in.index+1], nil
+}
+
+// expandDispatches materializes trampoline instructions for Dispatch8 and
+// Dispatch256 flows. Trampolines are plain Goto instructions with a free FF,
+// so they can LONGGOTO to handlers anywhere in the store.
+func (a *assembly) expandDispatches() error {
+	for _, in := range a.insts {
+		switch in.Flow.Kind {
+		case FlowDispatch8:
+			if len(in.Flow.Table) == 0 || len(in.Flow.Table) > 8 {
+				return fmt.Errorf("masm: dispatch8 at %s needs 1..8 targets, got %d", describe(in), len(in.Flow.Table))
+			}
+			if in.ffBusy() {
+				return fmt.Errorf("masm: dispatch8 at %s needs FF free for the table selector", describe(in))
+			}
+			fallback := in.Flow.Table[0]
+			for k := 0; k < 8; k++ {
+				target := fallback
+				if k < len(in.Flow.Table) && in.Flow.Table[k] != "" {
+					target = in.Flow.Table[k]
+				}
+				tr := &inst{I: I{Flow: Goto(target)}, index: len(a.insts)}
+				a.insts = append(a.insts, tr)
+				in.d8table = append(in.d8table, tr)
+			}
+		case FlowDispatch256:
+			if len(in.Flow.Table) == 0 || len(in.Flow.Table) > 256 {
+				return fmt.Errorf("masm: dispatch256 at %s needs 1..256 targets, got %d", describe(in), len(in.Flow.Table))
+			}
+			if in.ffBusy() {
+				return fmt.Errorf("masm: dispatch256 at %s needs FF free for the region index", describe(in))
+			}
+			if len(a.regions) >= 16 {
+				return fmt.Errorf("masm: more than 16 DISPATCH256 regions")
+			}
+			r := &region{index: -1, dispatcher: in}
+			fallback := in.Flow.Table[0]
+			for k := 0; k < 256; k++ {
+				target := fallback
+				if k < len(in.Flow.Table) && in.Flow.Table[k] != "" {
+					target = in.Flow.Table[k]
+				}
+				tr := &inst{
+					I:     I{Flow: Goto(target)},
+					index: len(a.insts),
+				}
+				a.insts = append(a.insts, tr)
+				r.trampolines = append(r.trampolines, tr)
+			}
+			a.regions = append(a.regions, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package masm
+
+import (
+	"strings"
+	"testing"
+
+	"dorado/internal/microcode"
+)
+
+func TestLinearProgram(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Emit(I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+	b.Emit(I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.MustEntry("start")
+	if !p.Used[a] {
+		t.Fatal("entry word not marked used")
+	}
+	w := p.Words[a]
+	op := w.NextOp()
+	if op.Kind != microcode.NextGoto && op.Kind != microcode.NextLongGoto {
+		t.Fatalf("first instruction next = %v", op)
+	}
+	if p.Stats.Instructions != 3 || p.Stats.WordsUsed != 3 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+}
+
+// follow resolves one sequential transfer (Goto or LongGoto) from addr.
+func follow(t *testing.T, p *Program, a microcode.Addr) microcode.Addr {
+	t.Helper()
+	w := p.Words[a]
+	op := w.NextOp()
+	switch op.Kind {
+	case microcode.NextGoto:
+		return microcode.MakeAddr(a.Page(), op.W)
+	case microcode.NextLongGoto:
+		return microcode.MakeAddr(w.FF, op.W)
+	}
+	t.Fatalf("instruction at %v is not a goto: %v", a, op)
+	return 0
+}
+
+func TestGotoResolution(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("a", I{Flow: Goto("b")})
+	b.EmitAt("b", I{Flow: Goto("a")})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, bb := p.MustEntry("a"), p.MustEntry("b")
+	if follow(t, p, aa) != bb || follow(t, p, bb) != aa {
+		t.Fatalf("goto cycle broken: a=%v b=%v", aa, bb)
+	}
+}
+
+func TestBranchPairPlacement(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("top", I{Flow: Branch(microcode.CondALUZero, "iszero", "nonzero")})
+	b.EmitAt("iszero", I{Flow: Self()})
+	b.EmitAt("nonzero", I{Flow: Self()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, f, tr := p.MustEntry("top"), p.MustEntry("iszero"), p.MustEntry("nonzero")
+	if f%2 != 0 {
+		t.Errorf("false target at odd address %v", f)
+	}
+	if tr != f+1 {
+		t.Errorf("true target %v not adjacent to false %v", tr, f)
+	}
+	if top.Page() != f.Page() {
+		t.Errorf("branch page %v != target page %v", top.Page(), f.Page())
+	}
+	op := p.Words[top].NextOp()
+	if op.Kind != microcode.NextBranch || op.Cond != microcode.CondALUZero || op.W != f.Word() {
+		t.Errorf("branch word = %v", op)
+	}
+}
+
+func TestBranchElseDefaultsToNext(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("loop", I{Flow: Branch(microcode.CondCountNZ, "", "loop")})
+	b.Halt() // the implicit else target
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.MustEntry("loop")
+	op := p.Words[loop].NextOp()
+	if op.Kind != microcode.NextBranch {
+		t.Fatalf("next = %v", op)
+	}
+	// True target (odd) must be the loop head itself.
+	if microcode.MakeAddr(loop.Page(), op.W)+1 != loop {
+		t.Errorf("loop head %v is not the odd partner of false target %v", loop, op.W)
+	}
+}
+
+func TestSharedBranchTargetRejected(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("b1", I{Flow: Branch(microcode.CondCarry, "e1", "common")})
+	b.EmitAt("e1", I{Flow: Self()})
+	b.EmitAt("b2", I{Flow: Branch(microcode.CondCarry, "e2", "common")})
+	b.EmitAt("e2", I{Flow: Self()})
+	b.EmitAt("common", I{Flow: Self()})
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "share a target") &&
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want shared-target error, got %v", err)
+	}
+}
+
+func TestCallContinuationAdjacent(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("main", I{Flow: Call("sub")})
+	b.EmitAt("cont", I{Flow: Self()})
+	b.EmitAt("sub", I{Flow: Return()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustEntry("cont") != p.MustEntry("main")+1 {
+		t.Errorf("continuation %v not at call+1 (%v)", p.MustEntry("cont"), p.MustEntry("main"))
+	}
+	if p.Words[p.MustEntry("sub")].NextOp().Kind != microcode.NextReturn {
+		t.Error("sub does not return")
+	}
+}
+
+func TestFFBusySuccessorSamePage(t *testing.T) {
+	b := NewBuilder()
+	// A chain of FF-busy instructions must land in one page.
+	b.Label("start")
+	for i := 0; i < 10; i++ {
+		b.Emit(I{FF: microcode.FFInput})
+	}
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.MustEntry("start")
+	page := a.Page()
+	for i := 0; i < 10; i++ {
+		if a.Page() != page {
+			t.Fatalf("FF-busy chain crossed pages at step %d", i)
+		}
+		a = follow(t, p, a)
+	}
+}
+
+func TestFFBusyChainTooLongRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	for i := 0; i < 20; i++ { // > PageSize: cannot fit one page
+		b.Emit(I{FF: microcode.FFInput})
+	}
+	b.Halt()
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "pinned to one page") {
+		t.Fatalf("want cluster-too-big error, got %v", err)
+	}
+}
+
+func TestConstEncoding(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("c1", I{Const: 0x0042, HasConst: true, LC: microcode.LCLoadT, ALU: microcode.ALUB})
+	b.EmitAt("c2", I{Const: 0xFF17, HasConst: true, LC: microcode.LCLoadT, ALU: microcode.ALUB})
+	b.EmitAt("c3", I{Const: 0x3100, HasConst: true, LC: microcode.LCLoadT, ALU: microcode.ALUB})
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, want := range map[string]uint16{"c1": 0x0042, "c2": 0xFF17, "c3": 0x3100} {
+		w := p.Words[p.MustEntry(label)]
+		if !w.BSel.IsConst() {
+			t.Errorf("%s: BSel %v is not a constant", label, w.BSel)
+			continue
+		}
+		if got := w.BSel.ConstValue(w.FF); got != want {
+			t.Errorf("%s: constant %#04x, want %#04x", label, got, want)
+		}
+	}
+}
+
+func TestInexpressibleConstRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(I{Const: 0x1234, HasConst: true})
+	b.Halt()
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "two instructions") {
+		t.Fatalf("want inexpressible-constant error, got %v", err)
+	}
+}
+
+func TestConstPlusFFRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(I{Const: 0x0042, HasConst: true, FF: microcode.FFInput})
+	b.Halt()
+	_, err := b.Assemble()
+	if err == nil {
+		t.Fatal("want conflict error")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(I{Flow: Goto("nowhere")})
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("want undefined label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("x", I{Flow: Self()})
+	b.EmitAt("x", I{Flow: Self()})
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "defined at both") {
+		t.Fatalf("want duplicate label error, got %v", err)
+	}
+}
+
+func TestTrailingFallthroughRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(I{})
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "falls through") {
+		t.Fatalf("want fallthrough error, got %v", err)
+	}
+}
+
+func TestDispatch8(t *testing.T) {
+	b := NewBuilder()
+	labels := make([]string, 8)
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+	}
+	b.EmitAt("disp", I{B: microcode.BSelT, Flow: Dispatch8(labels...)})
+	for _, l := range labels {
+		b.EmitAt(l, I{Flow: Self()})
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.MustEntry("disp")
+	w := p.Words[d]
+	if w.NextOp().Kind != microcode.NextDispatch8 {
+		t.Fatalf("next = %v", w.NextOp())
+	}
+	base := microcode.MakeAddr(d.Page(), w.FF&0x8)
+	if base.Word()%8 != 0 {
+		t.Fatalf("table base %v not 8-aligned", base)
+	}
+	// Each table slot is a trampoline that ends at the right handler.
+	for k, l := range labels {
+		slot := base + microcode.Addr(k)
+		if !p.Used[slot] {
+			t.Fatalf("slot %d unused", k)
+		}
+		if got := follow(t, p, slot); got != p.MustEntry(l) {
+			t.Errorf("slot %d routes to %v, want %q at %v", k, got, l, p.MustEntry(l))
+		}
+	}
+}
+
+func TestDispatch256(t *testing.T) {
+	b := NewBuilder()
+	table := make([]string, 256)
+	for i := range table {
+		table[i] = "even"
+		if i%2 == 1 {
+			table[i] = "odd"
+		}
+	}
+	b.EmitAt("disp", I{B: microcode.BSelT, Flow: Dispatch256(table)})
+	b.EmitAt("even", I{Flow: Self()})
+	b.EmitAt("odd", I{Flow: Self()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.MustEntry("disp")
+	w := p.Words[d]
+	if w.NextOp().Kind != microcode.NextDispatch256 {
+		t.Fatalf("next = %v", w.NextOp())
+	}
+	region := int(w.FF & 0xF)
+	for k := 0; k < 256; k++ {
+		slot := microcode.Addr(region*256 + k)
+		want := "even"
+		if k%2 == 1 {
+			want = "odd"
+		}
+		if got := follow(t, p, slot); got != p.MustEntry(want) {
+			t.Fatalf("selector %d routes to %v, want %q", k, got, want)
+		}
+	}
+	if p.Stats.Trampolines != 256 {
+		t.Errorf("trampolines = %d, want 256", p.Stats.Trampolines)
+	}
+}
+
+func TestUnusedWordsHalt(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < microcode.StoreSize; a++ {
+		if p.Used[a] {
+			continue
+		}
+		if p.Words[a].FF != microcode.FFHalt {
+			t.Fatalf("unused word %v does not halt", microcode.Addr(a))
+		}
+	}
+}
+
+func TestListingSmoke(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("start", I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listing()
+	if !strings.Contains(l, "start") {
+		t.Fatalf("listing missing label:\n%s", l)
+	}
+}
+
+func TestAllWordsValidate(t *testing.T) {
+	// Every placed word in a busy program passes microcode.Validate.
+	b := NewBuilder()
+	b.EmitAt("main", I{Const: 0x00FF, HasConst: true, LC: microcode.LCLoadT, ALU: microcode.ALUB})
+	b.Emit(I{FF: microcode.FFPutCount, B: microcode.BSelT})
+	b.EmitAt("loop", I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+	b.Emit(I{Flow: Branch(microcode.CondCountNZ, "", "loop")})
+	// The branch's false target (next instruction) sits at an even word with
+	// "loop"'s odd duplicate right after it, so it cannot itself be a call
+	// (the continuation would collide with the branch pair) — insert a hop.
+	b.Emit(I{})
+	b.Emit(I{Flow: Call("sub")})
+	b.Halt()
+	b.EmitAt("sub", I{FF: microcode.FFGetQ, LC: microcode.LCLoadT, Flow: Return()})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < microcode.StoreSize; a++ {
+		if !p.Used[a] {
+			continue
+		}
+		if err := p.Words[a].Validate(); err != nil {
+			t.Errorf("word at %v invalid: %v", microcode.Addr(a), err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package masm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAssembleSmall measures assembly+placement of a handler-sized
+// program.
+func BenchmarkAssembleSmall(b *testing.B) {
+	bl := genProgram(rand.New(rand.NewSource(1)), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.Assemble(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssembleNearFull measures placing ~4000 words under the page
+// constraints (the §7 placement regime).
+func BenchmarkAssembleNearFull(b *testing.B) {
+	bl := genProgram(rand.New(rand.NewSource(42)), 420)
+	if _, err := bl.Assemble(); err != nil {
+		b.Skip("seed does not fit; placement regime changed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.Assemble(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

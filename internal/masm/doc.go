@@ -1,0 +1,35 @@
+// Package masm is the Dorado microassembler: it turns symbolic
+// microinstructions into a placed microstore image.
+//
+// The interesting part is placement. The Dorado's NextControl scheme (§5.5
+// of the paper) divides the 4096-word microstore into 256 pages of 16 words
+// and encodes successors in 8 bits, which imposes structure the assembler
+// must satisfy:
+//
+//   - A conditional branch ORs its condition into the low bit of NEXTPC, so
+//     the false target must sit at an even address and the true target at
+//     the next odd address, both in the same page as the branch itself.
+//   - In-page GOTO/CALL reach only the current page; crossing pages needs
+//     LONGGOTO/LONGCALL, which consume the FF field for the target page —
+//     so an instruction whose FF is already busy (a function, or a constant
+//     byte) must have its successor placed in its own page.
+//   - CALL loads LINK with THISPC+1, so the caller's continuation must be
+//     placed at the physical address immediately after the call.
+//   - DISPATCH8 selects among eight consecutive 8-aligned words of the
+//     current page; DISPATCH256 selects among the 256 words of one of 16
+//     fixed regions. The assembler materializes dispatch tables as
+//     trampoline instructions.
+//
+// The paper reports (§7) that despite these constraints, automatic
+// placement used 99.9% of the store when asked to place an essentially full
+// microstore; the placer here reproduces that experiment (see
+// PlacementStats and the E7 benchmark).
+//
+// Usage:
+//
+//	b := masm.NewBuilder()
+//	b.Label("loop")
+//	b.Emit(masm.I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT})
+//	b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+//	prog, err := b.Assemble()
+package masm

@@ -1,0 +1,140 @@
+package masm
+
+import (
+	"fmt"
+
+	"dorado/internal/microcode"
+)
+
+// FlowKind classifies the symbolic successor of an instruction.
+type FlowKind uint8
+
+const (
+	// FlowSeq continues at the next instruction emitted to the builder
+	// (the assembler picks GOTO or LONGGOTO at placement time).
+	FlowSeq FlowKind = iota
+	// FlowGoto transfers to a label.
+	FlowGoto
+	// FlowCall calls a label; the physically following word must be the
+	// caller's continuation (the next emitted instruction).
+	FlowCall
+	// FlowReturn returns through LINK.
+	FlowReturn
+	// FlowBranch is a two-way conditional: Else (false, even address) and
+	// Then (true, odd address), both in the branch's page.
+	FlowBranch
+	// FlowIFUJump dispatches to the IFU-supplied handler address.
+	FlowIFUJump
+	// FlowDispatch8 dispatches on B&7 through an 8-entry trampoline table.
+	FlowDispatch8
+	// FlowDispatch256 dispatches on B&0xFF through a 256-entry region.
+	FlowDispatch256
+	// FlowSelf loops to this same instruction (idle/halt loops; also the
+	// natural successor for an instruction that blocks and is re-entered).
+	FlowSelf
+)
+
+// Flow is the symbolic control transfer of an instruction.
+type Flow struct {
+	Kind FlowKind
+	// Target is the destination label for Goto/Call.
+	Target string
+	// Cond, Else, Then describe a Branch. An empty Else means "the next
+	// emitted instruction".
+	Cond Condition
+	Else string
+	Then string
+	// Table lists dispatch targets (8 for Dispatch8, up to 256 for
+	// Dispatch256; missing/empty entries route to the first entry).
+	Table []string
+}
+
+// Condition aliases microcode.Condition for brevity in microcode sources.
+type Condition = microcode.Condition
+
+// Goto returns a Flow transferring to label.
+func Goto(label string) Flow { return Flow{Kind: FlowGoto, Target: label} }
+
+// Call returns a Flow calling label.
+func Call(label string) Flow { return Flow{Kind: FlowCall, Target: label} }
+
+// Return returns a Flow returning through LINK.
+func Return() Flow { return Flow{Kind: FlowReturn} }
+
+// Branch returns a two-way conditional Flow. An empty elseLabel continues
+// at the next emitted instruction when the condition is false.
+func Branch(cond Condition, elseLabel, thenLabel string) Flow {
+	return Flow{Kind: FlowBranch, Cond: cond, Else: elseLabel, Then: thenLabel}
+}
+
+// IFUJump returns a Flow dispatching to the next macroinstruction handler.
+func IFUJump() Flow { return Flow{Kind: FlowIFUJump} }
+
+// Dispatch8 returns a Flow dispatching on B&7 to the eight labels.
+func Dispatch8(labels ...string) Flow { return Flow{Kind: FlowDispatch8, Table: labels} }
+
+// Dispatch256 returns a Flow dispatching on B&0xFF to the given labels
+// (index = selector value; missing entries fall back to entry 0).
+func Dispatch256(labels []string) Flow { return Flow{Kind: FlowDispatch256, Table: labels} }
+
+// Self returns a Flow looping back to the same instruction.
+func Self() Flow { return Flow{Kind: FlowSelf} }
+
+// I is one symbolic microinstruction. The zero value is a no-op that falls
+// through to the next emitted instruction.
+type I struct {
+	R     uint8                 // RAddress: RM low address, or stack delta in stack mode
+	ALU   microcode.ALUFn       // ALUOp (the default ALUFM maps index i to function i)
+	A     microcode.ASelect     // A bus source / memory start
+	B     microcode.BSelect     // B bus source (overridden by Const)
+	LC    microcode.LoadControl // result destinations
+	Block bool                  // release the processor after this instruction
+	FF    uint8                 // FF function (conflicts with Const and long flows)
+
+	// Const, when HasConst is set, asks the assembler to source B with the
+	// 16-bit constant via the §5.9 byte scheme. Constants whose two bytes
+	// are both "interesting" (neither 0x00 nor 0xFF) are not expressible in
+	// one instruction and are rejected.
+	Const    uint16
+	HasConst bool
+
+	Flow Flow
+}
+
+// Const16 marks i as using the B-bus constant v (§5.9).
+func Const16(v uint16) (b microcode.BSelect, ff uint8, err error) {
+	hi, lo := uint8(v>>8), uint8(v)
+	switch {
+	case hi == 0x00:
+		return microcode.BSelConstLo, lo, nil
+	case hi == 0xFF:
+		return microcode.BSelConstLoOnes, lo, nil
+	case lo == 0x00:
+		return microcode.BSelConstHi, hi, nil
+	case lo == 0xFF:
+		return microcode.BSelConstHiOnes, hi, nil
+	}
+	return 0, 0, fmt.Errorf("masm: constant %#04x needs two instructions (neither byte is all-zeros or all-ones)", v)
+}
+
+// ffBusy reports whether the instruction's FF field is unavailable for
+// long-transfer page bits: either it holds a function or a constant byte.
+func (i I) ffBusy() bool {
+	return i.HasConst || i.FF != microcode.FFNop
+}
+
+// inst is the assembler's working record for one instruction.
+type inst struct {
+	I
+	labels []string // labels defined at this instruction
+	index  int      // emission order
+	src    string   // provenance for error messages
+
+	// d8table holds the eight trampolines of a FlowDispatch8 instruction.
+	d8table []*inst
+
+	// resolved at assembly time
+	addr   microcode.Addr
+	placed bool
+	pinned bool // pre-placed in a DISPATCH256 region
+}

@@ -1,0 +1,249 @@
+package masm
+
+import (
+	"fmt"
+	"sort"
+
+	"dorado/internal/microcode"
+)
+
+// The layout machinery has two levels:
+//
+//   - An *atom* is a set of instructions with fixed relative offsets and an
+//     alignment requirement. Branch pairs (false at even w, true at w+1),
+//     call/continuation pairs (adjacent), and DISPATCH8 tables (eight
+//     consecutive 8-aligned words) create atoms; unrelated instructions are
+//     singleton atoms. Atoms never span pages.
+//
+//   - A *cluster* is a set of atoms that must share a page: a branch with
+//     its target pair, an FF-busy instruction with its successor (no room
+//     for LONGGOTO page bits), a DISPATCH8 with its table.
+//
+// Both are union-find structures; atoms carry offset translations so that
+// merging two atoms through a shared instruction checks for contradictions
+// (the paper's "several conditional branches cannot have the same target"
+// rule falls out of this check).
+
+// atomSet is a union-find over instructions with relative offsets.
+type atomSet struct {
+	parent []int // inst index → parent inst index
+	delta  []int // offset of inst relative to parent
+	// alignment constraints, valid on roots only: root offset o of the
+	// atom's coordinate origin must satisfy (memberOffset+o) % mod == 0 for
+	// recorded members; normalized to: o ≡ rem (mod mod).
+	alignMod []int
+	alignRem []int
+}
+
+func newAtomSet(n int) *atomSet {
+	s := &atomSet{
+		parent:   make([]int, n),
+		delta:    make([]int, n),
+		alignMod: make([]int, n),
+		alignRem: make([]int, n),
+	}
+	for i := range s.parent {
+		s.parent[i] = i
+		s.alignMod[i] = 1
+	}
+	return s
+}
+
+// find returns the root of i and i's offset relative to the root.
+func (s *atomSet) find(i int) (root, off int) {
+	if s.parent[i] == i {
+		return i, 0
+	}
+	r, o := s.find(s.parent[i])
+	s.parent[i] = r
+	s.delta[i] += o
+	return r, s.delta[i]
+}
+
+// bind requires inst b to sit exactly d words after inst a.
+func (s *atomSet) bind(a, b, d int, what string) error {
+	ra, oa := s.find(a)
+	rb, ob := s.find(b)
+	if ra == rb {
+		if ob-oa != d {
+			return fmt.Errorf("masm: layout conflict (%s): instructions #%d and #%d are already %+d apart, need %+d",
+				what, a, b, ob-oa, d)
+		}
+		return nil
+	}
+	// Attach rb's tree under ra: offset of rb relative to ra.
+	s.parent[rb] = ra
+	s.delta[rb] = oa + d - ob
+	// Merge alignment constraints, translating rb's into ra's coordinates:
+	// pageoff(rb) = pageoff(ra) + delta[rb], so
+	// pageoff(ra) ≡ alignRem[rb] − delta[rb] (mod alignMod[rb]).
+	return s.mergeAlign(ra, s.alignMod[rb], mod(s.alignRem[rb]-s.delta[rb], s.alignMod[rb]), what)
+}
+
+// align requires inst i's final word-in-page offset to satisfy
+// (offset ≡ rem mod m).
+func (s *atomSet) align(i, m, rem int, what string) error {
+	r, o := s.find(i)
+	return s.mergeAlign(r, m, mod(rem-o, m), what)
+}
+
+// mergeAlign intersects an alignment constraint (root offset ≡ rem mod m)
+// into root r's existing constraint. Moduli here are powers of two (2, 8),
+// so one always divides the other.
+func (s *atomSet) mergeAlign(r, m, rem int, what string) error {
+	om, orem := s.alignMod[r], s.alignRem[r]
+	if m < om {
+		m, rem, om, orem = om, orem, m, rem
+	}
+	// om divides m; constraint mod m is stricter.
+	if mod(rem, om) != orem {
+		return fmt.Errorf("masm: alignment conflict (%s): offset ≡%d (mod %d) vs ≡%d (mod %d)",
+			what, rem, m, orem, om)
+	}
+	s.alignMod[r] = m
+	s.alignRem[r] = rem
+	return nil
+}
+
+func mod(a, m int) int { return (a%m + m) % m }
+
+// atom is the materialized form of one union-find class.
+type atom struct {
+	root     int
+	members  []int // inst indices
+	offsets  []int // parallel: offset of each member, normalized to min 0
+	span     int   // max offset + 1
+	alignMod int
+	alignRem int // required (page offset of member with offset 0) mod alignMod
+}
+
+// atoms materializes the classes. Offsets are shifted so the smallest is 0
+// and alignment is re-expressed for the shifted origin.
+func (s *atomSet) atoms(n int) ([]*atom, map[int]*atom, error) {
+	groups := map[int]*atom{}
+	for i := 0; i < n; i++ {
+		r, o := s.find(i)
+		g := groups[r]
+		if g == nil {
+			g = &atom{root: r, alignMod: s.alignMod[r], alignRem: s.alignRem[r]}
+			groups[r] = g
+		}
+		g.members = append(g.members, i)
+		g.offsets = append(g.offsets, o)
+	}
+	byInst := map[int]*atom{}
+	var out []*atom
+	for _, g := range groups {
+		min := g.offsets[0]
+		for _, o := range g.offsets {
+			if o < min {
+				min = o
+			}
+		}
+		seen := map[int]int{}
+		for k := range g.offsets {
+			g.offsets[k] -= min
+			if prev, dup := seen[g.offsets[k]]; dup {
+				return nil, nil, fmt.Errorf(
+					"masm: instructions #%d and #%d must occupy the same microstore word; "+
+						"conditional branches cannot share a target — duplicate it (§5.5)",
+					prev, g.members[k])
+			}
+			seen[g.offsets[k]] = g.members[k]
+			if g.offsets[k] >= g.span {
+				g.span = g.offsets[k] + 1
+			}
+			byInst[g.members[k]] = g
+		}
+		g.alignRem = mod(g.alignRem+min, g.alignMod)
+		if g.span > microcode.PageSize {
+			return nil, nil, fmt.Errorf(
+				"masm: a rigid layout group spans %d words (> page size %d); involves #%d",
+				g.span, microcode.PageSize, g.members[0])
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].members[0] < out[j].members[0] })
+	return out, byInst, nil
+}
+
+// size returns the number of words the atom occupies.
+func (g *atom) size() int { return len(g.members) }
+
+// clusterSet is a union-find over atoms (same-page requirement).
+type clusterSet struct {
+	parent map[*atom]*atom
+}
+
+func newClusterSet(atoms []*atom) *clusterSet {
+	c := &clusterSet{parent: make(map[*atom]*atom, len(atoms))}
+	for _, a := range atoms {
+		c.parent[a] = a
+	}
+	return c
+}
+
+func (c *clusterSet) find(a *atom) *atom {
+	if c.parent[a] != a {
+		c.parent[a] = c.find(c.parent[a])
+	}
+	return c.parent[a]
+}
+
+// join requires atoms a and b to share a page.
+func (c *clusterSet) join(a, b *atom) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		c.parent[rb] = ra
+	}
+}
+
+// cluster is a set of atoms that must be placed into one page.
+type cluster struct {
+	atoms []*atom
+	words int
+}
+
+// clusters materializes the classes, largest first (first-fit-decreasing
+// improves packing, which is what the paper's 99.9% figure measures).
+func (c *clusterSet) clusters() ([]*cluster, error) {
+	groups := map[*atom]*cluster{}
+	for a := range c.parent {
+		r := c.find(a)
+		g := groups[r]
+		if g == nil {
+			g = &cluster{}
+			groups[r] = g
+		}
+		g.atoms = append(g.atoms, a)
+		g.words += a.size()
+	}
+	var out []*cluster
+	for _, g := range groups {
+		if g.words > microcode.PageSize {
+			return nil, fmt.Errorf(
+				"masm: %d words of microcode are pinned to one page (max %d): "+
+					"an FF-busy chain or branch nest is too long; involves #%d — "+
+					"free an FF field or restructure the flow",
+				g.words, microcode.PageSize, g.atoms[0].members[0])
+		}
+		// Largest alignment first within the cluster for packing.
+		sort.Slice(g.atoms, func(i, j int) bool {
+			if g.atoms[i].alignMod != g.atoms[j].alignMod {
+				return g.atoms[i].alignMod > g.atoms[j].alignMod
+			}
+			if g.atoms[i].span != g.atoms[j].span {
+				return g.atoms[i].span > g.atoms[j].span
+			}
+			return g.atoms[i].members[0] < g.atoms[j].members[0]
+		})
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].words != out[j].words {
+			return out[i].words > out[j].words
+		}
+		return out[i].atoms[0].members[0] < out[j].atoms[0].members[0]
+	})
+	return out, nil
+}

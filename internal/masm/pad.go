@@ -1,0 +1,138 @@
+package masm
+
+import "dorado/internal/microcode"
+
+// PaddedForNoBypass returns a copy of the builder's program with a no-op
+// inserted between every pair of consecutive instructions where the second
+// reads a register the first writes.
+//
+// This is the schedule a microcoder had to produce for the Model-0 Dorado,
+// whose bypass logic had gaps (§5.6): "we omitted bypassing logic in a few
+// places, and required the microcoder to avoid these cases. The result was
+// a number of subtle bugs and a significant loss of performance." Running
+// the padded program on the normal machine measures exactly that loss
+// (experiment E10); running the *unpadded* program with core's NoBypass
+// option reproduces the bugs.
+//
+// The hazard analysis is static and follows emission order: a pad is
+// inserted only when the writer falls through (FlowSeq) or branches with an
+// implicit false target (the inserted no-op becomes the new false target,
+// preserving the branch-pair structure). Dependencies reached only through
+// explicit jumps are not padded — like the real Model-0 microcoders, code
+// relying on those is expected to be restructured, not padded.
+func (b *Builder) PaddedForNoBypass() *Builder {
+	out := NewBuilder()
+	out.err = b.err
+	for i, in := range b.insts {
+		for _, l := range in.labels {
+			out.Label(l)
+		}
+		out.Emit(in.I)
+		fallsThrough := in.Flow.Kind == FlowSeq ||
+			(in.Flow.Kind == FlowBranch && in.Flow.Else == "") ||
+			(in.Flow.Kind == FlowCall) // the continuation runs next
+		if !fallsThrough || i+1 >= len(b.insts) {
+			continue
+		}
+		if hazard(in.I, b.insts[i+1].I) {
+			out.Emit(I{})
+		}
+	}
+	return out
+}
+
+// PadCount reports how many no-ops PaddedForNoBypass would insert.
+func (b *Builder) PadCount() int {
+	n := 0
+	for i, in := range b.insts {
+		fallsThrough := in.Flow.Kind == FlowSeq ||
+			(in.Flow.Kind == FlowBranch && in.Flow.Else == "") ||
+			in.Flow.Kind == FlowCall
+		if fallsThrough && i+1 < len(b.insts) && hazard(in.I, b.insts[i+1].I) {
+			n++
+		}
+	}
+	return n
+}
+
+// hazard reports whether instruction b reads state that instruction a
+// writes through the register file (the paths Model 0 failed to bypass:
+// RM, T, and the stack).
+func hazard(a, b I) bool {
+	// The Block bit is the task-0 stack modifier; this pass is applied to
+	// emulator (task 0) microcode, where Block never means "release".
+	writesT := a.LC.LoadsT()
+	stackA := a.Block
+	writesRM := a.LC.LoadsRM() && !stackA
+	touchesStackA := stackA // a write or pointer adjustment
+
+	if writesT && readsT(b) {
+		return true
+	}
+	stackB := b.Block
+	if touchesStackA && stackB {
+		return true // stack pointer / top-of-stack dependency
+	}
+	if writesRM {
+		if stackB {
+			return false // stack replaces RM on both sides
+		}
+		wIdx := a.R & 0xF
+		if !a.HasConst && a.FF >= microcode.FFRMDestBase && a.FF < microcode.FFRMDestBase+16 {
+			wIdx = a.FF & 0xF // redirected destination
+		}
+		switch b.A {
+		case microcode.ASelRM, microcode.ASelFetch, microcode.ASelStore:
+			if b.R&0xF == wIdx {
+				return true
+			}
+		}
+		if readsRMOnB(b) && b.R&0xF == wIdx {
+			return true
+		}
+		if readsRMViaShifter(b) && b.R&0xF == wIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// readsRMViaShifter reports whether i's shifter consumes the RM word (the
+// shifter input is RM‖T, §6.3.4).
+func readsRMViaShifter(i I) bool {
+	if i.HasConst || i.FF == microcode.FFNop {
+		return false
+	}
+	switch i.FF {
+	case microcode.FFShiftNoMask, microcode.FFShiftMaskZ, microcode.FFShiftMaskMD:
+		return true
+	}
+	return false
+}
+
+// readsT reports whether i consumes T: via the A or B bus, or through the
+// shifter (whose 32-bit input is RM‖T, §6.3.4).
+func readsT(i I) bool {
+	if i.A == microcode.ASelT {
+		return true
+	}
+	if !i.HasConst && i.B == microcode.BSelT {
+		return true
+	}
+	if i.HasConst || i.FF == microcode.FFNop {
+		return false
+	}
+	switch i.FF {
+	case microcode.FFShiftNoMask, microcode.FFShiftMaskZ, microcode.FFShiftMaskMD:
+		return true
+	}
+	return false
+}
+
+// readsRMOnB reports whether i's B bus reads the RM word.
+func readsRMOnB(i I) bool {
+	if i.HasConst || i.FF == microcode.FFInput {
+		return false // B overridden by a constant or IODATA
+	}
+	return i.B == microcode.BSelRM
+}

@@ -1,0 +1,89 @@
+package masm
+
+import (
+	"testing"
+
+	"dorado/internal/microcode"
+)
+
+func TestPadInsertsOnTHazard(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("start", masm0Const(5, microcode.LCLoadT))
+	b.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Halt()
+	if n := b.PadCount(); n != 1 {
+		t.Fatalf("PadCount = %d, want 1", n)
+	}
+	padded := b.PaddedForNoBypass()
+	if padded.Len() != b.Len()+1 {
+		t.Fatalf("padded len %d, want %d", padded.Len(), b.Len()+1)
+	}
+	if _, err := padded.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func masm0Const(v uint16, lc microcode.LoadControl) I {
+	return I{Const: v, HasConst: true, ALU: microcode.ALUB, LC: lc}
+}
+
+func TestPadRMHazardNeedsSameAddress(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 1, LC: microcode.LCLoadRM})
+	b.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 2, LC: microcode.LCLoadRM}) // different register
+	b.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 2, LC: microcode.LCLoadRM}) // same register
+	b.Halt()
+	if n := b.PadCount(); n != 1 {
+		t.Errorf("PadCount = %d, want 1 (only the same-register pair)", n)
+	}
+}
+
+func TestPadStackHazard(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Emit(I{Const: 1, HasConst: true, ALU: microcode.ALUB, LC: microcode.LCLoadRM, Block: true, R: 1})
+	b.Emit(I{ALU: microcode.ALUA, Block: true, R: 15, LC: microcode.LCLoadT})
+	b.Halt()
+	if n := b.PadCount(); n != 1 {
+		t.Errorf("PadCount = %d, want 1 (push→pop)", n)
+	}
+}
+
+func TestPadIgnoresNonFallthrough(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("start", I{LC: microcode.LCLoadT, ALU: microcode.ALUAplus1, A: microcode.ASelT, Flow: Goto("elsewhere")})
+	b.EmitAt("next", I{A: microcode.ASelT, LC: microcode.LCLoadT}) // not reached from #0
+	b.Halt()
+	b.EmitAt("elsewhere", I{Flow: Self()})
+	if n := b.PadCount(); n != 0 {
+		t.Errorf("PadCount = %d, want 0", n)
+	}
+}
+
+func TestPadPreservesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.EmitAt("start", masm0Const(5, microcode.LCLoadT))
+	b.EmitAt("mid", I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Emit(I{Flow: Goto("start")})
+	padded := b.PaddedForNoBypass()
+	p, err := padded.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Entry("mid"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadShifterReadsRMAndT(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 4, LC: microcode.LCLoadRM})
+	b.Emit(I{FF: microcode.FFShiftNoMask, R: 4, LC: microcode.LCLoadT})
+	b.Emit(I{FF: microcode.FFShiftNoMask, R: 4, LC: microcode.LCLoadT}) // T hazard via shifter
+	b.Halt()
+	if n := b.PadCount(); n != 2 {
+		t.Errorf("PadCount = %d, want 2", n)
+	}
+}

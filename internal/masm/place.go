@@ -1,0 +1,201 @@
+package masm
+
+import (
+	"fmt"
+
+	"dorado/internal/microcode"
+)
+
+// buildAtoms derives the rigid-offset and same-page constraints from every
+// instruction's flow, then materializes atoms and clusters.
+func (a *assembly) buildAtoms() error {
+	s := newAtomSet(len(a.insts))
+	type pagePair struct{ x, y int }
+	var samePage []pagePair
+
+	for _, in := range a.insts {
+		switch in.Flow.Kind {
+		case FlowSeq:
+			succ, err := a.follower(in)
+			if err != nil {
+				return err
+			}
+			if in.ffBusy() {
+				samePage = append(samePage, pagePair{in.index, succ.index})
+			}
+		case FlowGoto:
+			t, err := a.lookup(in.Flow.Target, in)
+			if err != nil {
+				return err
+			}
+			if in.ffBusy() {
+				samePage = append(samePage, pagePair{in.index, t.index})
+			}
+		case FlowSelf, FlowReturn, FlowIFUJump:
+			// No placement constraints.
+		case FlowCall:
+			callee, err := a.lookup(in.Flow.Target, in)
+			if err != nil {
+				return err
+			}
+			cont, err := a.follower(in)
+			if err != nil {
+				return fmt.Errorf("masm: call at %s has no continuation: %v", describe(in), err)
+			}
+			// LINK ← THISPC+1: the continuation must physically follow the
+			// call (§6.2.3, and the "special subroutine locations" of §7).
+			if err := s.bind(in.index, cont.index, 1, "call continuation"); err != nil {
+				return err
+			}
+			if in.ffBusy() {
+				samePage = append(samePage, pagePair{in.index, callee.index})
+			}
+		case FlowBranch:
+			els, err := a.lookup(in.Flow.Else, in)
+			if err != nil {
+				return err
+			}
+			then, err := a.lookup(in.Flow.Then, in)
+			if err != nil {
+				return err
+			}
+			if els == then {
+				return fmt.Errorf("masm: branch at %s has identical targets; use Goto", describe(in))
+			}
+			if err := s.bind(els.index, then.index, 1, "branch pair"); err != nil {
+				return err
+			}
+			if err := s.align(els.index, 2, 0, "branch false target even"); err != nil {
+				return err
+			}
+			// Branch targets live in the branch's own page (§5.5).
+			samePage = append(samePage, pagePair{in.index, els.index})
+		case FlowDispatch8:
+			base := in.d8table[0]
+			for k, tr := range in.d8table[1:] {
+				if err := s.bind(base.index, tr.index, k+1, "dispatch8 table"); err != nil {
+					return err
+				}
+			}
+			if err := s.align(base.index, 8, 0, "dispatch8 table 8-aligned"); err != nil {
+				return err
+			}
+			samePage = append(samePage, pagePair{in.index, base.index})
+		case FlowDispatch256:
+			// Trampolines are pinned to a reserved region; no atoms.
+		default:
+			return fmt.Errorf("masm: unknown flow kind %d at %s", in.Flow.Kind, describe(in))
+		}
+	}
+
+	atoms, byInst, err := s.atoms(len(a.insts))
+	if err != nil {
+		return err
+	}
+	cs := newClusterSet(atoms)
+	for _, p := range samePage {
+		cs.join(byInst[p.x], byInst[p.y])
+	}
+	a.atoms = s
+	a.byInst = byInst
+	a.clusterList, err = cs.clusters()
+	return err
+}
+
+// place assigns every instruction a microstore address.
+func (a *assembly) place() error {
+	// Reserve DISPATCH256 regions from the top of the store so ordinary
+	// code packs from the bottom.
+	nextRegion := 15
+	for _, r := range a.regions {
+		if nextRegion < 0 {
+			return fmt.Errorf("masm: out of DISPATCH256 regions")
+		}
+		r.index = nextRegion
+		nextRegion--
+		for p := r.index * 16; p < (r.index+1)*16; p++ {
+			a.pages[p] = 0xFFFF
+		}
+		for k, tr := range r.trampolines {
+			tr.addr = microcode.Addr(r.index*256 + k)
+			tr.placed = true
+			tr.pinned = true
+		}
+	}
+	regionLow := (nextRegion + 1) * 16 // first page owned by a region
+
+	for _, cl := range a.clusterList {
+		if a.clusterPinned(cl) {
+			continue
+		}
+		placed := false
+		for p := 0; p < regionLow && !placed; p++ {
+			if offs, ok := tryPage(cl.atoms, a.pages[p]); ok {
+				a.commit(cl, p, offs)
+				placed = true
+			}
+		}
+		if !placed {
+			return fmt.Errorf("masm: microstore full: cannot place a %d-word cluster (%d pages available)",
+				cl.words, regionLow)
+		}
+	}
+	return nil
+}
+
+// clusterPinned reports whether every member of the cluster was pinned by a
+// region reservation (singleton trampoline atoms).
+func (a *assembly) clusterPinned(cl *cluster) bool {
+	for _, at := range cl.atoms {
+		for _, m := range at.members {
+			if !a.insts[m].pinned {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tryPage searches for base offsets for each atom within one page given the
+// occupancy mask. Atoms arrive sorted by decreasing alignment/size, which
+// keeps the backtracking shallow.
+func tryPage(atoms []*atom, occ uint16) ([]int, bool) {
+	offs := make([]int, len(atoms))
+	var rec func(k int, occ uint16) bool
+	rec = func(k int, occ uint16) bool {
+		if k == len(atoms) {
+			return true
+		}
+		at := atoms[k]
+		for base := at.alignRem; base+at.span <= microcode.PageSize; base += at.alignMod {
+			var mask uint16
+			for _, o := range at.offsets {
+				mask |= 1 << uint(base+o)
+			}
+			if occ&mask != 0 {
+				continue
+			}
+			offs[k] = base
+			if rec(k+1, occ|mask) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0, occ) {
+		return offs, true
+	}
+	return nil, false
+}
+
+// commit records the chosen placement of a cluster in page p.
+func (a *assembly) commit(cl *cluster, p int, offs []int) {
+	for k, at := range cl.atoms {
+		for j, m := range at.members {
+			w := offs[k] + at.offsets[j]
+			a.insts[m].addr = microcode.MakeAddr(uint8(p), uint8(w))
+			a.insts[m].placed = true
+			a.pages[p] |= 1 << uint(w)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package masm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dorado/internal/microcode"
+)
+
+// genProgram emits n random handler-shaped routines: straight-line code
+// with a random mix of busy FF fields, conditional branches, calls to a
+// shared subroutine, and dispatch tables — the statistics of real
+// emulator microcode.
+func genProgram(r *rand.Rand, n int) *Builder {
+	b := NewBuilder()
+	b.EmitAt("shared", I{FF: microcode.FFGetQ, LC: microcode.LCLoadT, Flow: Return()})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("g%d", i)
+		b.Label(name)
+		straight := 2 + r.Intn(8)
+		for j := 0; j < straight; j++ {
+			in := I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT}
+			switch r.Intn(5) {
+			case 0:
+				in.FF = microcode.FFGetCount // busy FF → same-page successor
+			case 1:
+				in.Const, in.HasConst = uint16(r.Intn(256)), true
+				in.ALU = microcode.ALUB
+			}
+			b.Emit(in)
+		}
+		if r.Intn(4) == 0 {
+			b.Emit(I{Flow: Call("shared")})
+		}
+		if r.Intn(3) == 0 {
+			els, then := name+".e", name+".t"
+			b.Emit(I{Flow: Branch(microcode.Condition(r.Intn(8)), els, then)})
+			b.EmitAt(els, I{Flow: Goto(name + ".x")})
+			b.EmitAt(then, I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+			b.EmitAt(name+".x", I{})
+		}
+		if r.Intn(8) == 0 {
+			var tbl [8]string
+			for k := range tbl {
+				tbl[k] = name + ".x2"
+			}
+			b.Emit(I{B: microcode.BSelT, Flow: Dispatch8(tbl[:]...)})
+			b.EmitAt(name+".x2", I{})
+		}
+		b.Emit(I{FF: microcode.FFHalt, Flow: Self()})
+	}
+	return b
+}
+
+// checkSoundness verifies the placed image's control graph: every used
+// word validates, and every static successor of every used word lands on
+// another used word.
+func checkSoundness(t *testing.T, p *Program) {
+	t.Helper()
+	succ := func(a microcode.Addr) []microcode.Addr {
+		w := p.Words[a]
+		op := w.NextOp()
+		page := a &^ microcode.Addr(microcode.WordMask)
+		switch op.Kind {
+		case microcode.NextGoto:
+			return []microcode.Addr{page | microcode.Addr(op.W)}
+		case microcode.NextCall:
+			// The callee, and the continuation at PC+1 (the return site).
+			return []microcode.Addr{page | microcode.Addr(op.W), (a + 1) & microcode.AddrMask}
+		case microcode.NextBranch:
+			f := page | microcode.Addr(op.W)
+			return []microcode.Addr{f, f | 1}
+		case microcode.NextLongGoto:
+			return []microcode.Addr{microcode.MakeAddr(w.FF, op.W)}
+		case microcode.NextLongCall:
+			return []microcode.Addr{microcode.MakeAddr(w.FF, op.W), (a + 1) & microcode.AddrMask}
+		case microcode.NextDispatch8:
+			var out []microcode.Addr
+			base := page | microcode.Addr(w.FF&8)
+			for k := 0; k < 8; k++ {
+				out = append(out, base|microcode.Addr(k))
+			}
+			return out
+		case microcode.NextReturn, microcode.NextIFUJump:
+			return nil
+		}
+		t.Fatalf("reserved successor at %v: %v", a, op)
+		return nil
+	}
+	for a := 0; a < microcode.StoreSize; a++ {
+		if !p.Used[a] {
+			continue
+		}
+		addr := microcode.Addr(a)
+		if err := p.Words[a].Validate(); err != nil {
+			t.Fatalf("word at %v invalid: %v", addr, err)
+		}
+		for _, sa := range succ(addr) {
+			if !p.Used[sa] {
+				t.Fatalf("successor %v of %v is an unused word (%v)", sa, addr, p.Words[a])
+			}
+		}
+	}
+}
+
+func TestPlacementSoundnessProperty(t *testing.T) {
+	// Many random programs of varying density: every placed program's
+	// control graph must be closed over used words.
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		b := genProgram(r, n)
+		p, err := b.Assemble()
+		if err != nil {
+			t.Fatalf("seed %d (n=%d): %v", seed, n, err)
+		}
+		checkSoundness(t, p)
+	}
+}
+
+func TestPlacementSoundnessNearFull(t *testing.T) {
+	// Grow a program until the store refuses it; the largest placeable
+	// program must still be sound (the E7 experiment's regime).
+	r := rand.New(rand.NewSource(42))
+	var last *Program
+	for n := 64; ; n += 32 {
+		b := genProgram(rand.New(rand.NewSource(42)), n)
+		p, err := b.Assemble()
+		if err != nil {
+			break
+		}
+		last = p
+		if n > 2048 {
+			break
+		}
+	}
+	_ = r
+	if last == nil {
+		t.Fatal("nothing placed")
+	}
+	if last.Stats.UtilizationStore < 0.5 {
+		t.Fatalf("near-full program only used %.0f%% of the store", 100*last.Stats.UtilizationStore)
+	}
+	checkSoundness(t, last)
+	t.Logf("largest placement: %v", last.Stats)
+}
+
+func TestPaddedProgramsRemainSound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed + 100))
+		b := genProgram(r, 1+r.Intn(20))
+		p, err := b.PaddedForNoBypass().Assemble()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkSoundness(t, p)
+	}
+}
+
+func TestSplicedProgramsRemainSound(t *testing.T) {
+	base, err := genProgram(rand.New(rand.NewSource(7)), 20).Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := NewBuilder()
+	extra.EmitAt("xsvc", I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	for i := 0; i < 30; i++ {
+		extra.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	}
+	extra.Emit(I{Block: true, Flow: Goto("xsvc")})
+	ep, err := extra.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Splice(base, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSoundness(t, out)
+}

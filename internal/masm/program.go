@@ -1,0 +1,253 @@
+package masm
+
+import (
+	"fmt"
+	"sort"
+
+	"dorado/internal/microcode"
+)
+
+// Program is an assembled, placed microstore image.
+type Program struct {
+	// Words is the full microstore; unused words hold breakpoint halts so a
+	// wild transfer stops the machine instead of executing garbage.
+	Words [microcode.StoreSize]microcode.Word
+	// Used marks the words occupied by placed instructions.
+	Used [microcode.StoreSize]bool
+	// Symbols maps labels to placed addresses.
+	Symbols map[string]microcode.Addr
+	// Stats describes the placement (the paper's §7 utilization experiment).
+	Stats PlacementStats
+}
+
+// PlacementStats summarizes how well the placer packed the microstore.
+type PlacementStats struct {
+	// Instructions counts user-emitted instructions.
+	Instructions int
+	// Trampolines counts generated dispatch-table instructions.
+	Trampolines int
+	// WordsUsed counts occupied microstore words.
+	WordsUsed int
+	// PagesTouched counts pages holding at least one instruction.
+	PagesTouched int
+	// Clusters counts same-page constraint groups.
+	Clusters int
+	// LargestCluster is the word count of the biggest cluster.
+	LargestCluster int
+	// UtilizationTouched is WordsUsed / (PagesTouched × PageSize): how
+	// tightly the touched pages are packed.
+	UtilizationTouched float64
+	// UtilizationStore is WordsUsed / StoreSize.
+	UtilizationStore float64
+}
+
+func (s PlacementStats) String() string {
+	return fmt.Sprintf("insts=%d tramps=%d words=%d pages=%d packed=%.1f%% store=%.1f%%",
+		s.Instructions, s.Trampolines, s.WordsUsed, s.PagesTouched,
+		100*s.UtilizationTouched, 100*s.UtilizationStore)
+}
+
+// EmptyProgram returns an image with no instructions (every word halts),
+// the identity element for Splice composition.
+func EmptyProgram() *Program {
+	p := &Program{Symbols: map[string]microcode.Addr{}}
+	for i := range p.Words {
+		p.Words[i] = microcode.Word{FF: microcode.FFHalt}
+	}
+	return p
+}
+
+// Entry returns the placed address of a label.
+func (p *Program) Entry(label string) (microcode.Addr, error) {
+	a, ok := p.Symbols[label]
+	if !ok {
+		return 0, fmt.Errorf("masm: no symbol %q", label)
+	}
+	return a, nil
+}
+
+// MustEntry is Entry but panics on unknown labels.
+func (p *Program) MustEntry(label string) microcode.Addr {
+	a, err := p.Entry(label)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Listing renders the placed program, ordered by address, for debugging.
+func (p *Program) Listing() string {
+	names := map[microcode.Addr][]string{}
+	for n, a := range p.Symbols {
+		names[a] = append(names[a], n)
+	}
+	var out []string
+	for a := 0; a < microcode.StoreSize; a++ {
+		if !p.Used[a] {
+			continue
+		}
+		lbl := ""
+		if ns := names[microcode.Addr(a)]; len(ns) > 0 {
+			sort.Strings(ns)
+			lbl = ns[0] + ": "
+		}
+		out = append(out, fmt.Sprintf("%v  %s%v", microcode.Addr(a), lbl, p.Words[a]))
+	}
+	s := ""
+	for _, l := range out {
+		s += l + "\n"
+	}
+	return s
+}
+
+// fixup resolves successors into NextControl/FF bytes and builds the final
+// image.
+func (a *assembly) fixup() (*Program, error) {
+	p := &Program{Symbols: map[string]microcode.Addr{}}
+	for i := range p.Words {
+		p.Words[i] = microcode.Word{FF: microcode.FFHalt} // unused words halt
+	}
+	for _, in := range a.insts {
+		if !in.placed {
+			return nil, fmt.Errorf("masm: internal error: %s never placed", describe(in))
+		}
+		w, err := a.encode(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("masm: %s: %v", describe(in), err)
+		}
+		p.Words[in.addr] = w
+		p.Used[in.addr] = true
+		for _, l := range in.labels {
+			p.Symbols[l] = in.addr
+		}
+	}
+	a.stats(p)
+	return p, nil
+}
+
+// encode produces the placed Word for one instruction.
+func (a *assembly) encode(in *inst) (microcode.Word, error) {
+	w := microcode.Word{
+		RAddr: in.R & 0xF,
+		ALUOp: uint8(in.ALU) & 0xF,
+		BSel:  in.B,
+		LC:    in.LC,
+		ASel:  in.A,
+		Block: in.Block,
+		FF:    in.FF,
+	}
+	if in.HasConst {
+		if in.B != microcode.BSelRM {
+			return w, fmt.Errorf("masm: %s sets both B and Const", describe(in))
+		}
+		if in.FF != microcode.FFNop {
+			return w, fmt.Errorf("masm: %s needs FF for both a function and a constant (§5.5: one FF use per cycle)", describe(in))
+		}
+		bsel, ff, err := Const16(in.Const)
+		if err != nil {
+			return w, fmt.Errorf("masm: %s: %v", describe(in), err)
+		}
+		w.BSel, w.FF = bsel, ff
+	}
+
+	transfer := func(t *inst, short, long microcode.NextKind) error {
+		if t.addr.Page() == in.addr.Page() {
+			w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: short, W: t.addr.Word()})
+			return nil
+		}
+		if in.ffBusy() {
+			return fmt.Errorf("masm: internal error: %s placed cross-page with busy FF", describe(in))
+		}
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: long, W: t.addr.Word()})
+		w.FF = t.addr.Page()
+		return nil
+	}
+
+	switch in.Flow.Kind {
+	case FlowSeq:
+		t, err := a.follower(in)
+		if err != nil {
+			return w, err
+		}
+		return w, transfer(t, microcode.NextGoto, microcode.NextLongGoto)
+	case FlowGoto:
+		t, err := a.lookup(in.Flow.Target, in)
+		if err != nil {
+			return w, err
+		}
+		return w, transfer(t, microcode.NextGoto, microcode.NextLongGoto)
+	case FlowSelf:
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: microcode.NextGoto, W: in.addr.Word()})
+		return w, nil
+	case FlowCall:
+		t, err := a.lookup(in.Flow.Target, in)
+		if err != nil {
+			return w, err
+		}
+		return w, transfer(t, microcode.NextCall, microcode.NextLongCall)
+	case FlowReturn:
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: microcode.NextReturn})
+		return w, nil
+	case FlowIFUJump:
+		if w.FF == microcode.FFIFUReset && !in.HasConst {
+			return w, fmt.Errorf("masm: %s combines IFUReset with IFUJump; "+
+				"the dispatch would consume the pre-reset stream (or hold forever) — "+
+				"put the IFUJump in the following instruction", describe(in))
+		}
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: microcode.NextIFUJump})
+		return w, nil
+	case FlowBranch:
+		els, err := a.lookup(in.Flow.Else, in)
+		if err != nil {
+			return w, err
+		}
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{
+			Kind: microcode.NextBranch, Cond: in.Flow.Cond, W: els.addr.Word(),
+		})
+		return w, nil
+	case FlowDispatch8:
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: microcode.NextDispatch8})
+		w.FF = in.d8table[0].addr.Word() & 0x8 // table base selector bit
+		return w, nil
+	case FlowDispatch256:
+		w.Next = microcode.MustEncodeNext(microcode.NextOp{Kind: microcode.NextDispatch256})
+		w.FF = a.regionIndex(in)
+		return w, nil
+	}
+	return w, fmt.Errorf("masm: unknown flow kind %d at %s", in.Flow.Kind, describe(in))
+}
+
+func (a *assembly) regionIndex(dispatcher *inst) uint8 {
+	for _, r := range a.regions {
+		if r.dispatcher == dispatcher {
+			return uint8(r.index)
+		}
+	}
+	panic("masm: dispatcher without region")
+}
+
+func (a *assembly) stats(p *Program) {
+	var st PlacementStats
+	st.Instructions = a.builderLen
+	st.Trampolines = len(a.insts) - a.builderLen
+	pages := map[uint8]bool{}
+	for _, in := range a.insts {
+		st.WordsUsed++
+		pages[in.addr.Page()] = true
+	}
+	st.PagesTouched = len(pages)
+	st.Clusters = len(a.clusterList)
+	for _, c := range a.clusterList {
+		if c.words > st.LargestCluster {
+			st.LargestCluster = c.words
+		}
+	}
+	if st.PagesTouched > 0 {
+		st.UtilizationTouched = float64(st.WordsUsed) / float64(st.PagesTouched*microcode.PageSize)
+	}
+	st.UtilizationStore = float64(st.WordsUsed) / float64(microcode.StoreSize)
+	p.Stats = st
+}

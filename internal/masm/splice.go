@@ -1,0 +1,102 @@
+package masm
+
+import (
+	"fmt"
+
+	"dorado/internal/microcode"
+)
+
+// Splice relocates extra's microcode into pages base does not use and
+// returns the combined image — how the real Dorado composed its microstore
+// from independently assembled overlays (the store is writable, §6.2.3).
+//
+// Relocation moves whole pages: in-page GOTO/CALL/BRANCH words are
+// position-independent (NEXTPC takes its page bits from the executing
+// address), and cross-page transfers carry their target page in FF, which
+// is remapped. Programs containing DISPATCH256 regions cannot be spliced
+// (their trampolines are pinned to absolute region addresses).
+func Splice(base, extra *Program) (*Program, error) {
+	return SpliceAs(base, extra, "")
+}
+
+// SpliceAs is Splice with every symbol of extra prefixed (composing images
+// that reuse label names, e.g. several emulators' "boot").
+func SpliceAs(base, extra *Program, prefix string) (*Program, error) {
+	// Enumerate base's free and extra's used pages.
+	var usedBase, usedExtra [microcode.NumPages]bool
+	for a := 0; a < microcode.StoreSize; a++ {
+		if base.Used[a] {
+			usedBase[a>>4] = true
+		}
+		if extra.Used[a] {
+			usedExtra[a>>4] = true
+		}
+	}
+	pageMap := map[uint8]uint8{}
+	next := 0
+	for p := 0; p < microcode.NumPages; p++ {
+		if !usedExtra[p] {
+			continue
+		}
+		for next < microcode.NumPages && usedBase[next] {
+			next++
+		}
+		if next == microcode.NumPages {
+			return nil, fmt.Errorf("masm: splice: no free pages left in the base image")
+		}
+		pageMap[uint8(p)] = uint8(next)
+		next++
+	}
+
+	out := &Program{Symbols: map[string]microcode.Addr{}, Stats: base.Stats}
+	out.Words = base.Words
+	out.Used = base.Used
+	for n, a := range base.Symbols {
+		out.Symbols[n] = a
+	}
+	for a := 0; a < microcode.StoreSize; a++ {
+		if !extra.Used[a] {
+			continue
+		}
+		w := extra.Words[a]
+		op := w.NextOp()
+		if op.UsesFFAsAddress() {
+			switch op.Kind {
+			case microcode.NextLongGoto, microcode.NextLongCall:
+				np, ok := pageMap[w.FF]
+				if !ok {
+					return nil, fmt.Errorf("masm: splice: %v long-transfers to page %#02x outside the spliced program",
+						microcode.Addr(a), w.FF)
+				}
+				w.FF = np
+			case microcode.NextDispatch256:
+				return nil, fmt.Errorf("masm: splice: DISPATCH256 at %v is pinned to an absolute region",
+					microcode.Addr(a))
+				// NextDispatch8's FF selects a word within the current page:
+				// position-independent, nothing to remap.
+			}
+		}
+		na := microcode.MakeAddr(pageMap[microcode.Addr(a).Page()], microcode.Addr(a).Word())
+		out.Words[na] = w
+		out.Used[na] = true
+	}
+	for n, a := range extra.Symbols {
+		name := prefix + n
+		if _, dup := out.Symbols[name]; dup {
+			return nil, fmt.Errorf("masm: splice: symbol %q defined in both images", name)
+		}
+		out.Symbols[name] = microcode.MakeAddr(pageMap[a.Page()], a.Word())
+	}
+	out.Stats.WordsUsed = 0
+	pages := map[uint8]bool{}
+	for a := 0; a < microcode.StoreSize; a++ {
+		if out.Used[a] {
+			out.Stats.WordsUsed++
+			pages[microcode.Addr(a).Page()] = true
+		}
+	}
+	out.Stats.PagesTouched = len(pages)
+	out.Stats.UtilizationTouched = float64(out.Stats.WordsUsed) / float64(out.Stats.PagesTouched*microcode.PageSize)
+	out.Stats.UtilizationStore = float64(out.Stats.WordsUsed) / float64(microcode.StoreSize)
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package masm
+
+import (
+	"strings"
+	"testing"
+
+	"dorado/internal/microcode"
+)
+
+func assembleOrDie(t *testing.T, b *Builder) *Program {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSpliceRelocatesAndMergesSymbols(t *testing.T) {
+	base := NewBuilder()
+	base.EmitAt("main", I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	base.Halt()
+	bp := assembleOrDie(t, base)
+
+	extra := NewBuilder()
+	extra.EmitAt("svc", I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	extra.Emit(I{Block: true, Flow: Goto("svc")})
+	ep := assembleOrDie(t, extra)
+
+	out, err := Splice(bp, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base symbols unchanged; extra symbols relocated to an unused page.
+	if out.MustEntry("main") != bp.MustEntry("main") {
+		t.Error("base symbol moved")
+	}
+	svc := out.MustEntry("svc")
+	if svc.Page() == bp.MustEntry("main").Page() {
+		t.Errorf("svc landed in the base's page %v", svc)
+	}
+	// The relocated service loop still closes on itself (in-page goto is
+	// position-independent).
+	w := out.Words[svc+1]
+	op := w.NextOp()
+	if op.Kind != microcode.NextGoto || microcode.MakeAddr(svc.Page(), op.W) != svc {
+		t.Errorf("relocated loop broken: %v", op)
+	}
+}
+
+func TestSpliceRemapsLongTransfers(t *testing.T) {
+	base := NewBuilder()
+	base.Label("main")
+	base.Halt()
+	bp := assembleOrDie(t, base)
+
+	// Force a cross-page long transfer within the extra program: two
+	// FF-free chains big enough that the placer may split... guarantee it
+	// with >16 instructions of FF-free code plus explicit long flow.
+	extra := NewBuilder()
+	extra.Label("a")
+	for i := 0; i < 20; i++ {
+		extra.Emit(I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	}
+	extra.Emit(I{Flow: Goto("a")})
+	ep := assembleOrDie(t, extra)
+	if ep.Stats.PagesTouched < 2 {
+		t.Skip("placer fit everything in one page; no long transfer to test")
+	}
+	out, err := Splice(bp, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow the relocated chain for 21 steps: it must stay within used
+	// words and return to "a".
+	a := out.MustEntry("a")
+	pc := a
+	for i := 0; i < 21; i++ {
+		if !out.Used[pc] {
+			t.Fatalf("step %d: chain walked into unused word %v", i, pc)
+		}
+		w := out.Words[pc]
+		op := w.NextOp()
+		switch op.Kind {
+		case microcode.NextGoto:
+			pc = microcode.MakeAddr(pc.Page(), op.W)
+		case microcode.NextLongGoto:
+			pc = microcode.MakeAddr(w.FF, op.W)
+		default:
+			t.Fatalf("unexpected flow %v at %v", op, pc)
+		}
+	}
+	if pc != a {
+		t.Fatalf("chain ends at %v, want %v", pc, a)
+	}
+}
+
+func TestSpliceRejectsSymbolCollision(t *testing.T) {
+	b1 := NewBuilder()
+	b1.EmitAt("x", I{FF: microcode.FFHalt, Flow: Self()})
+	b2 := NewBuilder()
+	b2.EmitAt("x", I{FF: microcode.FFHalt, Flow: Self()})
+	_, err := Splice(assembleOrDie(t, b1), assembleOrDie(t, b2))
+	if err == nil || !strings.Contains(err.Error(), "defined in both") {
+		t.Fatalf("want collision error, got %v", err)
+	}
+}
+
+func TestSpliceRejectsDispatch256(t *testing.T) {
+	b1 := NewBuilder()
+	b1.EmitAt("m", I{FF: microcode.FFHalt, Flow: Self()})
+	b2 := NewBuilder()
+	table := make([]string, 1)
+	table[0] = "h"
+	b2.EmitAt("d", I{B: microcode.BSelT, Flow: Dispatch256(table)})
+	b2.EmitAt("h", I{FF: microcode.FFHalt, Flow: Self()})
+	_, err := Splice(assembleOrDie(t, b1), assembleOrDie(t, b2))
+	if err == nil || !strings.Contains(err.Error(), "DISPATCH256") {
+		t.Fatalf("want dispatch256 error, got %v", err)
+	}
+}
+
+func TestSpliceStats(t *testing.T) {
+	b1 := NewBuilder()
+	b1.EmitAt("m", I{FF: microcode.FFHalt, Flow: Self()})
+	b2 := NewBuilder()
+	b2.EmitAt("s", I{FF: microcode.FFHalt, Flow: Self()})
+	out, err := Splice(assembleOrDie(t, b1), assembleOrDie(t, b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.WordsUsed != 2 || out.Stats.PagesTouched != 2 {
+		t.Errorf("stats = %+v", out.Stats)
+	}
+}

@@ -1,0 +1,348 @@
+package masm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dorado/internal/microcode"
+)
+
+// ParseText assembles the textual microassembly format into a Builder.
+//
+// The format is line-oriented; ';' starts a comment. Each line is an
+// optional label ("name:") followed by whitespace-separated clauses:
+//
+//	r=N            RAddress (register 0-15, or the stack delta with STACK)
+//	alu=FN         a+b a-b b-a a b ~a ~b a&b a|b a^b a&~b a|~b xnor a+1 a-1 0
+//	a=SRC          rm t ifudata md fetch store fetchifu storeifu
+//	b=SRC          rm t q md
+//	lc=DST         t rm both
+//	const=V        a 16-bit constant (decimal or 0x hex; §5.9 byte rule applies)
+//	ff=NAME        an FF function: nop input output halt probemd devctl
+//	               ioack readyb setmb clearmb stackreset flush mapset mapget
+//	               ifureset shift shiftz shiftmd alulsh alursh mulstep divstep
+//	               putrbase putstkp putmembase putshiftctl putioaddr putcount
+//	               putq putalufm putlink putbaselo putbasehi getrbase getstkp
+//	               getmembase getshiftctl getioaddr getcount getq getalufm
+//	               getlink getmacropc getbaselo count=N membase=N rot=N rmdest=N
+//	stack=D        task-0 stack operation with signed delta D (sets BLOCK)
+//	block          release the processor (I/O task service)
+//
+// and at most one flow clause (default: fall through to the next line):
+//
+//	goto LABEL | call LABEL | ret | ifujump | self | halt
+//	br COND,ELSE,THEN      cond: zero neg carry count ovf stkerr ioatten mb
+//	disp8 L0,...,L7
+//
+// Example:
+//
+//	; sum 1..10 into T
+//	start:  ff=count=9
+//	loop:   alu=a+1 a=t lc=t
+//	        br count,done,loop
+//	done:   halt
+func ParseText(src string) (*Builder, error) {
+	b := NewBuilder()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			rest, lbl, ok := takeLabel(line)
+			if !ok {
+				break
+			}
+			b.Label(lbl)
+			line = rest
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		inst, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("masm: line %d: %v", ln+1, err)
+		}
+		b.Emit(inst)
+	}
+	return b, nil
+}
+
+// takeLabel splits a leading "name:" off the line.
+func takeLabel(line string) (rest, label string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return line, "", false
+	}
+	cand := line[:i]
+	if strings.ContainsAny(cand, " \t=,") {
+		return line, "", false
+	}
+	return strings.TrimSpace(line[i+1:]), cand, true
+}
+
+func parseInst(line string) (I, error) {
+	var in I
+	fields := strings.Fields(line)
+	for fi := 0; fi < len(fields); fi++ {
+		f := strings.ToLower(fields[fi])
+		key, val, hasEq := strings.Cut(f, "=")
+		switch {
+		case key == "goto" || key == "call":
+			if fi+1 >= len(fields) {
+				return in, fmt.Errorf("%s needs a label", key)
+			}
+			fi++
+			if key == "goto" {
+				in.Flow = Goto(fields[fi])
+			} else {
+				in.Flow = Call(fields[fi])
+			}
+		case key == "ret":
+			in.Flow = Return()
+		case key == "ifujump":
+			in.Flow = IFUJump()
+		case key == "self":
+			in.Flow = Self()
+		case key == "halt":
+			in.FF = microcode.FFHalt
+			in.Flow = Self()
+		case key == "br":
+			if fi+1 >= len(fields) {
+				return in, fmt.Errorf("br needs cond,else,then")
+			}
+			fi++
+			parts := strings.Split(fields[fi], ",")
+			if len(parts) != 3 {
+				return in, fmt.Errorf("br needs cond,else,then; got %q", fields[fi])
+			}
+			cond, err := parseCond(parts[0])
+			if err != nil {
+				return in, err
+			}
+			in.Flow = Branch(cond, parts[1], parts[2])
+		case key == "disp8":
+			if fi+1 >= len(fields) {
+				return in, fmt.Errorf("disp8 needs target labels")
+			}
+			fi++
+			in.Flow = Dispatch8(strings.Split(fields[fi], ",")...)
+		case key == "block":
+			in.Block = true
+		case key == "stack":
+			if !hasEq {
+				return in, fmt.Errorf("stack needs =delta")
+			}
+			d, err := strconv.ParseInt(val, 10, 8)
+			if err != nil || d < -8 || d > 7 {
+				return in, fmt.Errorf("stack delta %q out of -8..7", val)
+			}
+			in.Block = true
+			in.R = uint8(d) & 0xF
+		case key == "r" && hasEq:
+			n, err := strconv.ParseUint(val, 0, 8)
+			if err != nil || n > 15 {
+				return in, fmt.Errorf("r=%q out of 0..15", val)
+			}
+			in.R = uint8(n)
+		case key == "alu" && hasEq:
+			fn, err := parseALU(val)
+			if err != nil {
+				return in, err
+			}
+			in.ALU = fn
+		case key == "a" && hasEq:
+			src, err := parseASel(val)
+			if err != nil {
+				return in, err
+			}
+			in.A = src
+		case key == "b" && hasEq:
+			src, err := parseBSel(val)
+			if err != nil {
+				return in, err
+			}
+			in.B = src
+		case key == "lc" && hasEq:
+			switch val {
+			case "t":
+				in.LC = microcode.LCLoadT
+			case "rm":
+				in.LC = microcode.LCLoadRM
+			case "both":
+				in.LC = microcode.LCLoadBoth
+			default:
+				return in, fmt.Errorf("lc=%q not t/rm/both", val)
+			}
+		case key == "const" && hasEq:
+			v, err := strconv.ParseUint(val, 0, 16)
+			if err != nil {
+				return in, fmt.Errorf("const=%q: %v", val, err)
+			}
+			in.Const = uint16(v)
+			in.HasConst = true
+		case key == "ff" && hasEq:
+			ff, err := parseFF(val)
+			if err != nil {
+				return in, err
+			}
+			in.FF = ff
+		default:
+			return in, fmt.Errorf("unknown clause %q", f)
+		}
+	}
+	return in, nil
+}
+
+func parseCond(s string) (Condition, error) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return microcode.CondALUZero, nil
+	case "neg":
+		return microcode.CondALUNeg, nil
+	case "carry":
+		return microcode.CondCarry, nil
+	case "count":
+		return microcode.CondCountNZ, nil
+	case "ovf":
+		return microcode.CondOverflow, nil
+	case "stkerr":
+		return microcode.CondStackError, nil
+	case "ioatten":
+		return microcode.CondIOAtten, nil
+	case "mb":
+		return microcode.CondMB, nil
+	}
+	return 0, fmt.Errorf("unknown condition %q", s)
+}
+
+var aluNames = map[string]microcode.ALUFn{
+	"a+b": microcode.ALUAplusB, "a-b": microcode.ALUAminusB, "b-a": microcode.ALUBminusA,
+	"a": microcode.ALUA, "b": microcode.ALUB, "~a": microcode.ALUNotA, "~b": microcode.ALUNotB,
+	"a&b": microcode.ALUAandB, "a|b": microcode.ALUAorB, "a^b": microcode.ALUAxorB,
+	"a&~b": microcode.ALUAandNotB, "a|~b": microcode.ALUAorNotB, "xnor": microcode.ALUXnor,
+	"a+1": microcode.ALUAplus1, "a-1": microcode.ALUAminus1, "0": microcode.ALUZero,
+}
+
+func parseALU(s string) (microcode.ALUFn, error) {
+	if fn, ok := aluNames[s]; ok {
+		return fn, nil
+	}
+	return 0, fmt.Errorf("unknown alu function %q", s)
+}
+
+func parseASel(s string) (microcode.ASelect, error) {
+	switch s {
+	case "rm":
+		return microcode.ASelRM, nil
+	case "t":
+		return microcode.ASelT, nil
+	case "ifudata":
+		return microcode.ASelIFUData, nil
+	case "md":
+		return microcode.ASelMD, nil
+	case "fetch":
+		return microcode.ASelFetch, nil
+	case "store":
+		return microcode.ASelStore, nil
+	case "fetchifu":
+		return microcode.ASelFetchIFU, nil
+	case "storeifu":
+		return microcode.ASelStoreIFU, nil
+	}
+	return 0, fmt.Errorf("unknown a-source %q", s)
+}
+
+func parseBSel(s string) (microcode.BSelect, error) {
+	switch s {
+	case "rm":
+		return microcode.BSelRM, nil
+	case "t":
+		return microcode.BSelT, nil
+	case "q":
+		return microcode.BSelQ, nil
+	case "md":
+		return microcode.BSelMD, nil
+	}
+	return 0, fmt.Errorf("unknown b-source %q (constants use const=)", s)
+}
+
+var ffNames = map[string]uint8{
+	"nop": microcode.FFNop, "input": microcode.FFInput, "output": microcode.FFOutput,
+	"halt": microcode.FFHalt, "probemd": microcode.FFProbeMD, "devctl": microcode.FFDevCtl,
+	"ioack": microcode.FFIOAttenAck, "readyb": microcode.FFReadyB,
+	"setmb": microcode.FFSetMB, "clearmb": microcode.FFClearMB,
+	"stackreset": microcode.FFStackReset, "flush": microcode.FFFlushCache,
+	"mapset": microcode.FFMapSet, "mapget": microcode.FFMapGet,
+	"ifureset": microcode.FFIFUReset,
+	"shift":    microcode.FFShiftNoMask, "shiftz": microcode.FFShiftMaskZ,
+	"shiftmd": microcode.FFShiftMaskMD, "alulsh": microcode.FFALULsh,
+	"alursh": microcode.FFALURsh, "mulstep": microcode.FFMulStep, "divstep": microcode.FFDivStep,
+	"putrbase": microcode.FFPutRBase, "putstkp": microcode.FFPutStackPtr,
+	"putmembase": microcode.FFPutMemBase, "putshiftctl": microcode.FFPutShiftCtl,
+	"putioaddr": microcode.FFPutIOAddress, "putcount": microcode.FFPutCount,
+	"putq": microcode.FFPutQ, "putalufm": microcode.FFPutALUFM, "putlink": microcode.FFPutLink,
+	"putbaselo": microcode.FFPutBaseLo, "putbasehi": microcode.FFPutBaseHi,
+	"getrbase": microcode.FFGetRBase, "getstkp": microcode.FFGetStackPtr,
+	"getmembase": microcode.FFGetMemBase, "getshiftctl": microcode.FFGetShiftCtl,
+	"getioaddr": microcode.FFGetIOAddress, "getcount": microcode.FFGetCount,
+	"getq": microcode.FFGetQ, "getalufm": microcode.FFGetALUFM, "getlink": microcode.FFGetLink,
+	"getmacropc": microcode.FFGetMacroPC, "getbaselo": microcode.FFGetBaseLo,
+	"readtpc": microcode.FFReadTPC, "writetpc": microcode.FFWriteTPC,
+	"cpregget": microcode.FFCPRegGet, "cpregput": microcode.FFCPRegPut,
+}
+
+func parseFF(s string) (uint8, error) {
+	if ff, ok := ffNames[s]; ok {
+		return ff, nil
+	}
+	// Parameterized forms: count=N, membase=N, rot=N, rmdest=N.
+	name, arg, ok := strings.Cut(s, "=")
+	if !ok {
+		return 0, fmt.Errorf("unknown ff function %q", s)
+	}
+	n, err := strconv.ParseUint(arg, 0, 8)
+	if err != nil {
+		return 0, fmt.Errorf("ff %s=%q: %v", name, arg, err)
+	}
+	switch name {
+	case "count":
+		if n > 15 {
+			return 0, fmt.Errorf("ff count=%d out of 0..15", n)
+		}
+		return microcode.FFCountBase + uint8(n), nil
+	case "membase":
+		if n > 31 {
+			return 0, fmt.Errorf("ff membase=%d out of 0..31", n)
+		}
+		return microcode.FFMemBaseBase + uint8(n), nil
+	case "rot":
+		if n > 31 {
+			return 0, fmt.Errorf("ff rot=%d out of 0..31", n)
+		}
+		return microcode.FFRotBase + uint8(n), nil
+	case "rmdest":
+		if n > 15 {
+			return 0, fmt.Errorf("ff rmdest=%d out of 0..15", n)
+		}
+		return microcode.FFRMDestBase + uint8(n), nil
+	}
+	return 0, fmt.Errorf("unknown ff function %q", s)
+}
+
+// AssembleText parses and assembles in one step.
+func AssembleText(src string) (*Program, error) {
+	b, err := ParseText(src)
+	if err != nil {
+		return nil, err
+	}
+	return b.Assemble()
+}

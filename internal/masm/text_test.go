@@ -1,0 +1,238 @@
+package masm
+
+import (
+	"strings"
+	"testing"
+
+	"dorado/internal/microcode"
+)
+
+func TestParseCountLoop(t *testing.T) {
+	p, err := AssembleText(`
+; sum loop
+start:  ff=count=9
+loop:   alu=a+1 a=t lc=t
+        br count,done,loop
+done:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := p.MustEntry("start")
+	if p.Words[start].FF != microcode.FFCountBase+9 {
+		t.Errorf("start FF = %#x", p.Words[start].FF)
+	}
+	loop := p.MustEntry("loop")
+	w := p.Words[loop]
+	if w.ALUOp != uint8(microcode.ALUAplus1) || w.ASel != microcode.ASelT || !w.LC.LoadsT() {
+		t.Errorf("loop word = %v", w)
+	}
+	done := p.MustEntry("done")
+	if p.Words[done].FF != microcode.FFHalt {
+		t.Error("done does not halt")
+	}
+}
+
+func TestParsedProgramRuns(t *testing.T) {
+	// (Execution-level check lives in core; here: the branch pair layout.)
+	p, err := AssembleText(`
+start: alu=a-b a=t b=rm r=3 br zero,ne,eq
+ne: halt
+eq: halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, eq := p.MustEntry("ne"), p.MustEntry("eq")
+	if ne%2 != 0 || eq != ne+1 {
+		t.Errorf("branch pair ne=%v eq=%v", ne, eq)
+	}
+}
+
+func TestParseStackAndConst(t *testing.T) {
+	p, err := AssembleText(`
+start: const=0x2A alu=b lc=rm stack=1
+       stack=-1 alu=a lc=t
+       halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Words[p.MustEntry("start")]
+	if !w.Block || w.StackDelta() != 1 {
+		t.Errorf("push word = %v", w)
+	}
+	if !w.BSel.IsConst() || w.BSel.ConstValue(w.FF) != 0x2A {
+		t.Errorf("const = %v", w)
+	}
+}
+
+func TestParseFlowForms(t *testing.T) {
+	p, err := AssembleText(`
+start: call sub
+       goto start
+sub:   ff=getq lc=t ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Words[p.MustEntry("sub")].NextOp().Kind != microcode.NextReturn {
+		t.Error("sub does not return")
+	}
+}
+
+func TestParseIO(t *testing.T) {
+	p, err := AssembleText(`
+svc: ff=input alu=b lc=t
+     a=store r=1 b=t alu=a+1 lc=rm block goto svc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Words[p.MustEntry("svc")]
+	if w.FF != microcode.FFInput {
+		t.Errorf("svc = %v", w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"start: alu=bogus halt",
+		"start: a=bogus halt",
+		"start: b=const halt",
+		"start: lc=q halt",
+		"start: ff=什么 halt",
+		"start: br zero,only halt",
+		"start: stack=9 halt",
+		"start: r=16 halt",
+		"start: const=0x10000 halt",
+		"start: frobnicate halt",
+		"start: goto",
+	}
+	for _, src := range cases {
+		if _, err := AssembleText(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	p, err := AssembleText(`
+; leading comment
+
+start: halt  ; trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Entry("start"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMultipleLabelsOneLine(t *testing.T) {
+	p, err := AssembleText("a: b: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustEntry("a") != p.MustEntry("b") {
+		t.Error("aliased labels differ")
+	}
+}
+
+func TestParseFFParameterized(t *testing.T) {
+	p, err := AssembleText(`
+s: ff=membase=5
+   ff=rot=12
+   ff=rmdest=7 alu=a a=rm r=2 lc=rm
+   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.MustEntry("s")
+	if p.Words[a].FF != microcode.FFMemBaseBase+5 {
+		t.Errorf("membase word %v", p.Words[a])
+	}
+}
+
+func TestParseRejectsDoubleFlowIsLastOneWins(t *testing.T) {
+	// Two flow clauses: the second overwrites the first — document by test.
+	p, err := AssembleText("s: goto s self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Words[p.MustEntry("s")].NextOp()
+	if op.Kind != microcode.NextGoto || op.W != p.MustEntry("s").Word() {
+		t.Errorf("self should win: %v", op)
+	}
+}
+
+func TestParseDisp8(t *testing.T) {
+	src := `
+d: b=t disp8 t0,t1,t2,t3,t4,t5,t6,t7
+`
+	var labels strings.Builder
+	for i := 0; i < 8; i++ {
+		labels.WriteString("t")
+		labels.WriteByte(byte('0' + i))
+		labels.WriteString(": halt\n")
+	}
+	p, err := AssembleText(src + labels.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Words[p.MustEntry("d")].NextOp().Kind != microcode.NextDispatch8 {
+		t.Error("not a dispatch")
+	}
+}
+
+func TestParseAllConditionNames(t *testing.T) {
+	for _, cond := range []string{"zero", "neg", "carry", "count", "ovf", "stkerr", "ioatten", "mb"} {
+		src := "s: alu=a a=t br " + cond + ",e,t\ne: halt\nt: halt\n"
+		if _, err := AssembleText(src); err != nil {
+			t.Errorf("condition %q: %v", cond, err)
+		}
+	}
+}
+
+func TestParseAllSourceNames(t *testing.T) {
+	for _, a := range []string{"rm", "t", "ifudata", "md", "fetch", "store", "fetchifu", "storeifu"} {
+		src := "s: a=" + a + " halt"
+		if _, err := ParseText(src); err != nil {
+			t.Errorf("a=%s: %v", a, err)
+		}
+	}
+	for _, b := range []string{"rm", "t", "q", "md"} {
+		src := "s: b=" + b + " halt"
+		if _, err := ParseText(src); err != nil {
+			t.Errorf("b=%s: %v", b, err)
+		}
+	}
+}
+
+func TestBuilderConveniences(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Nop()
+	b.Emit(I{Flow: IFUJump()})
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	b.Label("") // construction error surfaces at Assemble
+	if _, err := b.Assemble(); err == nil {
+		t.Error("empty label should fail assembly")
+	}
+}
+
+func TestEmptyProgramHalts(t *testing.T) {
+	p := EmptyProgram()
+	for a := 0; a < microcode.StoreSize; a += 1111 {
+		if p.Used[a] || p.Words[a].FF != microcode.FFHalt {
+			t.Fatalf("word %d not a halting filler", a)
+		}
+	}
+	if len(p.Symbols) != 0 {
+		t.Error("empty program has symbols")
+	}
+}

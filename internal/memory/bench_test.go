@@ -1,0 +1,37 @@
+package memory
+
+import "testing"
+
+// BenchmarkStartReadHit measures the hot path of the simulation: a cache
+// hit per call.
+func BenchmarkStartReadHit(b *testing.B) {
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Warm(64)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 3
+		s.StartRead(0, 64, now)
+		s.MD(0, now+2)
+	}
+}
+
+// BenchmarkStartReadMissSweep measures miss handling over a large stride.
+func BenchmarkStartReadMissSweep(b *testing.B) {
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := uint64(0)
+	va := uint32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 40
+		va = (va + LineWords) & VAMask
+		s.StartRead(0, va, now)
+		s.MD(0, now+30)
+	}
+}

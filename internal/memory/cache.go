@@ -1,0 +1,130 @@
+package memory
+
+import "fmt"
+
+// LineWords is the cache line ("munch") size in 16-bit words. It equals the
+// fast-I/O block size: storage moves data in 16-word units (§5.8).
+const LineWords = 16
+
+// cache is set-associative timing metadata over virtual addresses. The data
+// itself lives in System.data; the cache tracks which lines would be
+// resident, their dirtiness, and LRU order, to decide hit vs miss and
+// writeback traffic.
+type cache struct {
+	sets  int
+	ways  int
+	lines []line // sets × ways
+	clock uint32 // LRU timestamp source
+	// stats
+	hits, misses, writebacks uint64
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32 // va / LineWords / sets
+	lru   uint32 // smaller = older
+}
+
+func newCache(words, ways int) (*cache, error) {
+	if words%(LineWords*ways) != 0 {
+		return nil, fmt.Errorf("memory: cache size %d not divisible by ways×line (%d×%d)", words, ways, LineWords)
+	}
+	sets := words / (LineWords * ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("memory: cache set count %d not a power of two", sets)
+	}
+	return &cache{sets: sets, ways: ways, lines: make([]line, sets*ways)}, nil
+}
+
+func (c *cache) set(va uint32) []line {
+	s := int(va/LineWords) & (c.sets - 1)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *cache) tag(va uint32) uint32 { return va / LineWords / uint32(c.sets) }
+
+// lookup reports whether va hits, updating LRU on hit.
+func (c *cache) lookup(va uint32) bool {
+	set := c.set(va)
+	t := c.tag(va)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			c.touch(&set[i])
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// peek is lookup without LRU/stat side effects.
+func (c *cache) peek(va uint32) bool {
+	set := c.set(va)
+	t := c.tag(va)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *cache) touch(l *line) {
+	c.clock++
+	l.lru = c.clock
+}
+
+// fill installs the line containing va, returning whether a dirty victim
+// was evicted (which costs a writeback storage cycle).
+func (c *cache) fill(va uint32) (evictedDirty bool) {
+	set := c.set(va)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	evictedDirty = victim.valid && victim.dirty
+	if evictedDirty {
+		c.writebacks++
+	}
+	*victim = line{valid: true, tag: c.tag(va)}
+	c.touch(victim)
+	return evictedDirty
+}
+
+// markDirty marks va's line dirty (assumes resident).
+func (c *cache) markDirty(va uint32) {
+	set := c.set(va)
+	t := c.tag(va)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// invalidate drops the line containing va if resident, reporting whether it
+// was dirty (caller accounts the writeback).
+func (c *cache) invalidate(va uint32) (wasDirty bool) {
+	set := c.set(va)
+	t := c.tag(va)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			wasDirty = set[i].dirty
+			set[i] = line{}
+			if wasDirty {
+				c.writebacks++
+			}
+			return wasDirty
+		}
+	}
+	return false
+}

@@ -1,0 +1,364 @@
+package memory
+
+import (
+	"fmt"
+)
+
+// Config sizes and times the memory system. The defaults correspond to the
+// machine the paper describes.
+type Config struct {
+	// CacheWords is the cache capacity in 16-bit words (default 4096).
+	CacheWords int
+	// CacheWays is the set associativity (default 2).
+	CacheWays int
+	// StorageWords is the real-memory size in words (default 1<<20 = 2 MB;
+	// the Dorado supported up to 4 M words = 8 MB).
+	StorageWords int
+	// HitLatency is the cycle count from Fetch to MD-ready on a hit
+	// (default 2: "a cache which has a latency of two cycles, and can
+	// deliver a word every cycle", §3).
+	HitLatency int
+	// MissLatency is the Fetch-to-MD-ready count on a miss (default 26:
+	// "the difference between the best case and the worst is more than an
+	// order of magnitude", §5.7).
+	MissLatency int
+	// StorageCycle is the minimum spacing of storage references in cycles
+	// (default 8: "the maximum rate at which storage references can be made
+	// is one every eight cycles; this is the cycle time of the main storage
+	// RAMs", §6.2.1).
+	StorageCycle int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheWords == 0 {
+		c.CacheWords = 4096
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 2
+	}
+	if c.StorageWords == 0 {
+		c.StorageWords = 1 << 20
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 2
+	}
+	if c.MissLatency == 0 {
+		c.MissLatency = 26
+	}
+	if c.StorageCycle == 0 {
+		c.StorageCycle = 8
+	}
+	return c
+}
+
+// NumTasks matches the processor's 16 microcode tasks.
+const NumTasks = 16
+
+// mdState is one task's memory-data register state (task-specific, §5.3:
+// "the memory data register" is among the task-specific registers).
+type mdState struct {
+	val     uint16
+	readyAt uint64 // cycle at which val may be used
+	issueAt uint64 // cycle the fetch was issued (for the fixed-wait ablation)
+	pending bool   // a fetch is outstanding
+}
+
+// Stats counts memory-system activity.
+type Stats struct {
+	Reads      uint64 // processor fetches
+	Writes     uint64 // processor stores
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	StorageOps uint64 // storage-pipe occupancies (fills, writebacks, fast blocks)
+	FastReads  uint64 // fast-I/O blocks read
+	FastWrites uint64 // fast-I/O blocks written
+	MapFaults  uint64 // references past the end of real storage (wrapped)
+	Faults     uint64 // protection/vacancy faults (see map.go)
+}
+
+// System is the memory subsystem: base registers, page map, cache timing,
+// storage pipe, and per-task MD state.
+type System struct {
+	cfg   Config
+	data  []uint16 // real storage, indexed by real address
+	cache *cache
+
+	base  [32]uint32          // 28-bit base registers (MEMBASE selects one)
+	vmapx map[uint32]mapEntry // page map overrides: translation + flags (identity default)
+
+	md            [NumTasks]mdState
+	storageFreeAt uint64 // next cycle a storage reference may start
+
+	fault       Fault
+	faultNotify func(Fault)
+
+	stats Stats
+}
+
+// PageWords is the map page size in words.
+const PageWords = 256
+
+// VAMask masks a 28-bit virtual address.
+const VAMask = 1<<28 - 1
+
+// New builds a memory system.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	c, err := newCache(cfg.CacheWords, cfg.CacheWays)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StorageWords <= 0 || cfg.StorageWords%LineWords != 0 {
+		return nil, fmt.Errorf("memory: storage size %d not a multiple of %d", cfg.StorageWords, LineWords)
+	}
+	return &System{
+		cfg:   cfg,
+		data:  make([]uint16, cfg.StorageWords),
+		cache: c,
+		vmapx: map[uint32]mapEntry{},
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.Hits = s.cache.hits
+	st.Misses = s.cache.misses
+	st.Writebacks = s.cache.writebacks
+	return st
+}
+
+// SetBase loads base register i (28 bits).
+func (s *System) SetBase(i int, va uint32) { s.base[i&31] = va & VAMask }
+
+// Base reads base register i.
+func (s *System) Base(i int) uint32 { return s.base[i&31] }
+
+// SetBaseLo loads the low 16 bits of base register i, preserving the high
+// bits (the FF PutBaseLo path: base registers load from the 16-bit B bus
+// in two halves).
+func (s *System) SetBaseLo(i int, lo uint16) {
+	s.base[i&31] = s.base[i&31]&^0xFFFF | uint32(lo)
+}
+
+// SetBaseHi loads the high 12 bits of base register i.
+func (s *System) SetBaseHi(i int, hi uint16) {
+	s.base[i&31] = s.base[i&31]&0xFFFF | uint32(hi&0xFFF)<<16
+}
+
+// BaseLo reads the low 16 bits of base register i.
+func (s *System) BaseLo(i int) uint16 { return uint16(s.base[i&31]) }
+
+// VA forms the virtual address for a reference: base[membase] + displacement.
+func (s *System) VA(membase uint8, disp uint16) uint32 {
+	return (s.base[membase&31] + uint32(disp)) & VAMask
+}
+
+// MapSet overrides the translation of virtual page vp to real page rp
+// (clearing any Vacant flag; other flags are preserved).
+func (s *System) MapSet(vp, rp uint32) {
+	vp &= VAMask / PageWords
+	e := s.entry(vp)
+	e.rp = rp
+	e.flags.Vacant = false
+	s.vmapx[vp] = e
+}
+
+// MapGet returns the real page for virtual page vp.
+func (s *System) MapGet(vp uint32) uint32 {
+	vp &= VAMask / PageWords
+	if e, ok := s.vmapx[vp]; ok {
+		return e.rp
+	}
+	return vp
+}
+
+// translate maps a virtual address to a real storage index.
+func (s *System) translate(va uint32) uint32 {
+	va &= VAMask
+	ra := s.MapGet(va/PageWords)*PageWords + va%PageWords
+	if int(ra) >= len(s.data) {
+		s.stats.MapFaults++
+		ra %= uint32(len(s.data))
+	}
+	return ra
+}
+
+// storageFree reports whether a storage reference can start at cycle now.
+func (s *System) storageFree(now uint64) bool { return now >= s.storageFreeAt }
+
+// takeStorage occupies the storage pipe for n back-to-back RAM cycles.
+func (s *System) takeStorage(now uint64, n int) {
+	s.storageFreeAt = now + uint64(n*s.cfg.StorageCycle)
+	s.stats.StorageOps += uint64(n)
+}
+
+// CanRead reports, without side effects, whether StartRead would accept a
+// reference at cycle now. The processor evaluates this during its Hold
+// phase, before committing any state change (§5.7).
+func (s *System) CanRead(task int, va uint32, now uint64) bool {
+	md := &s.md[task&15]
+	if md.pending && now < md.readyAt {
+		return false
+	}
+	return s.cache.peek(va) || s.storageFree(now)
+}
+
+// CanWrite reports, without side effects, whether StartWrite would accept a
+// reference at cycle now.
+func (s *System) CanWrite(va uint32, now uint64) bool {
+	return s.cache.peek(va) || s.storageFree(now)
+}
+
+// StartRead begins a fetch for task at va. It returns false when the memory
+// cannot accept the reference this cycle (the processor asserts Hold and
+// retries): the task already has a fetch outstanding, or the reference
+// misses while the storage pipe is busy.
+func (s *System) StartRead(task int, va uint32, now uint64) bool {
+	md := &s.md[task&15]
+	if md.pending && now < md.readyAt {
+		return false // one outstanding fetch per task; use MD first
+	}
+	hit := s.cache.peek(va)
+	if !hit && !s.storageFree(now) {
+		return false // retried via Hold; counted once when accepted
+	}
+	s.stats.Reads++
+	s.checkRef(task, va, false) // flag maintenance + vacancy fault
+	latency := s.cfg.HitLatency
+	if hit {
+		s.cache.lookup(va) // LRU + hit accounting
+	} else {
+		s.cache.misses++ // accounted here; fill() below does the install
+		if s.cache.fill(va) {
+			s.takeStorage(now, 2) // line fill + victim writeback
+		} else {
+			s.takeStorage(now, 1)
+		}
+		latency = s.cfg.MissLatency
+	}
+	md.val = s.data[s.translate(va)]
+	md.readyAt = now + uint64(latency)
+	md.issueAt = now
+	md.pending = true
+	return true
+}
+
+// StartWrite begins a store of data to va for task. Stores do not touch MD;
+// they return false (Hold) only when they miss while the storage pipe is
+// busy. The cache is write-allocate, write-back.
+func (s *System) StartWrite(task int, va uint32, data uint16, now uint64) bool {
+	hit := s.cache.peek(va)
+	if !hit && !s.storageFree(now) {
+		return false
+	}
+	s.stats.Writes++
+	if s.checkRef(task, va, true) {
+		// A faulting store is accepted (the instruction completes; §5.7's
+		// Hold is not for faults) but its data is suppressed; the fault
+		// task cleans up.
+		return true
+	}
+	if hit {
+		s.cache.lookup(va)
+	} else {
+		s.cache.misses++
+		if s.cache.fill(va) {
+			s.takeStorage(now, 2)
+		} else {
+			s.takeStorage(now, 1)
+		}
+	}
+	s.cache.markDirty(va)
+	s.data[s.translate(va)] = data
+	return true
+}
+
+// MDReady reports whether task's most recent fetch has delivered (§5.7: the
+// processor holds an instruction that uses MD before this point).
+func (s *System) MDReady(task int, now uint64) bool {
+	md := &s.md[task&15]
+	return !md.pending || now >= md.readyAt
+}
+
+// MDReadyFixed is the §5.7 ablation of MDReady: a design without Hold that
+// "waits a fixed (unfortunately, maximum) time" treats every fetch as if it
+// took the full miss latency.
+func (s *System) MDReadyFixed(task int, now uint64) bool {
+	md := &s.md[task&15]
+	return !md.pending || now >= md.issueAt+uint64(s.cfg.MissLatency)
+}
+
+// MD returns task's memory-data word. Call only when MDReady; a too-early
+// call is a simulator-usage bug, not a hardware possibility.
+func (s *System) MD(task int, now uint64) uint16 {
+	md := &s.md[task&15]
+	if md.pending && now < md.readyAt {
+		panic("memory: MD read before ready (processor must Hold)")
+	}
+	md.pending = false
+	return md.val
+}
+
+// Warm installs va's cache line without any timing effects — a setup
+// helper for tests and benchmarks that need a known-warm cache.
+func (s *System) Warm(va uint32) {
+	if !s.cache.peek(va) {
+		s.cache.fill(va)
+	}
+}
+
+// Peek reads a word functionally (no timing effects). For tests, loaders,
+// and devices outside the timed paths.
+func (s *System) Peek(va uint32) uint16 { return s.data[s.translate(va)] }
+
+// Poke writes a word functionally.
+func (s *System) Poke(va uint32, v uint16) { s.data[s.translate(va)] = v }
+
+// Flush writes back and invalidates the cache line covering va (FF op).
+func (s *System) Flush(va uint32, now uint64) {
+	if s.cache.invalidate(va) {
+		s.takeStorage(now, 1)
+	}
+}
+
+// CacheResident reports whether va's line is resident (no side effects).
+func (s *System) CacheResident(va uint32) bool { return s.cache.peek(va) }
+
+// FastRead transfers one aligned 16-word block from storage to a device
+// without polluting the cache (§5.8). It returns ok=false while the storage
+// pipe is busy; the device retries. Dirty cached data is observed correctly
+// because contents live in the flat store.
+func (s *System) FastRead(va uint32, now uint64) (block [LineWords]uint16, ok bool) {
+	if !s.storageFree(now) {
+		return block, false
+	}
+	va &^= LineWords - 1
+	for i := range block {
+		block[i] = s.data[s.translate(va+uint32(i))]
+	}
+	s.takeStorage(now, 1)
+	s.stats.FastReads++
+	return block, true
+}
+
+// FastWrite transfers one aligned 16-word block from a device to storage,
+// invalidating any cached copy so the processor sees the new data.
+func (s *System) FastWrite(va uint32, block [LineWords]uint16, now uint64) bool {
+	if !s.storageFree(now) {
+		return false
+	}
+	va &^= LineWords - 1
+	for i := range block {
+		s.data[s.translate(va+uint32(i))] = block[i]
+	}
+	s.cache.invalidate(va)
+	s.takeStorage(now, 1)
+	s.stats.FastWrites++
+	return true
+}

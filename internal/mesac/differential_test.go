@@ -1,0 +1,129 @@
+package mesac
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// expr is a random expression tree with a Go evaluator and a source
+// renderer; compiling and running the rendered source through the whole
+// stack (compiler → byte code → emulator microcode → cycle simulator) must
+// produce the Go value. This differentially tests the compiler, the Mesa
+// emulator microcode, and the processor's ALU at once.
+type exprNode struct {
+	op   string // "" for a literal
+	val  uint16
+	l, r *exprNode
+}
+
+func genExpr(r *rand.Rand, depth int) *exprNode {
+	if depth == 0 || r.Intn(3) == 0 {
+		return &exprNode{val: uint16(r.Intn(1 << 16))}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "==", "!=", "<", ">", "<=", ">="}
+	// Comparisons only near the root (they yield 0/1, fine anywhere, but
+	// keeping them shallow keeps the trees interesting).
+	op := ops[r.Intn(len(ops))]
+	return &exprNode{
+		op: op,
+		l:  genExpr(r, depth-1),
+		r:  genExpr(r, depth-1),
+	}
+}
+
+func (e *exprNode) eval() uint16 {
+	if e.op == "" {
+		return e.val
+	}
+	a, b := e.l.eval(), e.r.eval()
+	switch e.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "==":
+		return b01(a == b)
+	case "!=":
+		return b01(a != b)
+	case "<":
+		return b01(int16(a) < int16(b))
+	case ">":
+		return b01(int16(a) > int16(b))
+	case "<=":
+		return b01(int16(a) <= int16(b))
+	case ">=":
+		return b01(int16(a) >= int16(b))
+	}
+	panic("op")
+}
+
+func b01(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *exprNode) render(sb *strings.Builder) {
+	if e.op == "" {
+		fmt.Fprintf(sb, "%d", e.val)
+		return
+	}
+	sb.WriteString("(")
+	e.l.render(sb)
+	sb.WriteString(" " + e.op + " ")
+	e.r.render(sb)
+	sb.WriteString(")")
+}
+
+func TestExpressionsDifferential(t *testing.T) {
+	// Comparison semantics are signed 16-bit; the Go model above matches.
+	// Note: the machine's < compiles to "difference is negative", which
+	// differs from true signed comparison when the subtraction overflows.
+	// Constrain operands of comparisons to a safe range (|x| < 2^14), as
+	// the real Mesa compiler's bounds discipline did.
+	rng := rand.New(rand.NewSource(1981))
+	trials := 0
+	for trials < 60 {
+		e := genExpr(rng, 3)
+		if !comparisonsSafe(e) {
+			continue
+		}
+		trials++
+		var sb strings.Builder
+		sb.WriteString("return ")
+		e.render(&sb)
+		sb.WriteString(";")
+		want := e.eval()
+		if got := run(t, sb.String()); got != want {
+			t.Fatalf("%s = %d, want %d", sb.String(), got, want)
+		}
+	}
+}
+
+// comparisonsSafe rejects trees where a comparison's operands might
+// overflow the subtraction (the documented limit of the machine idiom).
+func comparisonsSafe(e *exprNode) bool {
+	if e == nil || e.op == "" {
+		return true
+	}
+	switch e.op {
+	case "<", ">", "<=", ">=":
+		a, b := e.l.eval(), e.r.eval()
+		d := int32(int16(a)) - int32(int16(b))
+		if d > 0x7FFF || d < -0x8000 {
+			return false
+		}
+	}
+	return comparisonsSafe(e.l) && comparisonsSafe(e.r)
+}

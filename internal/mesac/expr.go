@@ -1,0 +1,243 @@
+package mesac
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// expr compiles one expression, leaving its value on the evaluation stack.
+// Precedence, loosest first: comparisons; | ^; &; + -; <<; unary -.
+func (c *compiler) expr() error {
+	if err := c.bitOr(); err != nil {
+		return err
+	}
+	if c.toks[c.pos].kind != tkPunct {
+		return nil
+	}
+	op := c.toks[c.pos].text
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		c.pos++
+		// For > and <= we evaluate the operands in swapped order so that
+		// every comparison reduces to "difference, test".
+		if op == ">" || op == "<=" {
+			// need rhs; lhs on the stack: compile rhs first is impossible
+			// now (lhs already emitted) — instead compute lhs-rhs and pick
+			// the test accordingly below.
+		}
+		if err := c.bitOr(); err != nil {
+			return err
+		}
+		c.asm.Op("SUB") // lhs - rhs
+		t, e := c.newLabel("ct"), c.newLabel("ce")
+		emit01 := func(onTaken, onFall uint8, jump string) {
+			c.asm.OpL(jump, t)
+			c.asm.OpB("LIB", onFall)
+			c.asm.OpL("JMP", e)
+			c.asm.Label(t)
+			c.asm.OpB("LIB", onTaken)
+			c.asm.Label(e)
+		}
+		switch op {
+		case "==":
+			emit01(1, 0, "JZ")
+		case "!=":
+			emit01(0, 1, "JZ")
+		case "<": // lhs-rhs < 0
+			emit01(1, 0, "JN")
+		case ">=":
+			emit01(0, 1, "JN")
+		case ">": // lhs-rhs > 0  ⇔  not negative and not zero
+			nz, done := c.newLabel("cg"), c.newLabel("cgx")
+			c.asm.Op("DUP")
+			c.asm.OpL("JN", t) // negative → 0
+			c.asm.OpL("JNZ", nz)
+			c.asm.OpB("LIB", 0) // zero → 0
+			c.asm.OpL("JMP", done)
+			c.asm.Label(nz)
+			c.asm.OpB("LIB", 1)
+			c.asm.OpL("JMP", done)
+			c.asm.Label(t)
+			c.asm.Op("DROP") // the DUPed difference
+			c.asm.OpB("LIB", 0)
+			c.asm.Label(done)
+			_ = e
+		case "<=": // lhs-rhs <= 0 ⇔ negative or zero
+			nz, done := c.newLabel("cl"), c.newLabel("clx")
+			c.asm.Op("DUP")
+			c.asm.OpL("JN", t)
+			c.asm.OpL("JNZ", nz)
+			c.asm.OpB("LIB", 1)
+			c.asm.OpL("JMP", done)
+			c.asm.Label(nz)
+			c.asm.OpB("LIB", 0)
+			c.asm.OpL("JMP", done)
+			c.asm.Label(t)
+			c.asm.Op("DROP")
+			c.asm.OpB("LIB", 1)
+			c.asm.Label(done)
+			_ = e
+		}
+	}
+	return nil
+}
+
+func (c *compiler) binaryLevel(next func() error, ops map[string]string) error {
+	if err := next(); err != nil {
+		return err
+	}
+	for c.toks[c.pos].kind == tkPunct {
+		mnemonic, ok := ops[c.toks[c.pos].text]
+		if !ok {
+			return nil
+		}
+		c.pos++
+		if err := next(); err != nil {
+			return err
+		}
+		c.asm.Op(mnemonic)
+	}
+	return nil
+}
+
+func (c *compiler) bitOr() error {
+	return c.binaryLevel(c.bitAnd, map[string]string{"|": "OR", "^": "XOR"})
+}
+
+func (c *compiler) bitAnd() error {
+	return c.binaryLevel(c.addSub, map[string]string{"&": "AND"})
+}
+
+func (c *compiler) addSub() error {
+	return c.binaryLevel(c.mulShift, map[string]string{"+": "ADD", "-": "SUB"})
+}
+
+// mulShift handles * and <<-by-constant.
+func (c *compiler) mulShift() error {
+	if err := c.unary(); err != nil {
+		return err
+	}
+	for c.toks[c.pos].kind == tkPunct {
+		switch c.toks[c.pos].text {
+		case "*":
+			c.pos++
+			if err := c.unary(); err != nil {
+				return err
+			}
+			c.asm.Op("MUL")
+		case "<<":
+			c.pos++
+			n, err := c.number()
+			if err != nil {
+				return fmt.Errorf("mesac: << needs a constant count: %v", err)
+			}
+			if n > 15 {
+				return fmt.Errorf("mesac: shift count %d out of range", n)
+			}
+			c.asm.OpB("LSH", uint8(n))
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (c *compiler) unary() error {
+	if c.peekPunct("-") {
+		c.pos++
+		if err := c.unary(); err != nil {
+			return err
+		}
+		c.asm.Op("NEG")
+		return nil
+	}
+	return c.primary()
+}
+
+func (c *compiler) primary() error {
+	tok := c.toks[c.pos]
+	switch tok.kind {
+	case tkNumber:
+		v, err := c.number()
+		if err != nil {
+			return err
+		}
+		if v < 256 {
+			c.asm.OpB("LIB", uint8(v))
+		} else {
+			c.asm.OpW("LIW", v)
+		}
+		return nil
+	case tkKeyword:
+		if tok.text == "global" {
+			c.pos++
+			slot, err := c.number()
+			if err != nil {
+				return err
+			}
+			c.asm.OpB("LG", uint8(slot))
+			return nil
+		}
+		return fmt.Errorf("mesac: unexpected %q in expression", tok.text)
+	case tkName:
+		name := tok.text
+		if c.peekAt(1, "(") {
+			return c.call(name)
+		}
+		slot, ok := c.locals[name]
+		if !ok {
+			return fmt.Errorf("mesac: undeclared variable %q", name)
+		}
+		c.pos++
+		c.asm.OpB("LL", slot)
+		return nil
+	case tkPunct:
+		if tok.text == "(" {
+			c.pos++
+			if err := c.expr(); err != nil {
+				return err
+			}
+			return c.expect(")")
+		}
+	}
+	return fmt.Errorf("mesac: unexpected %q in expression", tok.text)
+}
+
+func (c *compiler) call(name string) error {
+	fi, ok := c.funcs[name]
+	if !ok {
+		return fmt.Errorf("mesac: call to undefined function %q", name)
+	}
+	c.pos++ // name
+	c.pos++ // "("
+	args := 0
+	for !c.peekPunct(")") {
+		if args > 0 {
+			if err := c.expect(","); err != nil {
+				return err
+			}
+		}
+		if err := c.expr(); err != nil {
+			return err
+		}
+		args++
+	}
+	c.pos++ // ")"
+	fi.callArgs = append(fi.callArgs, args)
+	c.asm.OpW("CALL", fi.Slot)
+	return nil
+}
+
+// number parses a numeric token.
+func (c *compiler) number() (uint16, error) {
+	tok := c.toks[c.pos]
+	if tok.kind != tkNumber {
+		return 0, fmt.Errorf("mesac: number expected, got %q", tok.text)
+	}
+	v, err := strconv.ParseUint(tok.text, 0, 16)
+	if err != nil {
+		return 0, fmt.Errorf("mesac: bad number %q", tok.text)
+	}
+	c.pos++
+	return uint16(v), nil
+}

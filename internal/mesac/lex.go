@@ -1,0 +1,127 @@
+package mesac
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkName
+	tkNumber
+	tkKeyword
+	tkPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "while": true, "if": true,
+	"else": true, "return": true, "global": true,
+}
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "<<"}
+
+// lex tokenizes source text. Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			line++
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+		case ch == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(ch)):
+			j := i
+			for j < len(src) && (isAlnum(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tkNumber, src[i:j], line})
+			i = j
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			j := i
+			for j < len(src) && (isAlnum(src[j]) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tkName
+			if keywords[word] {
+				kind = tkKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+			i = j
+		default:
+			matched := false
+			for _, p := range twoCharPuncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tkPunct, p, line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*&|^<>=(){};,!", rune(ch)) {
+				toks = append(toks, token{tkPunct, string(ch), line})
+				i++
+			} else {
+				return nil, fmt.Errorf("mesac: line %d: unexpected character %q", line, ch)
+			}
+		}
+	}
+	toks = append(toks, token{tkEOF, "", line})
+	return toks, nil
+}
+
+func isAlnum(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+// Parser cursor helpers.
+
+func (c *compiler) eof() bool { return c.toks[c.pos].kind == tkEOF }
+
+func (c *compiler) peekKw(kw string) bool {
+	t := c.toks[c.pos]
+	return t.kind == tkKeyword && t.text == kw
+}
+
+func (c *compiler) peekPunct(p string) bool {
+	t := c.toks[c.pos]
+	return t.kind == tkPunct && t.text == p
+}
+
+func (c *compiler) peekAt(off int, p string) bool {
+	if c.pos+off >= len(c.toks) {
+		return false
+	}
+	t := c.toks[c.pos+off]
+	return t.kind == tkPunct && t.text == p
+}
+
+func (c *compiler) expect(p string) error {
+	if !c.peekPunct(p) {
+		t := c.toks[c.pos]
+		return fmt.Errorf("mesac: line %d: expected %q, got %q", t.line, p, t.text)
+	}
+	c.pos++
+	return nil
+}

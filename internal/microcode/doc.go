@@ -1,0 +1,41 @@
+// Package microcode defines the Dorado microinstruction set: the 34-bit
+// microword and its eight fields, the NextControl encodings used to compute
+// NEXTPC from a paged microstore, the FF "catchall" function catalog, the
+// branch-condition set, and the byte-wise constant scheme of §5.9 of the
+// paper.
+//
+// The paper (Lampson & Pier, "A Processor for a High-Performance Personal
+// Computer") gives the field widths exactly (§6.3.1):
+//
+//	RAddress    4  Addresses the register bank RM (or the stack-pointer delta).
+//	ALUOp       4  Selects the ALU operation (via ALUFM) or controls the shifter.
+//	BSelect     3  Selects the source for the B bus, including constants.
+//	LoadControl 3  Controls loading of results into RM and T.
+//	ASelect     3  Selects the source for the A bus, and starts memory references.
+//	Block       1  Blocks an I/O task; selects a stack operation for task 0.
+//	FF          8  Catchall for specifying functions.
+//	NextControl 8  Specifies how to compute NEXTPC.
+//
+// but not the complete encodings (those lived in the Dorado hardware manual,
+// which is not public). This package therefore *reconstructs* encodings that
+// satisfy every constraint the paper states:
+//
+//   - The microstore is divided into pages; NextControl carries the
+//     instruction type and a next-address within the current page (§5.5).
+//     We use 4096 words = 256 pages × 16 words.
+//   - Conditional branches OR one of eight branch conditions into the low
+//     bit of NEXTPC, so false targets sit at even addresses and the paired
+//     true target at the next odd address (§5.5).
+//   - Calls and returns go through the task-specific LINK register (§6.2.3).
+//   - 8-way and 256-way dispatches take their selector from the B bus
+//     (§6.2.3).
+//   - FF doubles as an 8-bit constant byte or as part of a microstore
+//     address (§5.5, §5.9); only one FF-specified meaning is available per
+//     instruction, and the assembler enforces the absence of conflicts.
+//   - A useful subset of 16-bit constants is built from the FF byte plus two
+//     bits from BSelect giving the other byte's value (all-zeros/all-ones)
+//     and position (§5.9).
+//
+// Everything downstream (the assembler in internal/masm, the processor in
+// internal/core) treats this package as the architecture definition.
+package microcode

@@ -1,0 +1,370 @@
+package microcode
+
+import "fmt"
+
+// Geometry of the microstore. IMAddress = page(8 bits) ‖ word(4 bits).
+const (
+	// PageSize is the number of microinstructions per microstore page.
+	PageSize = 16
+	// NumPages is the number of pages in the microstore.
+	NumPages = 256
+	// StoreSize is the total number of microinstruction words.
+	StoreSize = PageSize * NumPages
+	// AddrMask masks a 12-bit microstore address.
+	AddrMask = StoreSize - 1
+	// WordMask masks the word-in-page part of an address.
+	WordMask = PageSize - 1
+	// PageMask masks the page part of an address (already shifted).
+	PageMask = AddrMask &^ WordMask
+)
+
+// Addr is a 12-bit microstore address.
+type Addr uint16
+
+// Page returns the page number of a.
+func (a Addr) Page() uint8 { return uint8(a >> 4) }
+
+// Word returns the word-in-page part of a.
+func (a Addr) Word() uint8 { return uint8(a) & WordMask }
+
+// MakeAddr builds an address from a page number and a word within the page.
+func MakeAddr(page, word uint8) Addr {
+	return Addr(uint16(page)<<4 | uint16(word&WordMask))
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%02X.%X", a.Page(), a.Word()) }
+
+// BSelect selects the source of the B bus (§6.3.2). Values 4–7 implement
+// the constant scheme of §5.9: FF supplies one byte; the BSelect value gives
+// the other byte's content (all zeros or all ones) and the position of FF.
+type BSelect uint8
+
+const (
+	// BSelRM puts the addressed RM (or stack) word on B.
+	BSelRM BSelect = iota
+	// BSelT puts the task-specific T register on B.
+	BSelT
+	// BSelQ puts the Q register on B.
+	BSelQ
+	// BSelMD puts the task's memory-data word on B (holds until ready).
+	BSelMD
+	// BSelConstLo yields the constant 0x00FF & FF (FF in the low byte,
+	// zeros above).
+	BSelConstLo
+	// BSelConstLoOnes yields 0xFF00 | FF (FF in the low byte, ones above).
+	BSelConstLoOnes
+	// BSelConstHi yields FF<<8 (FF in the high byte, zeros below).
+	BSelConstHi
+	// BSelConstHiOnes yields FF<<8 | 0x00FF (FF in the high byte, ones below).
+	BSelConstHiOnes
+)
+
+// IsConst reports whether b sources the B bus from the FF constant scheme.
+func (b BSelect) IsConst() bool { return b >= BSelConstLo }
+
+// ConstValue computes the 16-bit constant selected by b for FF byte ff.
+// It panics if b is not a constant selector.
+func (b BSelect) ConstValue(ff uint8) uint16 {
+	switch b {
+	case BSelConstLo:
+		return uint16(ff)
+	case BSelConstLoOnes:
+		return 0xFF00 | uint16(ff)
+	case BSelConstHi:
+		return uint16(ff) << 8
+	case BSelConstHiOnes:
+		return uint16(ff)<<8 | 0x00FF
+	}
+	panic(fmt.Sprintf("microcode: BSelect %d is not a constant selector", b))
+}
+
+func (b BSelect) String() string {
+	switch b {
+	case BSelRM:
+		return "RM"
+	case BSelT:
+		return "T"
+	case BSelQ:
+		return "Q"
+	case BSelMD:
+		return "MD"
+	case BSelConstLo:
+		return "ConstLo"
+	case BSelConstLoOnes:
+		return "ConstLoOnes"
+	case BSelConstHi:
+		return "ConstHi"
+	case BSelConstHiOnes:
+		return "ConstHiOnes"
+	}
+	return fmt.Sprintf("BSelect(%d)", uint8(b))
+}
+
+// ASelect selects the source of the A bus and starts memory references
+// (§6.3.1). MEMADDRESS is a copy of the A bus (§6.3.2): Fetch and Store use
+// the selected A value as the 16-bit displacement, added in the memory
+// system to the base register selected by MEMBASE.
+type ASelect uint8
+
+const (
+	// ASelRM puts the addressed RM (or stack) word on A.
+	ASelRM ASelect = iota
+	// ASelT puts T on A.
+	ASelT
+	// ASelIFUData puts the next macroinstruction operand on A and consumes
+	// it (the IFU then presents the following operand, §6.3.2).
+	ASelIFUData
+	// ASelMD puts the task's memory data on A (holds until ready).
+	ASelMD
+	// ASelFetch puts RM on A and starts a memory read of base[MEMBASE]+A.
+	ASelFetch
+	// ASelStore puts RM on A and starts a memory write of B to
+	// base[MEMBASE]+A.
+	ASelStore
+	// ASelFetchIFU puts the next IFU operand on A (consuming it) and
+	// starts a memory read of base[MEMBASE]+A — the one-instruction
+	// "fetch the local addressed by alpha" idiom the Mesa emulator's
+	// load opcodes depend on (§7).
+	ASelFetchIFU
+	// ASelStoreIFU puts the next IFU operand on A (consuming it) and
+	// starts a memory write of B to base[MEMBASE]+A — with the stack
+	// modifier this is the Mesa one-microinstruction store (§7).
+	ASelStoreIFU
+)
+
+// StartsMemRef reports whether a initiates a memory reference.
+func (a ASelect) StartsMemRef() bool {
+	switch a {
+	case ASelFetch, ASelStore, ASelFetchIFU, ASelStoreIFU:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether a starts a memory write.
+func (a ASelect) IsStore() bool { return a == ASelStore || a == ASelStoreIFU }
+
+// UsesIFUData reports whether a consumes an IFU operand.
+func (a ASelect) UsesIFUData() bool {
+	switch a {
+	case ASelIFUData, ASelFetchIFU, ASelStoreIFU:
+		return true
+	}
+	return false
+}
+
+func (a ASelect) String() string {
+	switch a {
+	case ASelRM:
+		return "RM"
+	case ASelT:
+		return "T"
+	case ASelIFUData:
+		return "IFUData"
+	case ASelMD:
+		return "MD"
+	case ASelFetch:
+		return "Fetch"
+	case ASelStore:
+		return "Store"
+	case ASelFetchIFU:
+		return "FetchIFU"
+	case ASelStoreIFU:
+		return "StoreIFU"
+	}
+	return fmt.Sprintf("ASelect(%d)", uint8(a))
+}
+
+// LoadControl controls loading of RESULT into RM and T (§6.3.1).
+type LoadControl uint8
+
+const (
+	// LCNone stores no result.
+	LCNone LoadControl = iota
+	// LCLoadT loads T from RESULT.
+	LCLoadT
+	// LCLoadRM loads the addressed RM (or stack) word from RESULT.
+	LCLoadRM
+	// LCLoadBoth loads both RM and T from RESULT.
+	LCLoadBoth
+)
+
+func (lc LoadControl) String() string {
+	switch lc {
+	case LCNone:
+		return "-"
+	case LCLoadT:
+		return "T←"
+	case LCLoadRM:
+		return "RM←"
+	case LCLoadBoth:
+		return "RM,T←"
+	}
+	return fmt.Sprintf("LoadControl(%d)", uint8(lc))
+}
+
+// LoadsT reports whether lc loads T.
+func (lc LoadControl) LoadsT() bool { return lc == LCLoadT || lc == LCLoadBoth }
+
+// LoadsRM reports whether lc loads RM (or the stack when the stack
+// modifier is active).
+func (lc LoadControl) LoadsRM() bool { return lc == LCLoadRM || lc == LCLoadBoth }
+
+// Condition is one of the eight branch conditions that can be ORed into the
+// low bit of NEXTPC (§5.5). CondCountNZ has the side effect of decrementing
+// COUNT, so a loop closes in a single microinstruction (§6.3.3).
+type Condition uint8
+
+const (
+	// CondALUZero is true when the last ALU result of this task was zero.
+	CondALUZero Condition = iota
+	// CondALUNeg is true when the last ALU result was negative (bit 15 set).
+	CondALUNeg
+	// CondCarry is true when the last ALU operation produced a carry out.
+	CondCarry
+	// CondCountNZ is true when COUNT≠0; evaluating it decrements COUNT.
+	CondCountNZ
+	// CondOverflow is true when the last ALU operation overflowed.
+	CondOverflow
+	// CondStackError is true after a stack overflow or underflow; testing
+	// it clears the flag.
+	CondStackError
+	// CondIOAtten is true when the device addressed by IOADDRESS raises
+	// its attention line.
+	CondIOAtten
+	// CondMB is a microcode-settable flag (FF SetMB/ClearMB).
+	CondMB
+)
+
+var condNames = [8]string{
+	"ALU=0", "ALU<0", "CARRY", "COUNT#0", "OVF", "STKERR", "IOATTEN", "MB",
+}
+
+func (c Condition) String() string {
+	if c < 8 {
+		return condNames[c]
+	}
+	return fmt.Sprintf("Condition(%d)", uint8(c))
+}
+
+// ALUFn is one of the sixteen ALU operations. The 4-bit ALUOp microword
+// field does not encode an ALUFn directly: it indexes ALUFM, a 16-word
+// memory mapping it to the six bits (function + carry control) that drive
+// the ALU (§6.3.3). The default ALUFM contents map each ALUOp to the
+// same-numbered ALUFn with CarryDefault.
+type ALUFn uint8
+
+const (
+	// ALUAplusB computes A+B (+carry-in).
+	ALUAplusB ALUFn = iota
+	// ALUAminusB computes A-B (implemented as A + ^B + 1 by default).
+	ALUAminusB
+	// ALUBminusA computes B-A.
+	ALUBminusA
+	// ALUA passes A through.
+	ALUA
+	// ALUB passes B through.
+	ALUB
+	// ALUNotA computes ^A.
+	ALUNotA
+	// ALUNotB computes ^B.
+	ALUNotB
+	// ALUAandB computes A AND B.
+	ALUAandB
+	// ALUAorB computes A OR B.
+	ALUAorB
+	// ALUAxorB computes A XOR B.
+	ALUAxorB
+	// ALUAandNotB computes A AND NOT B.
+	ALUAandNotB
+	// ALUAorNotB computes A OR NOT B.
+	ALUAorNotB
+	// ALUXnor computes NOT(A XOR B).
+	ALUXnor
+	// ALUAplus1 computes A+1.
+	ALUAplus1
+	// ALUAminus1 computes A-1.
+	ALUAminus1
+	// ALUZero yields 0.
+	ALUZero
+)
+
+var aluFnNames = [16]string{
+	"A+B", "A-B", "B-A", "A", "B", "^A", "^B", "A&B",
+	"A|B", "A^B", "A&^B", "A|^B", "XNOR", "A+1", "A-1", "0",
+}
+
+func (f ALUFn) String() string {
+	if f < 16 {
+		return aluFnNames[f]
+	}
+	return fmt.Sprintf("ALUFn(%d)", uint8(f))
+}
+
+// IsArith reports whether f is an arithmetic (vs logical) function, i.e.
+// whether carry-in and carry/overflow-out are meaningful.
+func (f ALUFn) IsArith() bool {
+	switch f {
+	case ALUAplusB, ALUAminusB, ALUBminusA, ALUAplus1, ALUAminus1:
+		return true
+	}
+	return false
+}
+
+// CarryCtl selects the carry-in source for arithmetic ALU functions.
+type CarryCtl uint8
+
+const (
+	// CarryDefault uses the natural carry-in for the function (0 for add,
+	// the borrow-complement for subtract).
+	CarryDefault CarryCtl = iota
+	// CarryZero forces carry-in 0.
+	CarryZero
+	// CarryOne forces carry-in 1.
+	CarryOne
+	// CarrySaved uses the task's saved carry flag (for multi-precision
+	// arithmetic).
+	CarrySaved
+)
+
+func (c CarryCtl) String() string {
+	switch c {
+	case CarryDefault:
+		return "cD"
+	case CarryZero:
+		return "c0"
+	case CarryOne:
+		return "c1"
+	case CarrySaved:
+		return "cS"
+	}
+	return fmt.Sprintf("CarryCtl(%d)", uint8(c))
+}
+
+// ALUCtl is the six-bit word stored in ALUFM: the ALU function plus carry
+// control (§6.3.3: "a 16 word memory which maps the four-bit ALUOp field
+// into the six bits required to control the ALU").
+type ALUCtl struct {
+	Fn  ALUFn
+	Cin CarryCtl
+}
+
+// EncodeALUCtl packs c into its six-bit representation.
+func EncodeALUCtl(c ALUCtl) uint8 { return uint8(c.Fn)&0xF | uint8(c.Cin)<<4 }
+
+// DecodeALUCtl unpacks a six-bit ALUFM word.
+func DecodeALUCtl(v uint8) ALUCtl {
+	return ALUCtl{Fn: ALUFn(v & 0xF), Cin: CarryCtl(v >> 4 & 3)}
+}
+
+// DefaultALUFM returns the standard ALUFM contents: identity mapping with
+// default carry control. Microcode may overwrite entries via FFPutALUFM.
+func DefaultALUFM() [16]ALUCtl {
+	var m [16]ALUCtl
+	for i := range m {
+		m[i] = ALUCtl{Fn: ALUFn(i), Cin: CarryDefault}
+	}
+	return m
+}
+
+func (c ALUCtl) String() string { return c.Fn.String() + "/" + c.Cin.String() }

@@ -1,0 +1,185 @@
+package microcode
+
+import "fmt"
+
+// NextKind classifies the successor-address computation selected by the
+// 8-bit NextControl field (§5.5, §6.2.2). The Dorado computes NEXTPC at the
+// start of every microcycle from NextControl, the current page, the LINK
+// register, the branch conditions, the B bus, the FF field, or the IFU.
+type NextKind uint8
+
+const (
+	// NextGoto transfers to a word in the current page.
+	NextGoto NextKind = iota
+	// NextCall transfers to a word in the current page and loads LINK with
+	// THISPC+1 (§6.2.3).
+	NextCall
+	// NextBranch transfers to an even word in the current page with the
+	// selected branch condition ORed into the low bit of NEXTPC (§5.5).
+	NextBranch
+	// NextLongGoto transfers to page FF, word W (FF serves as part of a
+	// microstore address, §5.5).
+	NextLongGoto
+	// NextLongCall is NextLongGoto plus LINK ← THISPC+1.
+	NextLongCall
+	// NextReturn transfers to the address in LINK.
+	NextReturn
+	// NextIFUJump dispatches to the handler address supplied by the IFU for
+	// the next macroinstruction, and tells the IFU to advance (§5.8).
+	NextIFUJump
+	// NextDispatch8 is an 8-way dispatch: the target (8-aligned, word 0 or
+	// 8 of the current page, selected by FF bit 3) gets B&7 ORed into its
+	// low three bits (§6.2.3).
+	NextDispatch8
+	// NextDispatch256 is a 256-way dispatch: NEXTPC = (FF&0xF)·256 + (B&0xFF),
+	// i.e. FF selects one of 16 contiguous 256-word dispatch regions and the
+	// low byte of B indexes within it (§6.2.3).
+	NextDispatch256
+	// NextReserved marks an unassigned NextControl encoding.
+	NextReserved
+)
+
+var nextKindNames = map[NextKind]string{
+	NextGoto: "GOTO", NextCall: "CALL", NextBranch: "BRANCH",
+	NextLongGoto: "LGOTO", NextLongCall: "LCALL", NextReturn: "RETURN",
+	NextIFUJump: "IFUJUMP", NextDispatch8: "DISP8", NextDispatch256: "DISP256",
+	NextReserved: "RESERVED",
+}
+
+func (k NextKind) String() string {
+	if s, ok := nextKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("NextKind(%d)", uint8(k))
+}
+
+// NextOp is the decoded form of a NextControl byte.
+type NextOp struct {
+	Kind NextKind
+	// W is the word-in-page operand for Goto/Call/Branch/LongGoto/LongCall.
+	// For NextBranch it must be even (the odd partner is the true target).
+	W uint8
+	// Cond is the branch condition for NextBranch.
+	Cond Condition
+}
+
+// NextControl byte layout (reconstruction; see package doc):
+//
+//	0x00–0x0F  GOTO w          w = low nibble
+//	0x10–0x1F  CALL w
+//	0x20–0x2F  LONGGOTO w      page from FF
+//	0x30–0x3F  LONGCALL w
+//	0x40–0xBF  BRANCH c,w      value-0x40 = c·16 + w, w even (odd w reserved)
+//	0xC0       RETURN
+//	0xC1       IFUJUMP
+//	0xC2       DISPATCH8
+//	0xC3       DISPATCH256
+//	0xC4–0xFF  reserved
+const (
+	ncGoto     = 0x00
+	ncCall     = 0x10
+	ncLongGoto = 0x20
+	ncLongCall = 0x30
+	ncBranch   = 0x40
+	ncSpecial  = 0xC0
+)
+
+// EncodeNext packs op into a NextControl byte. It returns an error for
+// operands that do not fit the encoding (word out of range, odd branch
+// target, reserved kind).
+func EncodeNext(op NextOp) (uint8, error) {
+	if op.W > WordMask {
+		return 0, fmt.Errorf("microcode: next word %d out of page range", op.W)
+	}
+	switch op.Kind {
+	case NextGoto:
+		return ncGoto | op.W, nil
+	case NextCall:
+		return ncCall | op.W, nil
+	case NextLongGoto:
+		return ncLongGoto | op.W, nil
+	case NextLongCall:
+		return ncLongCall | op.W, nil
+	case NextBranch:
+		if op.W%2 != 0 {
+			return 0, fmt.Errorf("microcode: branch false target %d must be even", op.W)
+		}
+		if op.Cond > 7 {
+			return 0, fmt.Errorf("microcode: branch condition %d out of range", op.Cond)
+		}
+		return ncBranch + uint8(op.Cond)<<4 + op.W, nil
+	case NextReturn:
+		return ncSpecial, nil
+	case NextIFUJump:
+		return ncSpecial + 1, nil
+	case NextDispatch8:
+		return ncSpecial + 2, nil
+	case NextDispatch256:
+		return ncSpecial + 3, nil
+	}
+	return 0, fmt.Errorf("microcode: cannot encode next kind %v", op.Kind)
+}
+
+// MustEncodeNext is EncodeNext but panics on error; for use with operands
+// known valid at construction time.
+func MustEncodeNext(op NextOp) uint8 {
+	b, err := EncodeNext(op)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DecodeNext unpacks a NextControl byte.
+func DecodeNext(b uint8) NextOp {
+	switch {
+	case b < ncCall:
+		return NextOp{Kind: NextGoto, W: b & WordMask}
+	case b < ncLongGoto:
+		return NextOp{Kind: NextCall, W: b & WordMask}
+	case b < ncLongCall:
+		return NextOp{Kind: NextLongGoto, W: b & WordMask}
+	case b < ncBranch:
+		return NextOp{Kind: NextLongCall, W: b & WordMask}
+	case b < ncSpecial:
+		v := b - ncBranch
+		return NextOp{Kind: NextBranch, Cond: Condition(v >> 4), W: v & WordMask}
+	case b == ncSpecial:
+		return NextOp{Kind: NextReturn}
+	case b == ncSpecial+1:
+		return NextOp{Kind: NextIFUJump}
+	case b == ncSpecial+2:
+		return NextOp{Kind: NextDispatch8}
+	case b == ncSpecial+3:
+		return NextOp{Kind: NextDispatch256}
+	}
+	return NextOp{Kind: NextReserved}
+}
+
+// UsesFFAsAddress reports whether the decoded NextControl consumes the FF
+// field as address bits (page for long transfers, region for DISPATCH256,
+// target selector for DISPATCH8), making FF unavailable for a function or
+// constant in the same instruction.
+func (op NextOp) UsesFFAsAddress() bool {
+	switch op.Kind {
+	case NextLongGoto, NextLongCall, NextDispatch8, NextDispatch256:
+		return true
+	}
+	return false
+}
+
+// UsesB reports whether the successor computation reads the B bus.
+func (op NextOp) UsesB() bool {
+	return op.Kind == NextDispatch8 || op.Kind == NextDispatch256
+}
+
+func (op NextOp) String() string {
+	switch op.Kind {
+	case NextGoto, NextCall, NextLongGoto, NextLongCall:
+		return fmt.Sprintf("%v %X", op.Kind, op.W)
+	case NextBranch:
+		return fmt.Sprintf("BRANCH[%v] %X", op.Cond, op.W)
+	default:
+		return op.Kind.String()
+	}
+}

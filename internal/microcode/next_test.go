@@ -1,0 +1,158 @@
+package microcode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextEncodeDecodeRoundTrip(t *testing.T) {
+	kinds := []NextKind{NextGoto, NextCall, NextLongGoto, NextLongCall}
+	for _, k := range kinds {
+		for w := uint8(0); w < PageSize; w++ {
+			op := NextOp{Kind: k, W: w}
+			b, err := EncodeNext(op)
+			if err != nil {
+				t.Fatalf("%v %d: %v", k, w, err)
+			}
+			if got := DecodeNext(b); got != op {
+				t.Fatalf("%v %d: decoded %v", k, w, got)
+			}
+		}
+	}
+	for c := Condition(0); c < 8; c++ {
+		for w := uint8(0); w < PageSize; w += 2 {
+			op := NextOp{Kind: NextBranch, Cond: c, W: w}
+			b, err := EncodeNext(op)
+			if err != nil {
+				t.Fatalf("branch %v %d: %v", c, w, err)
+			}
+			if got := DecodeNext(b); got != op {
+				t.Fatalf("branch %v %d: decoded %v", c, w, got)
+			}
+		}
+	}
+	for _, k := range []NextKind{NextReturn, NextIFUJump, NextDispatch8, NextDispatch256} {
+		b, err := EncodeNext(NextOp{Kind: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got := DecodeNext(b); got.Kind != k {
+			t.Fatalf("%v: decoded %v", k, got)
+		}
+	}
+}
+
+func TestNextDecodeTotal(t *testing.T) {
+	// Every byte decodes to something, and non-reserved decodings re-encode
+	// to the same byte.
+	for b := 0; b < 256; b++ {
+		op := DecodeNext(uint8(b))
+		if op.Kind == NextReserved {
+			continue
+		}
+		got, err := EncodeNext(op)
+		if err != nil {
+			// Odd branch targets decode but are not encodable: they are the
+			// "true" halves of branch pairs and never appear in assembled code.
+			if op.Kind == NextBranch && op.W%2 == 1 {
+				continue
+			}
+			t.Fatalf("byte %#02x decoded to %v but re-encode failed: %v", b, op, err)
+		}
+		if got != uint8(b) {
+			t.Fatalf("byte %#02x decoded to %v, re-encoded to %#02x", b, op, got)
+		}
+	}
+}
+
+func TestNextEncodeRejectsBadOperands(t *testing.T) {
+	if _, err := EncodeNext(NextOp{Kind: NextGoto, W: 16}); err == nil {
+		t.Error("word 16 should be rejected")
+	}
+	if _, err := EncodeNext(NextOp{Kind: NextBranch, W: 3}); err == nil {
+		t.Error("odd branch target should be rejected")
+	}
+	if _, err := EncodeNext(NextOp{Kind: NextReserved}); err == nil {
+		t.Error("reserved kind should be rejected")
+	}
+}
+
+func TestNextUsesFFAsAddress(t *testing.T) {
+	want := map[NextKind]bool{
+		NextGoto: false, NextCall: false, NextBranch: false,
+		NextReturn: false, NextIFUJump: false,
+		NextLongGoto: true, NextLongCall: true,
+		NextDispatch8: true, NextDispatch256: true,
+	}
+	for k, w := range want {
+		if got := (NextOp{Kind: k}).UsesFFAsAddress(); got != w {
+			t.Errorf("%v UsesFFAsAddress = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestAddr(t *testing.T) {
+	f := func(p, w uint8) bool {
+		a := MakeAddr(p, w&WordMask)
+		return a.Page() == p && a.Word() == w&WordMask && a < StoreSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstValues(t *testing.T) {
+	cases := []struct {
+		b    BSelect
+		ff   uint8
+		want uint16
+	}{
+		{BSelConstLo, 0x42, 0x0042},
+		{BSelConstLoOnes, 0x42, 0xFF42},
+		{BSelConstHi, 0x42, 0x4200},
+		{BSelConstHiOnes, 0x42, 0x42FF},
+		{BSelConstLo, 0x00, 0x0000},
+		{BSelConstLoOnes, 0xFF, 0xFFFF},
+	}
+	for _, c := range cases {
+		if got := c.b.ConstValue(c.ff); got != c.want {
+			t.Errorf("%v.ConstValue(%#02x) = %#04x, want %#04x", c.b, c.ff, got, c.want)
+		}
+	}
+}
+
+func TestConstCoverage(t *testing.T) {
+	// §5.9: "most 16 bit constants can be specified in one microinstruction".
+	// Verify the exact set: any constant with either byte all-zeros or
+	// all-ones is expressible.
+	expressible := func(v uint16) bool {
+		hi, lo := uint8(v>>8), uint8(v)
+		return hi == 0x00 || hi == 0xFF || lo == 0x00 || lo == 0xFF
+	}
+	count := 0
+	for v := 0; v <= 0xFFFF; v++ {
+		want := expressible(uint16(v))
+		got := false
+		for _, b := range []BSelect{BSelConstLo, BSelConstLoOnes, BSelConstHi, BSelConstHiOnes} {
+			for ff := 0; ff < 256; ff++ {
+				if b.ConstValue(uint8(ff)) == uint16(v) {
+					got = true
+					break
+				}
+			}
+			if got {
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("constant %#04x: expressible=%v, want %v", v, got, want)
+		}
+		if got {
+			count++
+		}
+	}
+	if count < 1000 {
+		t.Fatalf("only %d constants expressible", count)
+	}
+	t.Logf("one-instruction constants: %d of 65536", count)
+}

@@ -1,0 +1,86 @@
+package microcode
+
+import "fmt"
+
+// ShiftCtl is the decoded SHIFTCTL register (§6.3.3): it controls the amount
+// of shifting (a left cycle of the 32-bit RM‖T input) and the widths of the
+// left and right masks applied to the shifter output. Whether the masked
+// positions are filled with zeros or with memory data is chosen by the FF
+// shift operation itself (ShiftMaskZ vs ShiftMaskMD, §6.3.4).
+//
+// Packed layout in the 16-bit register:
+//
+//	bits 0–4   Count  left-cycle amount, 0..31
+//	bits 5–8   LMask  number of leftmost output bits masked, 0..15
+//	bits 9–12  RMask  number of rightmost output bits masked, 0..15
+//	bits 13–15 unused (read back as written)
+type ShiftCtl struct {
+	Count uint8 // left cycle amount, 0..31
+	LMask uint8 // leftmost bits masked, 0..15
+	RMask uint8 // rightmost bits masked, 0..15
+}
+
+// EncodeShiftCtl packs s into its 16-bit register representation.
+func EncodeShiftCtl(s ShiftCtl) uint16 {
+	return uint16(s.Count&0x1F) | uint16(s.LMask&0xF)<<5 | uint16(s.RMask&0xF)<<9
+}
+
+// DecodeShiftCtl unpacks a 16-bit SHIFTCTL register value.
+func DecodeShiftCtl(v uint16) ShiftCtl {
+	return ShiftCtl{
+		Count: uint8(v & 0x1F),
+		LMask: uint8(v >> 5 & 0xF),
+		RMask: uint8(v >> 9 & 0xF),
+	}
+}
+
+// FieldExtract returns the SHIFTCTL setting that extracts a w-bit field
+// whose least significant bit is at position pos of the 32-bit RM‖T input
+// (bit 0 = least significant bit of T), right-justified in the output, with
+// the remaining output bits masked. Use with ShiftMaskZ.
+func FieldExtract(pos, w uint8) ShiftCtl {
+	// The shifter outputs the high 16 bits of the rotated 32-bit input:
+	// out[i] = in[(16+i-count) mod 32]. Aligning input bit pos with output
+	// bit 0 requires count = (16-pos) mod 32.
+	return ShiftCtl{Count: (48 - pos) % 32, LMask: 16 - w, RMask: 0}
+}
+
+// FieldInsert returns the SHIFTCTL setting that positions a right-justified
+// w-bit field (in T, with RM = T for rotation symmetry) so that its least
+// significant bit lands at output position pos, masking all other output
+// bits. Use with ShiftMaskMD to merge the field into a memory word.
+func FieldInsert(pos, w uint8) ShiftCtl {
+	return ShiftCtl{Count: (16 + pos) % 32, LMask: 16 - w - pos, RMask: pos}
+}
+
+// Shift performs the Dorado barrel-shift: a left cycle of the 32-bit value
+// rm‖t by s.Count, taking the high 16 bits of the rotated value, and
+// replacing the s.LMask leftmost and s.RMask rightmost output bits with the
+// corresponding bits of mask (pass 0 for zero masking, the memory-data word
+// for MD masking, or the unmasked value itself for no masking).
+func (s ShiftCtl) Shift(rm, t, mask uint16) uint16 {
+	in := uint32(rm)<<16 | uint32(t)
+	rot := in<<(s.Count&0x1F) | in>>(32-s.Count&0x1F)
+	if s.Count&0x1F == 0 {
+		rot = in
+	}
+	out := uint16(rot >> 16)
+	m := region(s.LMask, s.RMask)
+	return out&m | mask&^m
+}
+
+// region computes the mask of output bits that come from the shifter: ones
+// everywhere except the l leftmost and r rightmost positions.
+func region(l, r uint8) uint16 {
+	if l > 15 {
+		l = 15
+	}
+	if r > 15 {
+		r = 15
+	}
+	return (0xFFFF >> l) & (0xFFFF << r)
+}
+
+func (s ShiftCtl) String() string {
+	return fmt.Sprintf("rot%d,l%d,r%d", s.Count, s.LMask, s.RMask)
+}

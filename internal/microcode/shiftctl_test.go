@@ -1,0 +1,145 @@
+package microcode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftCtlRoundTrip(t *testing.T) {
+	f := func(count, l, r uint8) bool {
+		s := ShiftCtl{Count: count & 0x1F, LMask: l & 0xF, RMask: r & 0xF}
+		return DecodeShiftCtl(EncodeShiftCtl(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftRotation(t *testing.T) {
+	// With no masks, Shift returns the high 16 bits of the rotated 32-bit
+	// input.
+	cases := []struct {
+		rm, t uint16
+		count uint8
+		want  uint16
+	}{
+		{0x1234, 0x5678, 0, 0x1234},
+		{0x1234, 0x5678, 16, 0x5678},
+		{0x1234, 0x5678, 4, 0x2345},
+		{0x1234, 0x5678, 8, 0x3456},
+		{0x8000, 0x0000, 1, 0x0000}, // top bit rotates into low half
+		{0x0000, 0x0001, 16, 0x0001},
+		{0xFFFF, 0xFFFF, 13, 0xFFFF},
+	}
+	for _, c := range cases {
+		s := ShiftCtl{Count: c.count}
+		got := s.Shift(c.rm, c.t, 0)
+		if got != c.want {
+			t.Errorf("Shift(%#04x,%#04x,rot%d) = %#04x, want %#04x",
+				c.rm, c.t, c.count, got, c.want)
+		}
+	}
+}
+
+func TestShiftRotationProperty(t *testing.T) {
+	// Rotating by k then reading equals manual 32-bit rotation.
+	f := func(rm, tt uint16, count uint8) bool {
+		k := count & 0x1F
+		in := uint32(rm)<<16 | uint32(tt)
+		rot := in<<k | in>>(32-uint32(k))
+		if k == 0 {
+			rot = in
+		}
+		s := ShiftCtl{Count: k}
+		return s.Shift(rm, tt, 0) == uint16(rot>>16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	s := ShiftCtl{Count: 0, LMask: 4, RMask: 4}
+	// Output = rm; left 4 and right 4 bits replaced by mask bits.
+	got := s.Shift(0xFFFF, 0, 0x0000)
+	if got != 0x0FF0 {
+		t.Errorf("masked zeros: got %#04x, want 0x0ff0", got)
+	}
+	got = s.Shift(0x0000, 0, 0xFFFF)
+	if got != 0xF00F {
+		t.Errorf("masked ones: got %#04x, want 0xf00f", got)
+	}
+}
+
+func TestFieldExtract(t *testing.T) {
+	// Extract a 4-bit field at bit position 6 of the 32-bit word RM‖T.
+	rm, tv := uint16(0x0000), uint16(0x0A40) // bits 6..9 of T = 0b1001
+	s := FieldExtract(6, 4)
+	got := s.Shift(rm, tv, 0)
+	if got != 0x9 {
+		t.Errorf("FieldExtract(6,4) = %#x, want 0x9", got)
+	}
+}
+
+func TestFieldExtractProperty(t *testing.T) {
+	// For every pos in 0..15 and width 1..16-? extracting from T matches
+	// direct bit arithmetic (fields contained in T).
+	for pos := uint8(0); pos < 16; pos++ {
+		for w := uint8(1); w <= 16-0; w++ {
+			if int(pos)+int(w) > 16 {
+				continue
+			}
+			tv := uint16(0xB6D9)
+			rm := uint16(0x2468)
+			s := FieldExtract(pos, w)
+			got := s.Shift(rm, tv, 0)
+			want := tv >> pos & (1<<w - 1)
+			if got != want {
+				t.Fatalf("extract pos=%d w=%d: got %#04x want %#04x (ctl %v)",
+					pos, w, got, want, s)
+			}
+		}
+	}
+}
+
+func TestFieldInsertProperty(t *testing.T) {
+	// Inserting a right-justified field from T into an MD word: for every
+	// pos/width that fits, result = md with bits [pos+w-1..pos] replaced.
+	md := uint16(0xFFFF)
+	for pos := uint8(0); pos < 16; pos++ {
+		for w := uint8(1); int(pos)+int(w) <= 16; w++ {
+			field := uint16(0x5A5A) & (1<<w - 1)
+			// RM must mirror T so rotation pulls field bits regardless of wrap.
+			s := FieldInsert(pos, w)
+			got := s.Shift(field, field, md)
+			want := md&^((1<<w-1)<<pos) | field<<pos
+			if got != want {
+				t.Fatalf("insert pos=%d w=%d: got %#04x want %#04x (ctl %v)",
+					pos, w, got, want, s)
+			}
+		}
+	}
+}
+
+func TestALUCtlRoundTrip(t *testing.T) {
+	for fn := ALUFn(0); fn < 16; fn++ {
+		for cin := CarryCtl(0); cin < 4; cin++ {
+			c := ALUCtl{Fn: fn, Cin: cin}
+			if got := DecodeALUCtl(EncodeALUCtl(c)); got != c {
+				t.Fatalf("roundtrip %v: got %v", c, got)
+			}
+			if EncodeALUCtl(c) >= 1<<6 {
+				t.Fatalf("ALUCtl %v does not fit in 6 bits", c)
+			}
+		}
+	}
+}
+
+func TestDefaultALUFM(t *testing.T) {
+	m := DefaultALUFM()
+	for i, c := range m {
+		if c.Fn != ALUFn(i) || c.Cin != CarryDefault {
+			t.Fatalf("ALUFM[%d] = %v", i, c)
+		}
+	}
+}

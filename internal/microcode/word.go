@@ -1,0 +1,170 @@
+package microcode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is a decoded 34-bit Dorado microinstruction (§6.3.1).
+//
+// The zero Word is a usable no-op that falls through to the next word in
+// the page only if Next is set; assemble real code through internal/masm,
+// which fills Next and validates field conflicts.
+type Word struct {
+	RAddr uint8       // 4 bits: RM low address, or signed stack-pointer delta in stack mode
+	ALUOp uint8       // 4 bits: ALUFM index
+	BSel  BSelect     // 3 bits
+	LC    LoadControl // 3 bits
+	ASel  ASelect     // 3 bits
+	Block bool        // 1 bit: release the processor (I/O tasks); stack modifier for task 0
+	FF    uint8       // 8 bits: function, constant byte, or address bits
+	Next  uint8       // 8 bits: NextControl
+}
+
+// Bit layout of the packed 34-bit word (bit 0 = least significant):
+//
+//	[33:30] RAddr  [29:26] ALUOp  [25:23] BSel  [22:20] LC
+//	[19:17] ASel   [16]    Block  [15:8]  FF    [7:0]   Next
+const WordBits = 34
+
+// Encode packs w into the low 34 bits of a uint64.
+func (w Word) Encode() uint64 {
+	v := uint64(w.Next) | uint64(w.FF)<<8
+	if w.Block {
+		v |= 1 << 16
+	}
+	v |= uint64(w.ASel&7) << 17
+	v |= uint64(w.LC&7) << 20
+	v |= uint64(w.BSel&7) << 23
+	v |= uint64(w.ALUOp&0xF) << 26
+	v |= uint64(w.RAddr&0xF) << 30
+	return v
+}
+
+// Decode unpacks a 34-bit microword.
+func Decode(v uint64) Word {
+	return Word{
+		Next:  uint8(v),
+		FF:    uint8(v >> 8),
+		Block: v>>16&1 != 0,
+		ASel:  ASelect(v >> 17 & 7),
+		LC:    LoadControl(v >> 20 & 7),
+		BSel:  BSelect(v >> 23 & 7),
+		ALUOp: uint8(v >> 26 & 0xF),
+		RAddr: uint8(v >> 30 & 0xF),
+	}
+}
+
+// NextOp decodes the NextControl field.
+func (w Word) NextOp() NextOp { return DecodeNext(w.Next) }
+
+// FFIsData reports whether this instruction consumes FF as data (a constant
+// byte via BSelect, or address bits via NextControl) rather than as an
+// operation. At most one of the three uses is legal; Validate enforces it.
+func (w Word) FFIsData() bool {
+	return w.BSel.IsConst() || w.NextOp().UsesFFAsAddress()
+}
+
+// FFOp returns the FF operation to execute, or FFNop when FF is data.
+func (w Word) FFOp() uint8 {
+	if w.FFIsData() {
+		return FFNop
+	}
+	return w.FF
+}
+
+// StackDelta interprets RAddr as the signed STACKPTR adjustment used when
+// the stack modifier is active — the Block bit of a task-0 instruction
+// ("selects a stack operation for task 0", §6.3.1): a two's-complement
+// nibble, range −8..+7.
+func (w Word) StackDelta() int8 {
+	d := int8(w.RAddr & 0xF)
+	if d >= 8 {
+		d -= 16
+	}
+	return d
+}
+
+// Validate checks the intra-instruction conflict rules that the hardware
+// cannot express (the assembler refuses to emit words that fail it):
+//
+//   - FF may serve only one purpose: constant byte, address bits, or
+//     function (§5.5).
+//   - An instruction whose NextControl dispatches on B must not also use B
+//     for a constant whose FF byte is consumed as address bits (covered by
+//     the FF rule) — but dispatching on a B-bus register is fine.
+//   - ASelStore requires a B-bus value to write.
+//   - Reserved encodings (NextControl, LoadControl, FF) are rejected.
+func (w Word) Validate() error {
+	op := w.NextOp()
+	if op.Kind == NextReserved {
+		return fmt.Errorf("microcode: reserved NextControl %#02x", w.Next)
+	}
+	if w.LC > LCLoadBoth {
+		return fmt.Errorf("microcode: reserved LoadControl %d", w.LC)
+	}
+	ffUses := 0
+	if w.BSel.IsConst() {
+		ffUses++
+	}
+	if op.UsesFFAsAddress() {
+		ffUses++
+	}
+	if ffUses > 1 {
+		return fmt.Errorf("microcode: FF needed as both constant and address")
+	}
+	if ffUses == 0 && w.FF != FFNop {
+		if ClassifyFF(w.FF) == FFClassReserved {
+			return fmt.Errorf("microcode: reserved FF operation %#02x", w.FF)
+		}
+	}
+	if op.Kind == NextBranch && op.W%2 != 0 {
+		return fmt.Errorf("microcode: branch false target must be even")
+	}
+	return nil
+}
+
+// UsesMD reports whether the instruction reads the task's memory-data word
+// (and therefore is held while MD is not ready, §5.7).
+func (w Word) UsesMD() bool {
+	if w.ASel == ASelMD || w.BSel == BSelMD {
+		return true
+	}
+	return !w.FFIsData() && w.FF == FFShiftMaskMD
+}
+
+// UsesIFUData reports whether the instruction consumes an IFU operand.
+func (w Word) UsesIFUData() bool { return w.ASel.UsesIFUData() }
+
+// String renders the word in a compact assembler-like form, e.g.
+//
+//	R3←A+B[RM3,T] Fetch FF:Count←5 GOTO 7
+func (w Word) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s", w.LC, ALUFn(w.ALUOp))
+	fmt.Fprintf(&b, "[A=%s", w.ASel)
+	if w.ASel == ASelRM || w.ASel == ASelFetch || w.ASel == ASelStore {
+		fmt.Fprintf(&b, "%d", w.RAddr)
+	}
+	if w.Block {
+		fmt.Fprintf(&b, " stk%+d", w.StackDelta())
+	}
+	fmt.Fprintf(&b, ",B=%s", w.BSel)
+	if w.BSel.IsConst() {
+		fmt.Fprintf(&b, "(%#04x)", w.BSel.ConstValue(w.FF))
+	}
+	b.WriteString("]")
+	if w.Block {
+		b.WriteString(" BLOCK")
+	}
+	if !w.FFIsData() && w.FF != FFNop {
+		b.WriteString(" FF:")
+		b.WriteString(FFName(w.FF))
+	}
+	b.WriteString(" ")
+	b.WriteString(w.NextOp().String())
+	if w.NextOp().UsesFFAsAddress() {
+		fmt.Fprintf(&b, " [FF=%#02x]", w.FF)
+	}
+	return b.String()
+}

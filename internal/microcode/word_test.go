@@ -1,0 +1,160 @@
+package microcode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raddr, aluop, bsel, lc, asel uint8, block bool, ff, next uint8) bool {
+		w := Word{
+			RAddr: raddr & 0xF,
+			ALUOp: aluop & 0xF,
+			BSel:  BSelect(bsel & 7),
+			LC:    LoadControl(lc & 7),
+			ASel:  ASelect(asel & 7),
+			Block: block,
+			FF:    ff,
+			Next:  next,
+		}
+		return Decode(w.Encode()) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeFitsIn34Bits(t *testing.T) {
+	f := func(raddr, aluop, bsel, lc, asel uint8, block bool, ff, next uint8) bool {
+		w := Word{
+			RAddr: raddr & 0xF, ALUOp: aluop & 0xF,
+			BSel: BSelect(bsel & 7), LC: LoadControl(lc & 7),
+			ASel: ASelect(asel & 7), Block: block, FF: ff, Next: next,
+		}
+		return w.Encode() < 1<<WordBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	// Every 34-bit value decodes and re-encodes to itself: the encoding is
+	// a bijection on the 34-bit space.
+	f := func(v uint64) bool {
+		v &= 1<<WordBits - 1
+		return Decode(v).Encode() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWordIsValidNop(t *testing.T) {
+	var w Word
+	if err := w.Validate(); err != nil {
+		t.Fatalf("zero word should validate: %v", err)
+	}
+	if w.NextOp().Kind != NextGoto || w.NextOp().W != 0 {
+		t.Fatalf("zero word next = %v, want GOTO 0", w.NextOp())
+	}
+}
+
+func TestStackDelta(t *testing.T) {
+	cases := []struct {
+		raddr uint8
+		want  int8
+	}{
+		{0, 0}, {1, 1}, {7, 7}, {8, -8}, {15, -1}, {14, -2},
+	}
+	for _, c := range cases {
+		w := Word{RAddr: c.raddr, Block: true}
+		if got := w.StackDelta(); got != c.want {
+			t.Errorf("StackDelta(raddr=%d) = %d, want %d", c.raddr, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsConflicts(t *testing.T) {
+	// Constant + long goto both need FF.
+	w := Word{
+		BSel: BSelConstLo,
+		FF:   0x42,
+		Next: MustEncodeNext(NextOp{Kind: NextLongGoto, W: 3}),
+	}
+	if err := w.Validate(); err == nil {
+		t.Fatal("want conflict error for constant+longgoto")
+	}
+	// Either use alone is fine.
+	w1 := Word{BSel: BSelConstLo, FF: 0x42}
+	if err := w1.Validate(); err != nil {
+		t.Fatalf("constant alone: %v", err)
+	}
+	w2 := Word{FF: 0x42, Next: MustEncodeNext(NextOp{Kind: NextLongGoto, W: 3})}
+	if err := w2.Validate(); err != nil {
+		t.Fatalf("longgoto alone: %v", err)
+	}
+}
+
+func TestValidateRejectsReserved(t *testing.T) {
+	if err := (Word{Next: 0xFF}).Validate(); err == nil {
+		t.Error("want error for reserved NextControl")
+	}
+	if err := (Word{LC: 5}).Validate(); err == nil {
+		t.Error("want error for reserved LoadControl")
+	}
+	if err := (Word{FF: 0xB5}).Validate(); err == nil {
+		t.Error("want error for reserved FF op")
+	}
+	// Reserved FF byte is fine when FF is data.
+	w := Word{FF: 0xB5, BSel: BSelConstLo}
+	if err := w.Validate(); err != nil {
+		t.Errorf("FF-as-data should not be checked as op: %v", err)
+	}
+}
+
+func TestFFIsData(t *testing.T) {
+	w := Word{BSel: BSelConstHi, FF: FFInput}
+	if !w.FFIsData() {
+		t.Error("constant BSel should make FF data")
+	}
+	if w.FFOp() != FFNop {
+		t.Error("FFOp should be Nop when FF is data")
+	}
+	w = Word{FF: FFInput}
+	if w.FFIsData() {
+		t.Error("plain FF op is not data")
+	}
+	if w.FFOp() != FFInput {
+		t.Error("FFOp should pass through")
+	}
+}
+
+func TestUsesMD(t *testing.T) {
+	if !(Word{ASel: ASelMD}).UsesMD() {
+		t.Error("ASelMD uses MD")
+	}
+	if !(Word{BSel: BSelMD}).UsesMD() {
+		t.Error("BSelMD uses MD")
+	}
+	if !(Word{FF: FFShiftMaskMD}).UsesMD() {
+		t.Error("ShiftMaskMD uses MD")
+	}
+	// ShiftMaskMD byte used as a constant is not an MD use.
+	if (Word{FF: FFShiftMaskMD, BSel: BSelConstLo}).UsesMD() {
+		t.Error("FF-as-data must not count as MD use")
+	}
+	if (Word{}).UsesMD() {
+		t.Error("plain word does not use MD")
+	}
+}
+
+func TestWordStringSmoke(t *testing.T) {
+	w := Word{
+		RAddr: 3, ALUOp: uint8(ALUAplusB), BSel: BSelT, LC: LCLoadRM,
+		ASel: ASelRM, Next: MustEncodeNext(NextOp{Kind: NextGoto, W: 7}),
+	}
+	if s := w.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

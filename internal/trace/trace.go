@@ -1,0 +1,113 @@
+// Package trace provides observation tools for the simulated Dorado:
+// disassembling cycle tracers (standing in for the console microcomputer's
+// monitoring facilities, §6.2), ring-buffer capture for post-mortem
+// debugging, and formatting helpers for the machine's statistics.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dorado/internal/core"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// Writer is a core.Tracer that disassembles every cycle to an io.Writer,
+// annotating addresses with symbols from a placed program.
+type Writer struct {
+	W       io.Writer
+	symbols map[microcode.Addr]string
+}
+
+// NewWriter builds a disassembling tracer. prog may be nil (no symbols).
+func NewWriter(w io.Writer, prog *masm.Program) *Writer {
+	t := &Writer{W: w, symbols: map[microcode.Addr]string{}}
+	if prog != nil {
+		for name, addr := range prog.Symbols {
+			if old, ok := t.symbols[addr]; !ok || name < old {
+				t.symbols[addr] = name
+			}
+		}
+	}
+	return t
+}
+
+// Trace implements core.Tracer.
+func (t *Writer) Trace(ev core.TraceEvent) {
+	label := t.symbols[ev.PC]
+	held := ""
+	if ev.Held {
+		held = " HELD"
+	}
+	fmt.Fprintf(t.W, "%8d t%-2d %v %-18s %v%s\n", ev.Cycle, ev.Task, ev.PC, label, ev.Word, held)
+}
+
+// Ring is a core.Tracer keeping the last N events for post-mortem dumps.
+type Ring struct {
+	buf  []core.TraceEvent
+	next int
+	full bool
+}
+
+// NewRing builds a ring tracer holding n events.
+func NewRing(n int) *Ring { return &Ring{buf: make([]core.TraceEvent, n)} }
+
+// Trace implements core.Tracer.
+func (r *Ring) Trace(ev core.TraceEvent) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the captured events, oldest first.
+func (r *Ring) Events() []core.TraceEvent {
+	if !r.full {
+		return append([]core.TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]core.TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump renders the ring contents through a Writer.
+func (r *Ring) Dump(w io.Writer, prog *masm.Program) {
+	tw := NewWriter(w, prog)
+	for _, ev := range r.Events() {
+		tw.Trace(ev)
+	}
+}
+
+// FormatStats renders the processor counters as a small report.
+func FormatStats(st core.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles       %12d  (%.3f ms simulated)\n",
+		st.Cycles, float64(st.Cycles)*core.CycleNS*1e-6)
+	fmt.Fprintf(&b, "executed     %12d\n", st.Executed)
+	fmt.Fprintf(&b, "holds        %12d  (md %d, mem %d, ifu %d)\n",
+		st.Holds, st.HoldMD, st.HoldMem, st.HoldIFU)
+	fmt.Fprintf(&b, "task switches%12d  (blocks %d, preemptions %d)\n",
+		st.TaskSwitches, st.Blocks, st.Preemptions)
+	for t := 0; t < core.NumTasks; t++ {
+		if st.TaskCycles[t] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  task %-2d %12d cycles (%5.1f%%), %d executed\n",
+			t, st.TaskCycles[t], 100*st.Utilization(t), st.TaskExecuted[t])
+	}
+	return b.String()
+}
+
+// MBits converts a bit count over a cycle span to megabits/second at the
+// 60 ns cycle.
+func MBits(bits float64, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return bits / (float64(cycles) * core.CycleNS * 1e-9) / 1e6
+}

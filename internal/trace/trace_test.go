@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dorado/internal/core"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+func smallMachine(t *testing.T) (*core.Machine, *masm.Program) {
+	t.Helper()
+	b := masm.NewBuilder()
+	b.EmitAt("start", masm.I{FF: microcode.FFCountBase + 3})
+	b.EmitAt("loop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT})
+	b.Emit(masm.I{Flow: masm.Branch(microcode.CondCountNZ, "", "loop")})
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("start"))
+	return m, p
+}
+
+func TestWriterAnnotatesSymbols(t *testing.T) {
+	m, p := smallMachine(t)
+	var buf bytes.Buffer
+	m.SetTracer(NewWriter(&buf, p))
+	if !m.Run(100) {
+		t.Fatal("did not halt")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "start") || !strings.Contains(out, "loop") {
+		t.Fatalf("trace missing symbols:\n%s", out)
+	}
+	if strings.Count(out, "\n") != int(m.Cycle()) {
+		t.Errorf("trace lines %d != cycles %d", strings.Count(out, "\n"), m.Cycle())
+	}
+}
+
+func TestRingKeepsLastEvents(t *testing.T) {
+	m, _ := smallMachine(t)
+	r := NewRing(4)
+	m.SetTracer(r)
+	if !m.Run(100) {
+		t.Fatal("did not halt")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events", len(evs))
+	}
+	// Oldest first, consecutive cycles ending at the halt.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle != evs[i-1].Cycle+1 {
+			t.Fatalf("ring out of order: %v", evs)
+		}
+	}
+	if evs[len(evs)-1].Cycle != m.Cycle()-1 {
+		t.Errorf("ring does not end at the last cycle")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	m, _ := smallMachine(t)
+	r := NewRing(1000)
+	m.SetTracer(r)
+	m.Run(100)
+	if len(r.Events()) != int(m.Cycle()) {
+		t.Errorf("partial ring has %d events, want %d", len(r.Events()), m.Cycle())
+	}
+}
+
+func TestRingDumpSmoke(t *testing.T) {
+	m, p := smallMachine(t)
+	r := NewRing(8)
+	m.SetTracer(r)
+	m.Run(100)
+	var buf bytes.Buffer
+	r.Dump(&buf, p)
+	if buf.Len() == 0 {
+		t.Fatal("empty dump")
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	m, _ := smallMachine(t)
+	m.Run(100)
+	s := FormatStats(m.Stats())
+	if !strings.Contains(s, "cycles") || !strings.Contains(s, "task 0") {
+		t.Fatalf("bad stats report:\n%s", s)
+	}
+}
+
+func TestMBits(t *testing.T) {
+	// 16 bits per cycle at 60ns ≈ 266.7 Mbit/s (the slow-I/O peak).
+	got := MBits(16*1000, 1000)
+	if got < 260 || got > 270 {
+		t.Errorf("MBits = %f, want ≈266.7", got)
+	}
+	if MBits(100, 0) != 0 {
+		t.Error("zero cycles should give 0")
+	}
+}
