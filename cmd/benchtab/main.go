@@ -7,9 +7,11 @@
 //
 //	benchtab            run everything
 //	benchtab E3 E7      run selected experiments
+//	benchtab -json      emit the tables as JSON instead of text
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,19 +19,32 @@ import (
 )
 
 func main() {
+	asJSON := flag.Bool("json", false, "emit experiment tables as JSON")
+	flag.Parse()
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[a] = true
 	}
 	failures := 0
+	var tables []bench.TableJSON
 	for _, e := range bench.Experiments() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		tab := e.Run()
-		fmt.Println(tab)
+		if *asJSON {
+			tables = append(tables, tab.JSON())
+		} else {
+			fmt.Println(tab)
+		}
 		if tab.Err != nil || !tab.Pass {
 			failures++
+		}
+	}
+	if *asJSON {
+		if err := bench.WriteJSON(os.Stdout, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if failures > 0 {

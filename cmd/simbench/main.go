@@ -1,0 +1,62 @@
+// Simbench measures host performance: how many simulated Dorado cycles per
+// second the simulator sustains on the machine running it, across the §7
+// workload families (emulator mix, disk, fast I/O, BitBlt). Each workload
+// runs twice — on the predecoded hot loop and on the reference interpreter
+// (per-cycle decode, the pre-optimization baseline) — and the report
+// records both plus the speedup.
+//
+// Usage:
+//
+//	simbench                         print the report, write BENCH_SIM.json
+//	simbench -cycles 5000000         longer runs (steadier numbers)
+//	simbench -o path.json            write elsewhere ("" skips the file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dorado/internal/bench"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 2_000_000, "simulated cycles per (workload, path) measurement")
+	out := flag.String("o", "BENCH_SIM.json", "output JSON path (empty: stdout report only)")
+	flag.Parse()
+
+	rep, err := bench.RunHostReport(*cycles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("simbench: %s %s/%s, %d cycles per measurement\n\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CyclesPerRun)
+	fmt.Printf("%-10s %-11s %14s %10s %12s\n", "workload", "path", "cycles/sec", "ns/cycle", "allocs/cycle")
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %-11s %14.0f %10.1f %12.4f\n",
+			r.Workload, r.Path, r.CyclesPerSec, r.NsPerCycle, r.AllocsPerCycle)
+	}
+	fmt.Println()
+	for _, w := range bench.HostWorkloads() {
+		fmt.Printf("%-10s speedup %.2fx\n", w.ID, rep.Speedup[w.ID])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"dorado/internal/bitblt"
+	"dorado/internal/core"
+	"dorado/internal/device"
+	"dorado/internal/emulator"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// This file is the workload-level half of the predecode differential test:
+// each §7 experiment family (Mesa emulator, disk, fast I/O, slow I/O,
+// BitBlt) runs once on the predecoded fast path and once on the reference
+// interpreter (Config.Reference, the seed's decode-every-cycle behavior),
+// and the two machines must agree cycle-for-cycle: identical Stats,
+// identical final registers, identical memory. The instruction-level pairs
+// live in internal/core/predecode_test.go.
+
+// diffPair runs build twice (fast path, then reference interpreter) and
+// checks the two machines ended in the same state.
+func diffPair(t *testing.T, name string, build func(cfg core.Config) (*core.Machine, error), memLo, memHi uint32) {
+	t.Helper()
+	fast, err := build(core.Config{})
+	if err != nil {
+		t.Fatalf("%s: fast build: %v", name, err)
+	}
+	ref, err := build(core.Config{Reference: true})
+	if err != nil {
+		t.Fatalf("%s: reference build: %v", name, err)
+	}
+	if fast.Cycle() != ref.Cycle() {
+		t.Errorf("%s: cycle count diverged: fast %d, reference %d", name, fast.Cycle(), ref.Cycle())
+	}
+	if fast.Halted() != ref.Halted() || fast.HaltPC() != ref.HaltPC() {
+		t.Errorf("%s: halt state diverged: fast (%v,%v), reference (%v,%v)",
+			name, fast.Halted(), fast.HaltPC(), ref.Halted(), ref.HaltPC())
+	}
+	if fs, rs := fast.Stats(), ref.Stats(); !reflect.DeepEqual(fs, rs) {
+		t.Errorf("%s: stats diverged:\nfast: %+v\nref:  %+v", name, fs, rs)
+	}
+	if fast.CurTask() != ref.CurTask() || fast.CurPC() != ref.CurPC() {
+		t.Errorf("%s: control diverged: fast (task %d, pc %v), reference (task %d, pc %v)",
+			name, fast.CurTask(), fast.CurPC(), ref.CurTask(), ref.CurPC())
+	}
+	for i := 0; i < 256; i++ {
+		if fast.RM(i) != ref.RM(i) {
+			t.Errorf("%s: RM[%d] diverged: fast %#04x, reference %#04x", name, i, fast.RM(i), ref.RM(i))
+		}
+		if fast.Stack(i) != ref.Stack(i) {
+			t.Errorf("%s: stack[%d] diverged: fast %#04x, reference %#04x", name, i, fast.Stack(i), ref.Stack(i))
+		}
+	}
+	for task := 0; task < 16; task++ {
+		if fast.T(task) != ref.T(task) || fast.TPC(task) != ref.TPC(task) {
+			t.Errorf("%s: task %d diverged: fast (T %#04x, TPC %v), reference (T %#04x, TPC %v)",
+				name, task, fast.T(task), fast.TPC(task), ref.T(task), ref.TPC(task))
+		}
+	}
+	for a := memLo; a < memHi; a++ {
+		if fv, rv := fast.Mem().Peek(a), ref.Mem().Peek(a); fv != rv {
+			t.Errorf("%s: memory %#x diverged: fast %#04x, reference %#04x", name, a, fv, rv)
+		}
+	}
+}
+
+// TestDifferentialMesaEmulator runs a mixed Mesa macroprogram (loads,
+// stores, arithmetic, a counted loop — the §7 emulator-mix shape) through
+// the full IFU dispatch pipeline on both paths.
+func TestDifferentialMesaEmulator(t *testing.T) {
+	build := func(cfg core.Config) (*core.Machine, error) {
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mesa, err := emulator.BuildMesa()
+		if err != nil {
+			return nil, err
+		}
+		a := emulator.NewAsm(mesa)
+		a.OpB("LIB", 40)
+		a.OpB("SL", 4)
+		a.Label("loop")
+		a.OpB("LL", 4)
+		a.OpB("LIB", 1)
+		a.Op("SUB")
+		a.Op("DUP")
+		a.OpB("SL", 4)
+		a.OpL("JNZ", "loop")
+		a.Op("HALT")
+		if err := a.Install(m); err != nil {
+			return nil, err
+		}
+		if err := mesa.InstallOn(m); err != nil {
+			return nil, err
+		}
+		m.Run(2_000_000)
+		return m, nil
+	}
+	diffPair(t, "mesa-emulator", build, emulator.VAFrames, emulator.VAFrames+0x100)
+}
+
+// TestDifferentialDisk runs the E4 shape: disk word-source task alongside
+// the counting emulator, the 3-cycles-per-2-words transfer idiom.
+func TestDifferentialDisk(t *testing.T) {
+	build := func(cfg core.Config) (*core.Machine, error) {
+		b := masm.NewBuilder()
+		emuLoop(b)
+		b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+		b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
+			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+		b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
+			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+			Block: true, Flow: masm.Goto("disk")})
+		p, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("emu"))
+		if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
+			return nil, err
+		}
+		m.SetIOAddress(11, 11)
+		m.SetTPC(11, p.MustEntry("disk"))
+		m.SetRM(1, 0x6000)
+		m.Run(60_000)
+		return m, nil
+	}
+	diffPair(t, "disk", build, 0x6000, 0x6200)
+}
+
+// TestDifferentialFastIO runs the E5 shape: display device at full memory
+// bandwidth, two microinstructions per 16-word block.
+func TestDifferentialFastIO(t *testing.T) {
+	build := func(cfg core.Config) (*core.Machine, error) {
+		b := masm.NewBuilder()
+		emuLoop(b)
+		b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
+			ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
+		b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
+		p, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("emu"))
+		disp := device.NewDisplay(13, m.Mem(), 8, 4)
+		disp.SetBase(0x20000)
+		if err := m.Attach(disp); err != nil {
+			return nil, err
+		}
+		m.SetIOAddress(13, 13)
+		m.SetTPC(13, p.MustEntry("disp"))
+		m.SetT(13, 16)
+		m.Run(60_000)
+		return m, nil
+	}
+	diffPair(t, "fast-io", build, 0x20000, 0x20100)
+}
+
+// TestDifferentialSlowIO runs the E6 shape: loopback device, one word per
+// cycle through IODATA, loop closed on COUNT.
+func TestDifferentialSlowIO(t *testing.T) {
+	build := func(cfg core.Config) (*core.Machine, error) {
+		b := masm.NewBuilder()
+		emuLoop(b)
+		b.EmitAt("burst", masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
+			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+			Flow: masm.Branch(microcode.CondCountNZ, "burst.done", "burst")})
+		b.EmitAt("burst.done", masm.I{Block: true, Flow: masm.Goto("burst")})
+		p, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("emu"))
+		lb := device.NewLoopback(9)
+		if err := m.Attach(lb); err != nil {
+			return nil, err
+		}
+		m.SetIOAddress(9, 9)
+		m.SetTPC(9, p.MustEntry("burst"))
+		m.SetRM(1, 0x6000)
+		m.SetCount(1000)
+		for a := uint32(0x6000); a < 0x6000+1016; a += 16 {
+			m.Mem().Warm(a)
+		}
+		lb.Arm(true)
+		m.Run(30_000)
+		return m, nil
+	}
+	diffPair(t, "slow-io", build, 0x6000, 0x6400)
+}
+
+// TestDifferentialBitBlt runs the E3 shape: a bit-aligned merge over a
+// screen-sized region, the heaviest shifter/masker workload.
+func TestDifferentialBitBlt(t *testing.T) {
+	build := func(cfg core.Config) (*core.Machine, error) {
+		ps, err := bitblt.Build()
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := bitblt.Params{
+			Src: 0x10000, Dst: 0x40000, WidthWords: 32, Height: 24,
+			SrcPitch: 32, DstPitch: 32,
+			Op: bitblt.Merge, Filter: 0xAAAA, BitOffset: 5,
+		}
+		for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
+			m.Mem().Poke(a, uint16(a*2654435761))
+		}
+		if _, err := ps.Run(m, p); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	diffPair(t, "bitblt", build, 0x40000, 0x40000+32*24)
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dorado/internal/bitblt"
+	"dorado/internal/core"
+	"dorado/internal/device"
+	"dorado/internal/emulator"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// This file measures *host* performance — how fast the simulator itself
+// runs on the machine executing it — as opposed to the simulated §7 claims
+// the E-experiments reproduce. Each workload runs on both execution paths:
+// the predecoded hot loop (the default) and the reference interpreter
+// (Config.Reference: decode the packed microword from scratch every cycle
+// and scan all 16 device slots, the seed simulator's behavior). The ratio
+// of the two is the predecode speedup recorded in BENCH_SIM.json.
+
+// HostWorkload is one host-throughput scenario. Build constructs a machine
+// under cfg and returns a run function that advances the simulation by up
+// to budget cycles, returning the cycles actually simulated — so the timed
+// region excludes assembly and machine construction.
+type HostWorkload struct {
+	ID   string
+	Name string
+	Build func(cfg core.Config) (run func(budget uint64) (uint64, error), err error)
+}
+
+// HostWorkloads returns the §7 workload families used for host-throughput
+// measurement: the emulator mix, the disk transfer idiom, fast I/O at full
+// memory bandwidth, and BitBlt.
+func HostWorkloads() []HostWorkload {
+	return []HostWorkload{
+		{ID: "emulator", Name: "Mesa emulator mix (IFU dispatch, frame load/store, branch)", Build: buildHostEmulator},
+		{ID: "disk", Name: "Disk transfer, 3 cycles per 2 words (§7)", Build: buildHostDisk},
+		{ID: "fastio", Name: "Fast I/O display at full memory bandwidth (§7)", Build: buildHostFastIO},
+		{ID: "bitblt", Name: "BitBlt merge, src/dst/filter (§7)", Build: buildHostBitBlt},
+	}
+}
+
+// buildHostEmulator boots the Mesa emulator on an endless macroinstruction
+// loop: dispatch, operand fetch, frame load/store, and a taken conditional
+// jump every iteration — the steady-state emulator mix.
+func buildHostEmulator(cfg core.Config) (func(uint64) (uint64, error), error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mesa, err := emulator.BuildMesa()
+	if err != nil {
+		return nil, err
+	}
+	a := emulator.NewAsm(mesa)
+	a.OpB("LIB", 40)
+	a.OpB("SL", 4)
+	a.Label("loop")
+	a.OpB("LL", 4)
+	a.Op("DUP")
+	a.OpB("SL", 4)
+	a.OpL("JNZ", "loop") // always taken: the loop never exits
+	if err := a.Install(m); err != nil {
+		return nil, err
+	}
+	if err := mesa.InstallOn(m); err != nil {
+		return nil, err
+	}
+	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
+}
+
+// buildHostDisk is the E4 machine: the counting emulator in task 0 plus the
+// 3-cycles-per-2-words disk microcode woken by a word source.
+func buildHostDisk(cfg core.Config) (func(uint64) (uint64, error), error) {
+	b := masm.NewBuilder()
+	emuLoop(b)
+	b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+		Block: true, Flow: masm.Goto("disk")})
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("emu"))
+	if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(11, 11)
+	m.SetTPC(11, p.MustEntry("disk"))
+	m.SetRM(1, 0x6000)
+	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
+}
+
+// buildHostFastIO is the E5 machine: the display consuming full memory
+// bandwidth with two microinstructions per 16-word block.
+func buildHostFastIO(cfg core.Config) (func(uint64) (uint64, error), error) {
+	b := masm.NewBuilder()
+	emuLoop(b)
+	b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
+		ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("emu"))
+	disp := device.NewDisplay(13, m.Mem(), 8, 4)
+	disp.SetBase(0x20000)
+	if err := m.Attach(disp); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(13, 13)
+	m.SetTPC(13, p.MustEntry("disp"))
+	m.SetT(13, 16)
+	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
+}
+
+// buildHostBitBlt runs back-to-back screen-scale merges; the machine's
+// cycle counter accumulates across blits, so run consumes its budget in
+// whole-blit units.
+func buildHostBitBlt(cfg core.Config) (func(uint64) (uint64, error), error) {
+	ps, err := bitblt.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := bitblt.Params{
+		Src: 0x10000, Dst: 0x40000, WidthWords: 64, Height: 64,
+		SrcPitch: 64, DstPitch: 64, Op: bitblt.Merge, Filter: 0xAAAA,
+	}
+	for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
+		m.Mem().Poke(a, uint16(a*2654435761))
+	}
+	return func(budget uint64) (uint64, error) {
+		var done uint64
+		for done < budget {
+			c, err := ps.Run(m, p)
+			if err != nil {
+				return done, err
+			}
+			done += c
+		}
+		return done, nil
+	}, nil
+}
+
+// HostResult is one (workload, path) measurement.
+type HostResult struct {
+	Workload       string  `json:"workload"`
+	Path           string  `json:"path"` // "predecoded" or "reference"
+	SimCycles      uint64  `json:"sim_cycles"`
+	HostSeconds    float64 `json:"host_seconds"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// MeasureHost times one workload on one path for roughly budget simulated
+// cycles, reporting host throughput and allocation rate.
+func MeasureHost(w HostWorkload, reference bool, budget uint64) (HostResult, error) {
+	run, err := w.Build(core.Config{Reference: reference})
+	if err != nil {
+		return HostResult{}, err
+	}
+	path := "predecoded"
+	if reference {
+		path = "reference"
+	}
+	// Warm up: caches, device queues, and the host branch predictor.
+	if _, err := run(budget / 10); err != nil {
+		return HostResult{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cycles, err := run(budget)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return HostResult{}, err
+	}
+	if cycles == 0 {
+		return HostResult{}, fmt.Errorf("bench: workload %s simulated no cycles", w.ID)
+	}
+	sec := elapsed.Seconds()
+	return HostResult{
+		Workload:       w.ID,
+		Path:           path,
+		SimCycles:      cycles,
+		HostSeconds:    sec,
+		CyclesPerSec:   float64(cycles) / sec,
+		NsPerCycle:     sec * 1e9 / float64(cycles),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
+	}, nil
+}
+
+// HostReport is the BENCH_SIM.json document: both paths across every
+// workload plus the per-workload speedup (predecoded over reference
+// cycles/sec).
+type HostReport struct {
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	CyclesPerRun uint64            `json:"cycles_per_run"`
+	Results     []HostResult       `json:"results"`
+	Speedup     map[string]float64 `json:"speedup"`
+}
+
+// RunHostReport measures every workload on both paths.
+func RunHostReport(budget uint64) (HostReport, error) {
+	rep := HostReport{
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CyclesPerRun: budget,
+		Speedup:      map[string]float64{},
+	}
+	for _, w := range HostWorkloads() {
+		fast, err := MeasureHost(w, false, budget)
+		if err != nil {
+			return rep, fmt.Errorf("bench: %s (predecoded): %w", w.ID, err)
+		}
+		ref, err := MeasureHost(w, true, budget)
+		if err != nil {
+			return rep, fmt.Errorf("bench: %s (reference): %w", w.ID, err)
+		}
+		rep.Results = append(rep.Results, fast, ref)
+		rep.Speedup[w.ID] = fast.CyclesPerSec / ref.CyclesPerSec
+	}
+	return rep, nil
+}

@@ -7,9 +7,14 @@ import (
 	"dorado/internal/microcode"
 )
 
-// BenchmarkStepALULoop measures simulator throughput on pure data-section
-// work (no memory traffic): host ns per simulated 60 ns cycle.
-func BenchmarkStepALULoop(b *testing.B) {
+// reportCycleRate emits the host-throughput metric shared by every Step
+// benchmark: one benchmark iteration is one simulated 60 ns cycle.
+func reportCycleRate(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// aluLoopMachine builds the pure data-section workload (no memory traffic).
+func aluLoopMachine(b *testing.B, cfg Config) *Machine {
 	bl := masm.NewBuilder()
 	bl.EmitAt("start", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT,
 		LC: microcode.LCLoadT, Flow: masm.Goto("start")})
@@ -17,16 +22,38 @@ func BenchmarkStepALULoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := New(Config{})
+	m, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	m.Load(&p.Words)
 	m.Start(p.MustEntry("start"))
+	return m
+}
+
+// BenchmarkStepALULoop measures simulator throughput on pure data-section
+// work (no memory traffic): host ns per simulated 60 ns cycle.
+func BenchmarkStepALULoop(b *testing.B) {
+	m := aluLoopMachine(b, Config{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+	reportCycleRate(b)
+}
+
+// BenchmarkStepALULoopReference is the same workload on the reference
+// interpreter (per-cycle decode, Config.Reference) — the denominator of the
+// predecode speedup.
+func BenchmarkStepALULoopReference(b *testing.B) {
+	m := aluLoopMachine(b, Config{Reference: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	reportCycleRate(b)
 }
 
 // BenchmarkStepMemoryLoop measures throughput with a cache-hit fetch+use
@@ -48,10 +75,12 @@ func BenchmarkStepMemoryLoop(b *testing.B) {
 	m.Start(p.MustEntry("start"))
 	m.SetRM(1, 64)
 	m.Mem().Warm(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+	reportCycleRate(b)
 }
 
 // BenchmarkStepWithDevices measures throughput with two live controllers.
@@ -79,10 +108,12 @@ func BenchmarkStepWithDevices(b *testing.B) {
 		m.SetIOAddress(task, uint16(task))
 		m.SetTPC(task, p.MustEntry("svc"))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+	reportCycleRate(b)
 }
 
 // newProbeBench is a periodic device for benchmarking.

@@ -80,6 +80,13 @@ type Config struct {
 	// discipline: faults are service requests to a microcode task, not
 	// processor traps.
 	FaultTask int
+	// Reference selects the unoptimized reference interpreter: every cycle
+	// re-decodes the packed microword from scratch and the scheduler scans
+	// all 16 device slots, as the seed simulator did. The predecoded fast
+	// path (the default) must be cycle-for-cycle identical to it; the
+	// differential tests diff the two, and cmd/simbench uses it as the
+	// host-performance baseline. Simulation semantics are unaffected.
+	Reference bool
 }
 
 // taskState groups the task-specific registers (§5.3).
@@ -113,11 +120,13 @@ type Machine struct {
 	cfg Config
 
 	im  [microcode.StoreSize]microcode.Word
+	dim [microcode.StoreSize]decoded // predecode cache, in step with im
 	mem *memory.System
 	ifu *ifu.Unit
 
 	devs   [NumTasks]device.Device // by task number
 	byAddr [NumTasks]device.Device // by IOADDRESS (low 4 bits)
+	att    []attachedDev           // attached devices in task order (hot loop)
 
 	// Control section (§6.2).
 	tasks    [NumTasks]taskState
@@ -190,6 +199,7 @@ func New(cfg Config) (*Machine, error) {
 	for i := range m.im {
 		m.im[i] = microcode.Word{FF: microcode.FFHalt}
 	}
+	m.predecodeAll()
 	if ft := cfg.FaultTask; ft > 0 && ft < NumTasks {
 		mem.OnFault(func(memory.Fault) { m.ready |= 1 << ft })
 	}
@@ -202,8 +212,34 @@ func (m *Machine) Mem() *memory.System { return m.mem }
 // IFU returns the instruction fetch unit.
 func (m *Machine) IFU() *ifu.Unit { return m.ifu }
 
-// Load installs a microstore image (e.g. masm.Program.Words).
-func (m *Machine) Load(im *[microcode.StoreSize]microcode.Word) { m.im = *im }
+// Load installs a microstore image (e.g. masm.Program.Words) and rebuilds
+// the predecode cache.
+func (m *Machine) Load(im *[microcode.StoreSize]microcode.Word) {
+	m.im = *im
+	m.predecodeAll()
+}
+
+// SetIM writes one microstore word. This is the invalidation point of the
+// predecode layer: the written word is re-decoded immediately, so a
+// subsequent fetch of a executes the new instruction on both the fast and
+// the reference path. Loaders and the console must route single-word
+// microstore writes through here (bulk images go through Load).
+func (m *Machine) SetIM(a microcode.Addr, w microcode.Word) {
+	a &= microcode.AddrMask
+	m.im[a] = w
+	m.dim[a] = decodeWord(w)
+}
+
+// IM reads one microstore word.
+func (m *Machine) IM(a microcode.Addr) microcode.Word { return m.im[a&microcode.AddrMask] }
+
+// attachedDev pairs a device with its precomputed wakeup-line bit so the
+// scheduler's hot loop touches only live controllers.
+type attachedDev struct {
+	dev  device.Device
+	task int
+	bit  uint16
+}
 
 // Attach registers a device on its task number; its IOADDRESS is the task
 // number as well (the convention all bundled microcode uses).
@@ -217,6 +253,14 @@ func (m *Machine) Attach(d device.Device) error {
 	}
 	m.devs[t] = d
 	m.byAddr[t] = d
+	// Rebuild the compact device list in task order, so Tick and wakeup
+	// sampling visit controllers exactly as the 16-slot scan did.
+	m.att = m.att[:0]
+	for task := 1; task < NumTasks; task++ {
+		if dev := m.devs[task]; dev != nil {
+			m.att = append(m.att, attachedDev{dev: dev, task: task, bit: 1 << task})
+		}
+	}
 	return nil
 }
 
@@ -341,12 +385,3 @@ type Tracer interface {
 
 // SetTracer installs (or, with nil, removes) a cycle tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
-
-// Run executes until Halt or maxCycles, returning true if halted.
-func (m *Machine) Run(maxCycles uint64) bool {
-	limit := m.cycle + maxCycles
-	for !m.halted && m.cycle < limit {
-		m.Step()
-	}
-	return m.halted
-}

@@ -6,35 +6,34 @@ import (
 	"dorado/internal/microcode"
 )
 
-// exec runs the instruction at (curTask, curPC) for one cycle. It returns
-// held=true when the instruction could not proceed (§5.7: it becomes
-// "no-op, jump to self": no state changes, nextPC = curPC, Block
-// suppressed), blocked=true when the instruction released the processor,
-// and the successor address otherwise.
-func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
-	w := m.im[m.curPC]
+// exec runs the instruction at (curTask, curPC) for one cycle, driven by
+// its predecoded form d (from the predecode cache, or rebuilt on the fly by
+// the reference interpreter). It returns held=true when the instruction
+// could not proceed (§5.7: it becomes "no-op, jump to self": no state
+// changes, nextPC = curPC, Block suppressed), blocked=true when the
+// instruction released the processor, and the successor address otherwise.
+func (m *Machine) exec(d *decoded, now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	ts := &m.tasks[m.curTask]
-	op := w.NextOp()
-	ffop := w.FFOp()
+	ffop := d.ffop
 	m.stats.TaskCycles[m.curTask]++
 
 	// ---- Hold phase: detect every reason this instruction cannot proceed,
 	// without changing any state (§5.7). ----
-	if w.UsesMD() && !m.mdReady(now) {
+	if d.usesMD && !m.mdReady(now) {
 		return m.hold(&m.stats.HoldMD)
 	}
-	if w.UsesIFUData() && !m.ifu.OperandReady() {
+	if d.usesIFUData && !m.ifu.OperandReady() {
 		return m.hold(&m.stats.HoldIFU)
 	}
-	if op.Kind == microcode.NextIFUJump && !m.ifu.DispatchReady(now) {
+	if d.ifuJump && !m.ifu.DispatchReady(now) {
 		return m.hold(&m.stats.HoldIFU)
 	}
-	rIndex := m.rbase<<4 | w.RAddr&0xF
-	useStack := w.Block && m.curTask == 0 // "selects a stack operation for task 0" (§6.3.1)
-	if w.ASel.StartsMemRef() {
+	rIndex := m.rbase<<4 | d.raddr
+	useStack := d.block && m.curTask == 0 // "selects a stack operation for task 0" (§6.3.1)
+	if d.startsMem {
 		var disp uint16
 		switch {
-		case w.ASel == microcode.ASelFetchIFU || w.ASel == microcode.ASelStoreIFU:
+		case d.aSel == microcode.ASelFetchIFU || d.aSel == microcode.ASelStoreIFU:
 			disp = m.ifu.PeekOperand() // readiness checked above
 		case useStack:
 			disp = m.stack[m.stackPtr]
@@ -45,12 +44,12 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 		// before the reference (FF decodes at t0-t1, §5.5); the hold check
 		// must use the same base the issue will.
 		mb := m.membase
-		if ffop >= microcode.FFMemBaseBase && ffop < microcode.FFMemBaseBase+32 {
-			mb = ffop - microcode.FFMemBaseBase
+		if d.ffMemBase >= 0 {
+			mb = uint8(d.ffMemBase)
 		}
 		va := m.mem.VA(mb, disp)
 		ok := false
-		if w.ASel.IsStore() {
+		if d.isStore {
 			ok = m.mem.CanWrite(va, now)
 		} else {
 			ok = m.mem.CanRead(m.curTask, va, now)
@@ -69,7 +68,7 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	var stNewPtr uint8
 	if useStack {
 		rmVal = m.stack[m.stackPtr]
-		delta := int(w.StackDelta())
+		delta := int(d.stackDelta)
 		word := int(m.stackPtr & 0x3F)
 		nw := word + delta
 		if nw < 0 || nw > 63 {
@@ -81,7 +80,7 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	}
 
 	var aVal uint16
-	switch w.ASel {
+	switch d.aSel {
 	case microcode.ASelRM, microcode.ASelFetch, microcode.ASelStore:
 		aVal = rmVal
 	case microcode.ASelT:
@@ -93,24 +92,26 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	}
 
 	var bVal uint16
-	switch w.BSel {
-	case microcode.BSelRM:
-		bVal = rmVal
-	case microcode.BSelT:
-		bVal = ts.t
-	case microcode.BSelQ:
-		bVal = m.q
-	case microcode.BSelMD:
-		bVal = m.mem.MD(m.curTask, now)
-	default: // the §5.9 constant scheme
-		bVal = w.BSel.ConstValue(w.FF)
+	if d.isConstB {
+		bVal = d.constB // the §5.9 constant scheme, resolved at predecode
+	} else {
+		switch d.bSel {
+		case microcode.BSelRM:
+			bVal = rmVal
+		case microcode.BSelT:
+			bVal = ts.t
+		case microcode.BSelQ:
+			bVal = m.q
+		case microcode.BSelMD:
+			bVal = m.mem.MD(m.curTask, now)
+		}
 	}
 	if ffop == microcode.FFInput {
 		// IODATA drives the B bus (§6.3.2: the bus "can serve as a source
 		// as well"), so one instruction can move a device word through the
 		// ALU *and* into memory — the 3-cycles-per-2-words disk idiom (§7).
-		if d := m.byAddr[ts.ioadr&15]; d != nil {
-			bVal = d.Input(now)
+		if dev := m.byAddr[ts.ioadr&15]; dev != nil {
+			bVal = dev.Input(now)
 		} else {
 			bVal = 0
 		}
@@ -123,7 +124,7 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	}
 
 	// ---- ALU (second half-cycle through cycle 3 first half). ----
-	ctl := m.alufm[w.ALUOp&0xF]
+	ctl := m.alufm[d.aluOp]
 	res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
 	ts.zero = res == 0
 	ts.neg = res&0x8000 != 0
@@ -136,14 +137,14 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	// ---- FF function (decoded at t0–t1, §5.5). May drive RESULT. ----
 	result := res
 	if ffop != microcode.FFNop && ffop != microcode.FFInput {
-		result = m.execFF(ffop, w, aVal, rmVal, bVal, res, now)
+		result = m.execFF(ffop, d, aVal, rmVal, bVal, res, now)
 	}
 
 	// ---- Memory reference issue (MEMADDRESS is a copy of A, §6.3.2).
 	// execFF has already applied any same-instruction MEMBASE change. ----
-	if w.ASel.StartsMemRef() {
+	if d.startsMem {
 		va := m.mem.VA(m.membase, aVal)
-		if !w.ASel.IsStore() {
+		if !d.isStore {
 			if !m.mem.StartRead(m.curTask, va, now) {
 				panic("core: StartRead refused after CanRead")
 			}
@@ -159,20 +160,20 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 
 	// ---- Result stores (second half of cycle 3, t3–t4). ----
 	wIndex := rIndex
-	if ffop >= microcode.FFRMDestBase && ffop < microcode.FFRMDestBase+16 {
+	if d.ffRMDest >= 0 {
 		// "loading a different register can be specified by FF" (§6.3.3).
-		wIndex = m.rbase<<4 | ffop&0xF
+		wIndex = m.rbase<<4 | uint8(d.ffRMDest)
 	}
-	if w.LC.LoadsT() || w.LC.LoadsRM() {
-		m.storeResult(w, ts, wIndex, stNewPtr, useStack, result)
+	if d.loadsT || d.loadsRM {
+		m.storeResult(d, ts, wIndex, stNewPtr, useStack, result)
 	}
 	if useStack {
 		m.stackPtr = stNewPtr
 	}
 
 	// ---- NEXTPC (§6.2.2). ----
-	nextPC = m.nextAddr(w, op, ts, bVal, now)
-	if op.Kind == microcode.NextBranch && m.cfg.Options.DelayedBranch {
+	nextPC = m.nextAddr(d, ts, bVal, now)
+	if d.op.Kind == microcode.NextBranch && m.cfg.Options.DelayedBranch {
 		m.stalls = 1 // the conventional-design ablation: +1 cycle per branch
 	}
 
@@ -180,7 +181,7 @@ func (m *Machine) exec(now uint64) (held, blocked bool, nextPC microcode.Addr) {
 	m.stats.TaskExecuted[m.curTask]++
 	// For task 0 the Block bit is the stack modifier, not a release: the
 	// emulator never blocks (§5.1: task 0 requests service at all times).
-	blocked = w.Block && m.curTask != 0
+	blocked = d.block && m.curTask != 0
 	return false, blocked, nextPC
 }
 
@@ -201,12 +202,12 @@ func (m *Machine) mdReady(now uint64) bool {
 
 // storeResult routes RESULT to RM/stack and/or T, immediately (bypassed) or
 // delayed one instruction (the NoBypass ablation).
-func (m *Machine) storeResult(w microcode.Word, ts *taskState, rIndex, stNewPtr uint8, useStack bool, result uint16) {
+func (m *Machine) storeResult(d *decoded, ts *taskState, rIndex, stNewPtr uint8, useStack bool, result uint16) {
 	if !m.cfg.Options.NoBypass {
-		if w.LC.LoadsT() {
+		if d.loadsT {
 			ts.t = result
 		}
-		if w.LC.LoadsRM() {
+		if d.loadsRM {
 			if useStack {
 				m.stack[stNewPtr] = result
 			} else {
@@ -216,11 +217,11 @@ func (m *Machine) storeResult(w microcode.Word, ts *taskState, rIndex, stNewPtr 
 		return
 	}
 	p := pendingWrite{valid: true, val: result}
-	if w.LC.LoadsT() {
+	if d.loadsT {
 		p.toT = true
 		p.task = m.curTask
 	}
-	if w.LC.LoadsRM() {
+	if d.loadsRM {
 		if useStack {
 			p.toStack = true
 			p.stIndex = stNewPtr
@@ -250,8 +251,10 @@ func (m *Machine) flushPending() {
 	m.pend = pendingWrite{}
 }
 
-// nextAddr computes NEXTPC from the NextControl field (§6.2.2, Figure 7).
-func (m *Machine) nextAddr(w microcode.Word, op microcode.NextOp, ts *taskState, bVal uint16, now uint64) microcode.Addr {
+// nextAddr computes NEXTPC from the predecoded NextControl (§6.2.2,
+// Figure 7).
+func (m *Machine) nextAddr(d *decoded, ts *taskState, bVal uint16, now uint64) microcode.Addr {
+	op := d.op
 	page := m.curPC &^ microcode.Addr(microcode.WordMask)
 	switch op.Kind {
 	case microcode.NextGoto:
@@ -266,10 +269,10 @@ func (m *Machine) nextAddr(w microcode.Word, op microcode.NextOp, ts *taskState,
 		}
 		return t
 	case microcode.NextLongGoto:
-		return microcode.MakeAddr(w.FF, op.W)
+		return microcode.MakeAddr(d.ff, op.W)
 	case microcode.NextLongCall:
 		ts.link = (m.curPC + 1) & microcode.AddrMask
-		return microcode.MakeAddr(w.FF, op.W)
+		return microcode.MakeAddr(d.ff, op.W)
 	case microcode.NextReturn:
 		return ts.link
 	case microcode.NextIFUJump:
@@ -281,11 +284,11 @@ func (m *Machine) nextAddr(w microcode.Word, op microcode.NextOp, ts *taskState,
 		}
 		return a
 	case microcode.NextDispatch8:
-		return page | microcode.Addr(w.FF&0x8) | microcode.Addr(bVal&7)
+		return page | microcode.Addr(d.ff&0x8) | microcode.Addr(bVal&7)
 	case microcode.NextDispatch256:
-		return microcode.Addr(w.FF&0xF)<<8 | microcode.Addr(bVal&0xFF)
+		return microcode.Addr(d.ff&0xF)<<8 | microcode.Addr(bVal&0xFF)
 	}
-	panic(fmt.Sprintf("core: reserved NextControl %#02x at %v", w.Next, m.curPC))
+	panic(fmt.Sprintf("core: reserved NextControl %#02x at %v", d.next, m.curPC))
 }
 
 // evalCond evaluates one of the eight branch conditions (§5.5). Conditions

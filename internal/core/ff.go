@@ -12,7 +12,7 @@ import (
 // B-bus value (the data for "put" functions), and the ALU result; it
 // returns the value for the RESULT bus (the ALU result unless the function
 // overrides it).
-func (m *Machine) execFF(ff uint8, w microcode.Word, aVal, rmVal, bVal, res uint16, now uint64) uint16 {
+func (m *Machine) execFF(ff uint8, d *decoded, aVal, rmVal, bVal, res uint16, now uint64) uint16 {
 	ts := &m.tasks[m.curTask]
 	switch {
 	case ff >= microcode.FFRotBase && ff < microcode.FFRotBase+32:
@@ -75,7 +75,7 @@ func (m *Machine) execFF(ff uint8, w microcode.Word, aVal, rmVal, bVal, res uint
 	case microcode.FFPutQ:
 		m.q = bVal
 	case microcode.FFPutALUFM:
-		m.alufm[w.ALUOp&0xF] = microcode.DecodeALUCtl(uint8(bVal))
+		m.alufm[d.aluOp] = microcode.DecodeALUCtl(uint8(bVal))
 	case microcode.FFPutLink:
 		ts.link = microcode.Addr(bVal) & microcode.AddrMask
 	case microcode.FFPutBaseLo:
@@ -98,7 +98,7 @@ func (m *Machine) execFF(ff uint8, w microcode.Word, aVal, rmVal, bVal, res uint
 	case microcode.FFGetQ:
 		return m.q
 	case microcode.FFGetALUFM:
-		return uint16(microcode.EncodeALUCtl(m.alufm[w.ALUOp&0xF]))
+		return uint16(microcode.EncodeALUCtl(m.alufm[d.aluOp]))
 	case microcode.FFGetLink:
 		return uint16(ts.link)
 	case microcode.FFGetMacroPC:
@@ -131,18 +131,18 @@ func (m *Machine) execFF(ff uint8, w microcode.Word, aVal, rmVal, bVal, res uint
 		return m.divStep(aVal, bVal)
 
 	case microcode.FFOutput:
-		if d := m.byAddr[ts.ioadr&15]; d != nil {
-			d.Output(bVal, now)
+		if dev := m.byAddr[ts.ioadr&15]; dev != nil {
+			dev.Output(bVal, now)
 		}
 	case microcode.FFIOAttenAck:
 		// Explicit service acknowledgement — the grain-3 ablation's notify
 		// (§6.2.1), and a general-purpose device poke otherwise.
-		if d := m.byAddr[ts.ioadr&15]; d != nil {
-			d.NotifyNext(now)
+		if dev := m.byAddr[ts.ioadr&15]; dev != nil {
+			dev.NotifyNext(now)
 		}
 	case microcode.FFDevCtl:
-		if d := m.byAddr[ts.ioadr&15]; d != nil {
-			d.Control(bVal, now)
+		if dev := m.byAddr[ts.ioadr&15]; dev != nil {
+			dev.Control(bVal, now)
 		}
 
 	default:

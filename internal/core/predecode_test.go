@@ -1,0 +1,290 @@
+package core
+
+import (
+	"testing"
+
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// The predecode differential harness: every scenario is built twice — once
+// on the reference interpreter (Config.Reference: per-cycle decode, 16-slot
+// device scan) and once on the predecoded fast path — stepped in lockstep,
+// and compared cycle for cycle (trace stream) and at the end (full
+// architectural state). Any divergence is a predecode bug by definition.
+
+// recTracer records every trace event.
+type recTracer struct {
+	events []TraceEvent
+}
+
+func (r *recTracer) Trace(ev TraceEvent) { r.events = append(r.events, ev) }
+
+// diffRun builds the scenario twice, runs both for cycles, and fails the
+// test on the first difference.
+func diffRun(t *testing.T, name string, cycles uint64, build func(cfg Config) (*Machine, error)) {
+	t.Helper()
+	ref, err := build(Config{Reference: true})
+	if err != nil {
+		t.Fatalf("%s: build reference: %v", name, err)
+	}
+	fast, err := build(Config{})
+	if err != nil {
+		t.Fatalf("%s: build fast: %v", name, err)
+	}
+	diffMachines(t, name, ref, fast, cycles)
+}
+
+// diffMachines steps both machines cycles times and compares traces and
+// final state. The machines must have been identically constructed (apart
+// from Config.Reference).
+func diffMachines(t *testing.T, name string, ref, fast *Machine, cycles uint64) {
+	t.Helper()
+	var rt, ft recTracer
+	ref.SetTracer(&rt)
+	fast.SetTracer(&ft)
+	ref.Run(cycles)
+	fast.Run(cycles)
+	n := len(rt.events)
+	if len(ft.events) != n {
+		t.Fatalf("%s: trace length differs: reference %d events, predecoded %d", name, n, len(ft.events))
+	}
+	for i := 0; i < n; i++ {
+		if rt.events[i] != ft.events[i] {
+			t.Fatalf("%s: trace diverges at event %d:\n  reference:  %+v\n  predecoded: %+v",
+				name, i, rt.events[i], ft.events[i])
+		}
+	}
+	if ref.stats != fast.stats {
+		t.Errorf("%s: stats differ:\n  reference:  %+v\n  predecoded: %+v", name, ref.stats, fast.stats)
+	}
+	if ref.cycle != fast.cycle || ref.halted != fast.halted || ref.curTask != fast.curTask || ref.curPC != fast.curPC {
+		t.Errorf("%s: control state differs: ref(cycle=%d halted=%v task=%d pc=%v) fast(cycle=%d halted=%v task=%d pc=%v)",
+			name, ref.cycle, ref.halted, ref.curTask, ref.curPC, fast.cycle, fast.halted, fast.curTask, fast.curPC)
+	}
+	if ref.rm != fast.rm {
+		t.Errorf("%s: RM contents differ", name)
+	}
+	if ref.stack != fast.stack || ref.stackPtr != fast.stackPtr {
+		t.Errorf("%s: stack state differs", name)
+	}
+	if ref.tasks != fast.tasks {
+		t.Errorf("%s: task state differs:\n  reference:  %+v\n  predecoded: %+v", name, ref.tasks, fast.tasks)
+	}
+	if ref.count != fast.count || ref.q != fast.q || ref.rbase != fast.rbase ||
+		ref.membase != fast.membase || ref.shiftCtl != fast.shiftCtl || ref.cpreg != fast.cpreg {
+		t.Errorf("%s: data-section registers differ", name)
+	}
+	if ref.ready != fast.ready || ref.bestNext != fast.bestNext {
+		t.Errorf("%s: scheduler state differs", name)
+	}
+	// Spot-check memory through the functional port.
+	for va := uint32(0x6000); va < 0x6100; va++ {
+		if rv, fv := ref.mem.Peek(va), fast.mem.Peek(va); rv != fv {
+			t.Errorf("%s: memory differs at %#x: reference %#x, predecoded %#x", name, va, rv, fv)
+			break
+		}
+	}
+}
+
+// mustProgram assembles or fails.
+func mustProgram(t *testing.T, b *masm.Builder) *masm.Program {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPredecodeDifferentialALU covers the data section: ALU ops, branch
+// conditions, CALL/RETURN, COUNT loops, §5.9 constants, Q, RBASE, the
+// shifter, and FF RM-write redirection.
+func TestPredecodeDifferentialALU(t *testing.T) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{ALU: microcode.ALUB, Const: 0x00FF, HasConst: true, LC: microcode.LCLoadT})
+	bl.Emit(masm.I{ALU: microcode.ALUB, Const: 0xFF07, HasConst: true, LC: microcode.LCLoadRM, R: 1})
+	bl.Emit(masm.I{FF: microcode.FFPutQ, ALU: microcode.ALUAplusB, A: microcode.ASelT, B: microcode.BSelRM, R: 1})
+	bl.Emit(masm.I{FF: microcode.FFCountBase + 9, Flow: masm.Goto("loop")})
+	bl.EmitAt("loop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT,
+		Flow: masm.Branch(microcode.CondCountNZ, "done", "loop")})
+	bl.EmitAt("done", masm.I{ALU: microcode.ALUAminus1, A: microcode.ASelT, LC: microcode.LCLoadT,
+		Flow: masm.Goto("post")})
+	bl.EmitAt("post", masm.I{Flow: masm.Call("sub")})
+	bl.Emit(masm.I{FF: microcode.FFRMDestBase + 5, ALU: microcode.ALUAplusB, A: microcode.ASelT,
+		B: microcode.BSelQ, LC: microcode.LCLoadRM, R: 1}) // redirected to RM[5]
+	bl.Emit(masm.I{FF: microcode.FFRotBase + 3})
+	bl.Emit(masm.I{FF: microcode.FFShiftMaskZ, ALU: microcode.ALUA, A: microcode.ASelRM, R: 5,
+		LC: microcode.LCLoadT})
+	bl.Emit(masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	bl.EmitAt("sub", masm.I{ALU: microcode.ALUAxorB, A: microcode.ASelT, B: microcode.BSelQ,
+		LC: microcode.LCLoadT, Flow: masm.Return()})
+	p := mustProgram(t, bl)
+	diffRun(t, "alu", 200, func(cfg Config) (*Machine, error) {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("start"))
+		return m, nil
+	})
+}
+
+// TestPredecodeDifferentialStackMemory covers the task-0 stack modifier,
+// memory fetch/store with MD holds, and the same-instruction FF MEMBASE
+// override that the hold phase must anticipate.
+func TestPredecodeDifferentialStackMemory(t *testing.T) {
+	bl := masm.NewBuilder()
+	// Push two values, fetch through MEMBASE 2, add MD, store back.
+	bl.EmitAt("start", masm.I{Block: true, R: 1, ALU: microcode.ALUB, Const: 0x0011, HasConst: true,
+		LC: microcode.LCLoadRM}) // push 0x11
+	bl.Emit(masm.I{Block: true, R: 1, ALU: microcode.ALUB, Const: 0x0022, HasConst: true,
+		LC: microcode.LCLoadRM}) // push 0x22
+	bl.Emit(masm.I{FF: microcode.FFMemBaseBase + 2, A: microcode.ASelFetch, R: 2}) // fetch base2+RM[2]
+	bl.Emit(masm.I{ALU: microcode.ALUAplusB, A: microcode.ASelMD, B: microcode.BSelRM,
+		Block: true, R: 0, LC: microcode.LCLoadRM}) // MD + top, replace top
+	bl.Emit(masm.I{A: microcode.ASelStore, R: 2, B: microcode.BSelT})
+	bl.Emit(masm.I{Block: true, R: 0xF, ALU: microcode.ALUA, A: microcode.ASelRM, LC: microcode.LCLoadT}) // pop
+	bl.Emit(masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	p := mustProgram(t, bl)
+	diffRun(t, "stack-memory", 400, func(cfg Config) (*Machine, error) {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Mem().SetBase(2, 0x6000)
+		m.Mem().Poke(0x6010, 0x0300)
+		m.SetRM(2, 0x10)
+		m.Start(p.MustEntry("start"))
+		return m, nil
+	})
+}
+
+// TestPredecodeDifferentialDevices covers the scheduler with two live
+// controllers: wakeups, preemption, Block, FFInput on the B bus, and the
+// compact attached-device list against the 16-slot reference scan.
+func TestPredecodeDifferentialDevices(t *testing.T) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("emu", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0,
+		LC: microcode.LCLoadRM, Flow: masm.Goto("emu")})
+	bl.EmitAt("svc", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	bl.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM, Block: true, Flow: masm.Goto("svc")})
+	p := mustProgram(t, bl)
+	diffRun(t, "devices", 20_000, func(cfg Config) (*Machine, error) {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("emu"))
+		for _, task := range []int{9, 11} {
+			if err := m.Attach(newProbeBench(task)); err != nil {
+				return nil, err
+			}
+			m.SetIOAddress(task, uint16(task))
+			m.SetTPC(task, p.MustEntry("svc"))
+			m.SetRM(1, 0x6000)
+		}
+		return m, nil
+	})
+}
+
+// TestPredecodeDifferentialDispatch covers DISPATCH8/DISPATCH256 and long
+// transfers, whose FF bytes double as address bits.
+func TestPredecodeDifferentialDispatch(t *testing.T) {
+	bl := masm.NewBuilder()
+	targets := make([]string, 8)
+	for i := range targets {
+		targets[i] = "t0"
+	}
+	targets[3] = "t3"
+	bl.EmitAt("start", masm.I{ALU: microcode.ALUB, Const: 3, HasConst: true, LC: microcode.LCLoadT})
+	bl.Emit(masm.I{ALU: microcode.ALUB, B: microcode.BSelT, Flow: masm.Dispatch8(targets...)})
+	bl.EmitAt("t0", masm.I{FF: microcode.FFHalt})
+	bl.EmitAt("t3", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT,
+		Flow: masm.Goto("t0")})
+	p := mustProgram(t, bl)
+	diffRun(t, "dispatch", 100, func(cfg Config) (*Machine, error) {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("start"))
+		return m, nil
+	})
+}
+
+// TestPredecodeDifferentialAblations proves the two decode paths agree
+// under the paper's design ablations too (they are orthogonal axes).
+func TestPredecodeDifferentialAblations(t *testing.T) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{FF: microcode.FFCountBase + 7, Flow: masm.Goto("loop")})
+	bl.EmitAt("loop", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT, LC: microcode.LCLoadT,
+		Flow: masm.Branch(microcode.CondCountNZ, "done", "loop")})
+	bl.EmitAt("done", masm.I{FF: microcode.FFHalt, Flow: masm.Self()})
+	p := mustProgram(t, bl)
+	for _, opt := range []Options{
+		{DelayedBranch: true},
+		{FixedWaitMemory: true},
+	} {
+		opt := opt
+		diffRun(t, "ablation", 200, func(cfg Config) (*Machine, error) {
+			cfg.Options = opt
+			m, err := New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m.Load(&p.Words)
+			m.Start(p.MustEntry("start"))
+			return m, nil
+		})
+	}
+}
+
+// TestSetIMInvalidation is the predecode invalidation rule: a microstore
+// write must take effect on the very next fetch of that address, on both
+// paths identically.
+func TestSetIMInvalidation(t *testing.T) {
+	bl := masm.NewBuilder()
+	bl.EmitAt("start", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelT,
+		LC: microcode.LCLoadT, Flow: masm.Goto("start")})
+	p := mustProgram(t, bl)
+	build := func(cfg Config) (*Machine, error) {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Load(&p.Words)
+		m.Start(p.MustEntry("start"))
+		return m, nil
+	}
+	ref, err := build(Config{Reference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := build(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Machine{ref, fast} {
+		m.Run(50)
+		// Rewrite the loop instruction in place: same increment, but halt.
+		a := p.MustEntry("start")
+		w := m.IM(a)
+		w.FF = microcode.FFHalt
+		m.SetIM(a, w)
+	}
+	diffMachines(t, "setim", ref, fast, 50)
+	if !fast.Halted() || !ref.Halted() {
+		t.Fatalf("microstore write did not take effect: halted ref=%v fast=%v", ref.Halted(), fast.Halted())
+	}
+	// The write must have reached both the raw store and the predecode
+	// cache; a stale cache would have kept the machine looping.
+	if got := fast.IM(p.MustEntry("start")).FF; got != microcode.FFHalt {
+		t.Fatalf("IM readback = %#x, want FFHalt", got)
+	}
+}

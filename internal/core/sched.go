@@ -20,25 +20,70 @@ func (m *Machine) Step() {
 	if m.halted {
 		return
 	}
+	m.step(m.tracer != nil)
+}
+
+// Run executes until Halt or maxCycles, returning true if halted. This is
+// the batched hot loop: the halted check lives in the loop condition and
+// the tracer nil-check is hoisted out of the per-cycle path.
+func (m *Machine) Run(maxCycles uint64) bool {
+	limit := m.cycle + maxCycles
+	if m.tracer != nil {
+		for !m.halted && m.cycle < limit {
+			m.step(true)
+		}
+		return m.halted
+	}
+	for !m.halted && m.cycle < limit {
+		m.step(false)
+	}
+	return m.halted
+}
+
+// RunCycles advances the machine n cycles (or until Halt) and returns the
+// number of cycles actually simulated — the building block cmd/simbench
+// times for host-throughput measurement.
+func (m *Machine) RunCycles(n uint64) uint64 {
+	start := m.cycle
+	m.Run(n)
+	return m.cycle - start
+}
+
+// step is one cycle of the pipeline; traced is the hoisted tracer check.
+func (m *Machine) step(traced bool) {
 	now := m.cycle
 
 	// Device and IFU hardware advance first: lines raised during this
-	// cycle are visible to this cycle's WAKEUP latch.
-	for _, d := range m.devs {
-		if d != nil {
-			d.Tick(now)
-		}
-	}
-	m.ifu.Tick(now)
-
+	// cycle are visible to this cycle's WAKEUP latch. The fast path walks
+	// the compact attached-device list; the reference interpreter scans all
+	// 16 task slots as the seed simulator did (same devices, same order).
+	//
 	// WAKEUP latch (t0): device lines, READY flipflops, and task 0, which
 	// "requests service from the processor at all times" (§5.1). Latched
 	// *before* NotifyNext below, so a wakeup dropped because of this
 	// cycle's NEXT first disappears from the next latch — the 2-cycle grain.
 	lines := uint16(1) | m.ready
-	for t := 1; t < NumTasks; t++ {
-		if m.devs[t] != nil && m.devs[t].Wakeup() {
-			lines |= 1 << t
+	if m.cfg.Reference {
+		for _, d := range m.devs {
+			if d != nil {
+				d.Tick(now)
+			}
+		}
+		m.ifu.Tick(now)
+		for t := 1; t < NumTasks; t++ {
+			if m.devs[t] != nil && m.devs[t].Wakeup() {
+				lines |= 1 << t
+			}
+		}
+	} else {
+		for i := range m.att {
+			m.att[i].dev.Tick(now)
+		}
+		m.ifu.Tick(now)
+		for i := range m.att {
+			if m.att[i].dev.Wakeup() {
+				lines |= m.att[i].bit
+			}
 		}
 	}
 
@@ -49,10 +94,15 @@ func (m *Machine) Step() {
 		m.stalls--
 		m.stats.BranchStalls++
 		m.stats.TaskCycles[m.curTask]++
+	} else if m.cfg.Reference {
+		// Reference interpreter: decode the packed word from scratch every
+		// cycle (the seed behavior; the host-performance baseline).
+		d := decodeWord(m.im[m.curPC])
+		held, blocked, nextPC = m.exec(&d, now)
 	} else {
-		held, blocked, nextPC = m.exec(now)
+		held, blocked, nextPC = m.exec(&m.dim[m.curPC], now)
 	}
-	if m.tracer != nil {
+	if traced {
 		m.tracer.Trace(TraceEvent{
 			Cycle: now, Task: m.curTask, PC: m.curPC, Held: held, Word: m.im[m.curPC],
 		})

@@ -24,6 +24,7 @@ type Display struct {
 
 	base    uint32   // VA of block 0 (Go-level configuration)
 	pending []uint32 // commanded block VAs awaiting storage transfer
+	pHead   int      // drained prefix of pending (compacted when empty)
 	filled  int      // blocks in the FIFO
 
 	consumeAt uint64
@@ -54,13 +55,17 @@ func (d *Display) SetBase(va uint32) { d.base = va }
 // Wakeup implements Device: request service while the pipeline (commanded +
 // buffered blocks) has room — the display must stay ahead of the beam.
 func (d *Display) Wakeup() bool {
-	return len(d.pending)+d.filled < d.BufferBlocks
+	return len(d.pending)-d.pHead+d.filled < d.BufferBlocks
 }
 
 // Output implements Device: microcode commands the transfer of the block at
 // word offset v (the paper's display microcode sends a block address and
-// bumps its pointer in one instruction).
+// bumps its pointer in one instruction). The queue compacts whenever it
+// drains, so in steady state append reuses the same backing array.
 func (d *Display) Output(v uint16, now uint64) {
+	if d.pHead == len(d.pending) {
+		d.pending, d.pHead = d.pending[:0], 0
+	}
 	d.pending = append(d.pending, d.base+uint32(v))
 }
 
@@ -71,9 +76,9 @@ func (d *Display) Tick(now uint64) {
 		d.started = true
 		d.consumeAt = now + uint64(d.CyclesPerBlock)
 	}
-	if len(d.pending) > 0 && d.filled < d.BufferBlocks {
-		if blk, ok := d.mem.FastRead(d.pending[0], now); ok {
-			d.pending = d.pending[1:]
+	if d.pHead < len(d.pending) && d.filled < d.BufferBlocks {
+		if blk, ok := d.mem.FastRead(d.pending[d.pHead], now); ok {
+			d.pHead++
 			d.filled++
 			d.blocksMoved++
 			for _, w := range blk {

@@ -16,7 +16,10 @@ type WordSource struct {
 	CyclesPerWord  int
 	WordsPerWakeup int
 
-	fifo     []uint16
+	// The FIFO is a fixed 16-word ring (the hardware cap below), so the
+	// per-cycle Tick/Input path never allocates.
+	fifo     [16]uint16
+	head, n  int
 	next     uint16 // generated data pattern
 	dueAt    uint64
 	overruns uint64 // words dropped because the FIFO was full
@@ -45,25 +48,27 @@ func (d *WordSource) Tick(now uint64) {
 		return
 	}
 	d.dueAt += uint64(d.CyclesPerWord)
-	if len(d.fifo) >= 16 {
+	if d.n >= len(d.fifo) {
 		d.overruns++ // real hardware would lose data; §3's "fast devices
 		return       // should not slow down the emulator too much" cuts both ways
 	}
-	d.fifo = append(d.fifo, d.next)
+	d.fifo[(d.head+d.n)&15] = d.next
+	d.n++
 	d.next++
 	d.produced++
 }
 
 // Wakeup implements Device: request service when a service unit is ready.
-func (d *WordSource) Wakeup() bool { return len(d.fifo) >= d.WordsPerWakeup }
+func (d *WordSource) Wakeup() bool { return d.n >= d.WordsPerWakeup }
 
 // Input implements Device: microcode takes one word.
 func (d *WordSource) Input(now uint64) uint16 {
-	if len(d.fifo) == 0 {
+	if d.n == 0 {
 		return 0xDEAD // reading an empty FIFO is a microcode bug
 	}
-	v := d.fifo[0]
-	d.fifo = d.fifo[1:]
+	v := d.fifo[d.head]
+	d.head = (d.head + 1) & 15
+	d.n--
 	d.consumed++
 	return v
 }

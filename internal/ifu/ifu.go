@@ -106,9 +106,13 @@ type Unit struct {
 	headPC  uint32 // byte offset of buf[0]
 	readyAt uint64 // cycle at which buffered bytes become usable (refill/decode latency)
 
-	// Current (dispatched) instruction's pending operands.
-	operands []uint16
-	last     Entry // most recently dispatched entry
+	// Current (dispatched) instruction's pending operands. A fixed array
+	// (instructions carry at most one wide or two byte operands) so the
+	// dispatch/consume cycle never allocates.
+	ops    [2]uint16
+	opHead uint8 // next operand to deliver
+	opLen  uint8 // operands latched by the current instruction
+	last   Entry // most recently dispatched entry
 
 	running bool
 	stats   Stats
@@ -163,8 +167,13 @@ func (u *Unit) PC() uint32 { return u.headPC }
 func (u *Unit) Reset(pc uint16, now uint64) {
 	u.bytePC = uint32(pc)
 	u.headPC = uint32(pc)
+	if cap(u.buf) < u.cfg.BufferBytes {
+		// Full capacity up front: with the copy-down in Dispatch, the
+		// buffer never reallocates again, keeping Step allocation-free.
+		u.buf = make([]byte, 0, u.cfg.BufferBytes)
+	}
 	u.buf = u.buf[:0]
-	u.operands = nil
+	u.opHead, u.opLen = 0, 0
 	u.readyAt = now + uint64(u.cfg.FetchLatency)
 	u.running = true
 	u.stats.Resets++
@@ -231,15 +240,19 @@ func (u *Unit) Dispatch(now uint64) microcode.Addr {
 	}
 	u.last = e
 	n := 1 + e.Operands
-	u.operands = u.operands[:0]
+	u.opHead, u.opLen = 0, 0
 	if e.Wide {
-		u.operands = append(u.operands, uint16(u.buf[1])<<8|uint16(u.buf[2]))
+		u.ops[0] = uint16(u.buf[1])<<8 | uint16(u.buf[2])
+		u.opLen = 1
 	} else {
 		for i := 0; i < e.Operands; i++ {
-			u.operands = append(u.operands, uint16(u.buf[1+i]))
+			u.ops[i] = uint16(u.buf[1+i])
 		}
+		u.opLen = uint8(e.Operands)
 	}
-	u.buf = u.buf[n:]
+	// Copy-down instead of re-slicing: the buffer keeps its backing array,
+	// so the prefetcher's appends stay within capacity (no allocation).
+	u.buf = u.buf[:copy(u.buf, u.buf[n:])]
 	u.headPC += uint32(n)
 	u.stats.BytesRead += uint64(n)
 	u.stats.Dispatches++
@@ -250,10 +263,10 @@ func (u *Unit) Dispatch(now uint64) microcode.Addr {
 // uses it during its hold phase to form a memory address it may not be able
 // to issue this cycle). Call only when OperandReady.
 func (u *Unit) PeekOperand() uint16 {
-	if len(u.operands) == 0 {
+	if u.opHead >= u.opLen {
 		panic("ifu: PeekOperand with no operand")
 	}
-	return u.operands[0]
+	return u.ops[u.opHead]
 }
 
 // LastEntry returns the decode entry of the most recent Dispatch.
@@ -262,15 +275,15 @@ func (u *Unit) LastEntry() Entry { return u.last }
 // OperandReady reports whether an IFUDATA read can complete: dispatch has
 // latched at least one unconsumed operand. Operands are buffered with the
 // instruction, so they are ready as soon as it dispatches.
-func (u *Unit) OperandReady() bool { return len(u.operands) > 0 }
+func (u *Unit) OperandReady() bool { return u.opHead < u.opLen }
 
 // Operand consumes the next operand ("as each operand is used, the IFU
 // provides the next one", §6.3.2). Call only when OperandReady.
 func (u *Unit) Operand() uint16 {
-	if len(u.operands) == 0 {
+	if u.opHead >= u.opLen {
 		panic("ifu: IFUDATA read with no operand (processor must Hold)")
 	}
-	v := u.operands[0]
-	u.operands = u.operands[1:]
+	v := u.ops[u.opHead]
+	u.opHead++
 	return v
 }
