@@ -8,6 +8,9 @@
 //	benchtab            run everything
 //	benchtab E3 E7      run selected experiments
 //	benchtab -json      emit the tables as JSON instead of text
+//	benchtab -json -o tables.json
+//	                    write the JSON to a file (atomically: a killed run
+//	                    never leaves a truncated document)
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit experiment tables as JSON")
+	out := flag.String("o", "", "with -json: write to this file instead of stdout")
 	flag.Parse()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -42,7 +46,13 @@ func main() {
 		}
 	}
 	if *asJSON {
-		if err := bench.WriteJSON(os.Stdout, tables); err != nil {
+		var err error
+		if *out != "" {
+			err = bench.WriteJSONFile(*out, tables)
+		} else {
+			err = bench.WriteJSON(os.Stdout, tables)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -15,12 +15,19 @@
 //	-devices                         attach the disk and display controllers
 //	-cycles N                        cycle limit (default 2000000)
 //	-stats                           print full machine statistics
+//	-save FILE                       write a machine snapshot after the run
+//	-restore FILE                    restore a snapshot before running
+//	                                 (boot flags must match the saving run:
+//	                                 the snapshot carries the whole machine
+//	                                 state but not its configuration or
+//	                                 device complement)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dorado"
 	"dorado/internal/core"
@@ -36,6 +43,8 @@ func main() {
 	devices := flag.Bool("devices", false, "attach disk and display controllers")
 	cycles := flag.Uint64("cycles", 2_000_000, "cycle limit")
 	stats := flag.Bool("stats", false, "print full machine statistics")
+	saveFile := flag.String("save", "", "write a machine snapshot to this file after the run")
+	restoreFile := flag.String("restore", "", "restore a machine snapshot from this file before running")
 	flag.Parse()
 
 	language, ok := map[string]dorado.Language{
@@ -95,6 +104,16 @@ func main() {
 	if *source != "" {
 		what = *source
 	}
+	if *restoreFile != "" {
+		snap, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.Machine.Restore(snap); err != nil {
+			fatal(fmt.Errorf("restore %s: %w (boot flags must match the run that saved it)", *restoreFile, err))
+		}
+		what = fmt.Sprintf("%s, resumed from %s at cycle %d", what, *restoreFile, sys.Machine.Cycle())
+	}
 	fmt.Printf("Dorado: %v emulator, %s\n", language, what)
 	halted := sys.Run(*cycles)
 	st := sys.Machine.Stats()
@@ -132,6 +151,36 @@ func main() {
 		fmt.Printf("memory: %d reads, %d writes, %d hits, %d misses, %d fast blocks\n",
 			ms.Reads, ms.Writes, ms.Hits, ms.Misses, ms.FastReads+ms.FastWrites)
 	}
+	if *saveFile != "" {
+		if err := writeFileAtomic(*saveFile, sys.Machine.Snapshot()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved snapshot to %s (cycle %d)\n", *saveFile, sys.Machine.Cycle())
+	}
+}
+
+// writeFileAtomic writes data via a temporary file and rename, so an
+// interrupted save never leaves a truncated snapshot behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 // writeDemo emits the selected demo for the selected language and returns

@@ -44,16 +44,7 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := bench.WriteJSON(f, rep); err != nil {
-			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := bench.WriteJSONFile(*out, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,15 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
-	"dorado/internal/bitblt"
 	"dorado/internal/core"
-	"dorado/internal/device"
 	"dorado/internal/emulator"
-	"dorado/internal/masm"
-	"dorado/internal/microcode"
 )
 
 // This file is the workload-level half of the predecode differential test:
@@ -107,30 +104,10 @@ func TestDifferentialMesaEmulator(t *testing.T) {
 // the counting emulator, the 3-cycles-per-2-words transfer idiom.
 func TestDifferentialDisk(t *testing.T) {
 	build := func(cfg core.Config) (*core.Machine, error) {
-		b := masm.NewBuilder()
-		emuLoop(b)
-		b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
-		b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
-			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
-		b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
-			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
-			Block: true, Flow: masm.Goto("disk")})
-		p, err := b.Assemble()
+		m, err := BuildDiskMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		m.Load(&p.Words)
-		m.Start(p.MustEntry("emu"))
-		if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
-			return nil, err
-		}
-		m.SetIOAddress(11, 11)
-		m.SetTPC(11, p.MustEntry("disk"))
-		m.SetRM(1, 0x6000)
 		m.Run(60_000)
 		return m, nil
 	}
@@ -141,29 +118,10 @@ func TestDifferentialDisk(t *testing.T) {
 // bandwidth, two microinstructions per 16-word block.
 func TestDifferentialFastIO(t *testing.T) {
 	build := func(cfg core.Config) (*core.Machine, error) {
-		b := masm.NewBuilder()
-		emuLoop(b)
-		b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
-			ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
-		b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
-		p, err := b.Assemble()
+		m, err := BuildFastIOMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		m.Load(&p.Words)
-		m.Start(p.MustEntry("emu"))
-		disp := device.NewDisplay(13, m.Mem(), 8, 4)
-		disp.SetBase(0x20000)
-		if err := m.Attach(disp); err != nil {
-			return nil, err
-		}
-		m.SetIOAddress(13, 13)
-		m.SetTPC(13, p.MustEntry("disp"))
-		m.SetT(13, 16)
 		m.Run(60_000)
 		return m, nil
 	}
@@ -174,34 +132,10 @@ func TestDifferentialFastIO(t *testing.T) {
 // cycle through IODATA, loop closed on COUNT.
 func TestDifferentialSlowIO(t *testing.T) {
 	build := func(cfg core.Config) (*core.Machine, error) {
-		b := masm.NewBuilder()
-		emuLoop(b)
-		b.EmitAt("burst", masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
-			ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
-			Flow: masm.Branch(microcode.CondCountNZ, "burst.done", "burst")})
-		b.EmitAt("burst.done", masm.I{Block: true, Flow: masm.Goto("burst")})
-		p, err := b.Assemble()
+		m, err := BuildSlowIOMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		m.Load(&p.Words)
-		m.Start(p.MustEntry("emu"))
-		lb := device.NewLoopback(9)
-		if err := m.Attach(lb); err != nil {
-			return nil, err
-		}
-		m.SetIOAddress(9, 9)
-		m.SetTPC(9, p.MustEntry("burst"))
-		m.SetRM(1, 0x6000)
-		m.SetCount(1000)
-		for a := uint32(0x6000); a < 0x6000+1016; a += 16 {
-			m.Mem().Warm(a)
-		}
-		lb.Arm(true)
 		m.Run(30_000)
 		return m, nil
 	}
@@ -212,24 +146,12 @@ func TestDifferentialSlowIO(t *testing.T) {
 // screen-sized region, the heaviest shifter/masker workload.
 func TestDifferentialBitBlt(t *testing.T) {
 	build := func(cfg core.Config) (*core.Machine, error) {
-		ps, err := bitblt.Build()
+		m, err := BuildBitBltMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		p := bitblt.Params{
-			Src: 0x10000, Dst: 0x40000, WidthWords: 32, Height: 24,
-			SrcPitch: 32, DstPitch: 32,
-			Op: bitblt.Merge, Filter: 0xAAAA, BitOffset: 5,
-		}
-		for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
-			m.Mem().Poke(a, uint16(a*2654435761))
-		}
-		if _, err := ps.Run(m, p); err != nil {
-			return nil, err
+		if !m.Run(2_000_000) {
+			return nil, fmt.Errorf("bitblt did not halt")
 		}
 		return m, nil
 	}

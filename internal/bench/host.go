@@ -7,10 +7,6 @@ import (
 
 	"dorado/internal/bitblt"
 	"dorado/internal/core"
-	"dorado/internal/device"
-	"dorado/internal/emulator"
-	"dorado/internal/masm"
-	"dorado/internal/microcode"
 )
 
 // This file measures *host* performance — how fast the simulator itself
@@ -43,93 +39,23 @@ func HostWorkloads() []HostWorkload {
 	}
 }
 
-// buildHostEmulator boots the Mesa emulator on an endless macroinstruction
-// loop: dispatch, operand fetch, frame load/store, and a taken conditional
-// jump every iteration — the steady-state emulator mix.
-func buildHostEmulator(cfg core.Config) (func(uint64) (uint64, error), error) {
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
+// hostRunner adapts a machine-level workload builder (workloads.go) to the
+// host-measurement shape: the timed region is RunCycles only.
+func hostRunner(build func(core.Config) (*core.Machine, error)) func(core.Config) (func(uint64) (uint64, error), error) {
+	return func(cfg core.Config) (func(uint64) (uint64, error), error) {
+		m, err := build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
 	}
-	mesa, err := emulator.BuildMesa()
-	if err != nil {
-		return nil, err
-	}
-	a := emulator.NewAsm(mesa)
-	a.OpB("LIB", 40)
-	a.OpB("SL", 4)
-	a.Label("loop")
-	a.OpB("LL", 4)
-	a.Op("DUP")
-	a.OpB("SL", 4)
-	a.OpL("JNZ", "loop") // always taken: the loop never exits
-	if err := a.Install(m); err != nil {
-		return nil, err
-	}
-	if err := mesa.InstallOn(m); err != nil {
-		return nil, err
-	}
-	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
 }
 
-// buildHostDisk is the E4 machine: the counting emulator in task 0 plus the
-// 3-cycles-per-2-words disk microcode woken by a word source.
-func buildHostDisk(cfg core.Config) (func(uint64) (uint64, error), error) {
-	b := masm.NewBuilder()
-	emuLoop(b)
-	b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
-	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
-		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
-	b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
-		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
-		Block: true, Flow: masm.Goto("disk")})
-	p, err := b.Assemble()
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	m.Load(&p.Words)
-	m.Start(p.MustEntry("emu"))
-	if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
-		return nil, err
-	}
-	m.SetIOAddress(11, 11)
-	m.SetTPC(11, p.MustEntry("disk"))
-	m.SetRM(1, 0x6000)
-	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
-}
-
-// buildHostFastIO is the E5 machine: the display consuming full memory
-// bandwidth with two microinstructions per 16-word block.
-func buildHostFastIO(cfg core.Config) (func(uint64) (uint64, error), error) {
-	b := masm.NewBuilder()
-	emuLoop(b)
-	b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
-		ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
-	b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
-	p, err := b.Assemble()
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	m.Load(&p.Words)
-	m.Start(p.MustEntry("emu"))
-	disp := device.NewDisplay(13, m.Mem(), 8, 4)
-	disp.SetBase(0x20000)
-	if err := m.Attach(disp); err != nil {
-		return nil, err
-	}
-	m.SetIOAddress(13, 13)
-	m.SetTPC(13, p.MustEntry("disp"))
-	m.SetT(13, 16)
-	return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
-}
+var (
+	buildHostEmulator = hostRunner(BuildEmulatorMachine)
+	buildHostDisk     = hostRunner(BuildDiskMachine)
+	buildHostFastIO   = hostRunner(BuildFastIOMachine)
+)
 
 // buildHostBitBlt runs back-to-back screen-scale merges; the machine's
 // cycle counter accumulates across blits, so run consumes its budget in

@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // WriteJSON is the one JSON encoder shared by cmd/simbench (BENCH_SIM.json)
@@ -13,6 +15,35 @@ func WriteJSON(w io.Writer, v any) error {
 	enc.SetEscapeHTML(false)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// WriteJSONFile writes v to path atomically: encode into a temporary file
+// in the same directory, then rename over the destination. A reader (or a
+// benchmark run killed mid-write) never sees a truncated document.
+func WriteJSONFile(path string, v any) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	err = WriteJSON(f, v)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 // RowJSON mirrors Row with JSON field names.

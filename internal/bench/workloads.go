@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"dorado/internal/bitblt"
+	"dorado/internal/core"
+	"dorado/internal/device"
+	"dorado/internal/emulator"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// This file holds the machine-level builders for the §7 workload families.
+// Each returns a fully set up machine — microcode loaded, devices attached,
+// task 0 started — that the caller then drives: the differential tests run
+// both interpreter paths to completion and compare (diff_test.go), the
+// host benchmark times RunCycles (host.go), and the checkpoint tests run,
+// snapshot, restore and resume (snapshot_test.go).
+
+// Workload is one §7 workload family as a runnable machine.
+type Workload struct {
+	ID    string
+	Name  string
+	Build func(cfg core.Config) (*core.Machine, error)
+}
+
+// Workloads returns the §7 families: the Mesa emulator mix, the disk
+// transfer idiom, fast I/O at full memory bandwidth, slow I/O through
+// IODATA, and BitBlt.
+func Workloads() []Workload {
+	return []Workload{
+		{ID: "emulator", Name: "Mesa emulator mix (IFU dispatch, frame load/store, branch)", Build: BuildEmulatorMachine},
+		{ID: "disk", Name: "Disk transfer, 3 cycles per 2 words (§7)", Build: BuildDiskMachine},
+		{ID: "fastio", Name: "Fast I/O display at full memory bandwidth (§7)", Build: BuildFastIOMachine},
+		{ID: "slowio", Name: "Slow I/O loopback through IODATA (§7)", Build: BuildSlowIOMachine},
+		{ID: "bitblt", Name: "BitBlt merge, src/dst/filter (§7)", Build: BuildBitBltMachine},
+	}
+}
+
+// BuildEmulatorMachine boots the Mesa emulator on an endless
+// macroinstruction loop: dispatch, operand fetch, frame load/store, and a
+// taken conditional jump every iteration — the steady-state emulator mix.
+func BuildEmulatorMachine(cfg core.Config) (*core.Machine, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mesa, err := emulator.BuildMesa()
+	if err != nil {
+		return nil, err
+	}
+	a := emulator.NewAsm(mesa)
+	a.OpB("LIB", 40)
+	a.OpB("SL", 4)
+	a.Label("loop")
+	a.OpB("LL", 4)
+	a.Op("DUP")
+	a.OpB("SL", 4)
+	a.OpL("JNZ", "loop") // always taken: the loop never exits
+	if err := a.Install(m); err != nil {
+		return nil, err
+	}
+	if err := mesa.InstallOn(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildDiskMachine is the E4 machine: the counting emulator in task 0 plus
+// the 3-cycles-per-2-words disk microcode woken by a word source.
+func BuildDiskMachine(cfg core.Config) (*core.Machine, error) {
+	b := masm.NewBuilder()
+	emuLoop(b)
+	b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM})
+	b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+		Block: true, Flow: masm.Goto("disk")})
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("emu"))
+	if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(11, 11)
+	m.SetTPC(11, p.MustEntry("disk"))
+	m.SetRM(1, 0x6000)
+	return m, nil
+}
+
+// BuildFastIOMachine is the E5 machine: the display consuming full memory
+// bandwidth with two microinstructions per 16-word block.
+func BuildFastIOMachine(cfg core.Config) (*core.Machine, error) {
+	b := masm.NewBuilder()
+	emuLoop(b)
+	b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
+		ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
+	b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("emu"))
+	disp := device.NewDisplay(13, m.Mem(), 8, 4)
+	disp.SetBase(0x20000)
+	if err := m.Attach(disp); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(13, 13)
+	m.SetTPC(13, p.MustEntry("disp"))
+	m.SetT(13, 16)
+	return m, nil
+}
+
+// BuildSlowIOMachine is the E6 machine: loopback device, one word per wakeup
+// through IODATA, loop closed on COUNT.
+func BuildSlowIOMachine(cfg core.Config) (*core.Machine, error) {
+	b := masm.NewBuilder()
+	emuLoop(b)
+	b.EmitAt("burst", masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
+		Flow: masm.Branch(microcode.CondCountNZ, "burst.done", "burst")})
+	b.EmitAt("burst.done", masm.I{Block: true, Flow: masm.Goto("burst")})
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&p.Words)
+	m.Start(p.MustEntry("emu"))
+	lb := device.NewLoopback(9)
+	if err := m.Attach(lb); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(9, 9)
+	m.SetTPC(9, p.MustEntry("burst"))
+	m.SetRM(1, 0x6000)
+	m.SetCount(1000)
+	for a := uint32(0x6000); a < 0x6000+1016; a += 16 {
+		m.Mem().Warm(a)
+	}
+	lb.Arm(true)
+	return m, nil
+}
+
+// bitbltParams is the screen-scale merge every BitBlt machine runs: the
+// paper's "function of the source object, the destination object and a
+// filter", heavy on the shifter/masker path.
+var bitbltParams = bitblt.Params{
+	Src: 0x10000, Dst: 0x40000, WidthWords: 32, Height: 24,
+	SrcPitch: 32, DstPitch: 32, Op: bitblt.Merge, Filter: 0xAAAA,
+}
+
+// BuildBitBltMachine is the E3 machine set up mid-call: one merge blit
+// started but not run. The machine halts when the blit completes.
+func BuildBitBltMachine(cfg core.Config) (*core.Machine, error) {
+	ps, err := bitblt.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := bitbltParams
+	for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
+		m.Mem().Poke(a, uint16(a*2654435761))
+	}
+	if err := ps.Setup(m, p); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -251,8 +251,24 @@ func emitMerge(b *masm.Builder) {
 // Run executes one BitBlt on m (loading the microcode and parameters) and
 // returns the cycles consumed.
 func (ps *Programs) Run(m *core.Machine, p Params) (uint64, error) {
-	if err := p.Validate(); err != nil {
+	if err := ps.Setup(m, p); err != nil {
 		return 0, err
+	}
+	start := m.Cycle()
+	limit := uint64(p.WidthWords*p.Height*200 + 10000)
+	if !m.Run(limit) {
+		return 0, fmt.Errorf("bitblt: did not finish in %d cycles", limit)
+	}
+	return m.Cycle() - start, nil
+}
+
+// Setup loads the microcode and call parameters and starts the machine at
+// the operation's entry point, without running it — callers that need to
+// drive the blit cycle by cycle (checkpointing, host-throughput timing)
+// advance the machine themselves; the blit is done when the machine halts.
+func (ps *Programs) Setup(m *core.Machine, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	m.Load(&ps.Micro.Words)
 	// The source base is biased by one word so CopyShifted's row-priming
@@ -271,13 +287,8 @@ func (ps *Programs) Run(m *core.Machine, p Params) (uint64, error) {
 	if p.Op == CopyShifted {
 		m.SetShiftCtl(microcode.EncodeShiftCtl(microcode.ShiftCtl{Count: p.BitOffset}))
 	}
-	start := m.Cycle()
 	m.Start(ps.Entries[p.Op])
-	limit := uint64(p.WidthWords*p.Height*200 + 10000)
-	if !m.Run(limit) {
-		return 0, fmt.Errorf("bitblt: did not finish in %d cycles", limit)
-	}
-	return m.Cycle() - start, nil
+	return nil
 }
 
 // MBitPerSec converts a cycle count for p into megabits per second at the

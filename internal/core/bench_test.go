@@ -5,6 +5,7 @@ import (
 
 	"dorado/internal/masm"
 	"dorado/internal/microcode"
+	"dorado/internal/state"
 )
 
 // reportCycleRate emits the host-throughput metric shared by every Step
@@ -138,3 +139,11 @@ func (d *benchDev) Input(uint64) uint16    { return uint16(d.n) }
 func (d *benchDev) Output(uint16, uint64)  {}
 func (d *benchDev) Control(uint16, uint64) {}
 func (d *benchDev) Atten() bool            { return false }
+func (d *benchDev) SaveState(e *state.Encoder) {
+	e.Bool(d.wake)
+	e.U64(d.n)
+}
+func (d *benchDev) LoadState(dec *state.Decoder) {
+	d.wake = dec.Bool()
+	d.n = dec.U64()
+}

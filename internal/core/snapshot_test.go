@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dorado/internal/device"
+	"dorado/internal/masm"
+	"dorado/internal/microcode"
+)
+
+// snapMachine builds a machine exercising every snapshotted component: the
+// data section, memory traffic, two live devices, and a running IFU.
+func snapMachine(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	bl := masm.NewBuilder()
+	bl.EmitAt("emu", masm.I{ALU: microcode.ALUAplus1, A: microcode.ASelRM, R: 0,
+		LC: microcode.LCLoadRM})
+	bl.Emit(masm.I{FF: microcode.FFMemBaseBase + 2, A: microcode.ASelFetch, R: 0})
+	bl.Emit(masm.I{ALU: microcode.ALUAplusB, A: microcode.ASelMD, B: microcode.BSelT,
+		LC: microcode.LCLoadT})
+	bl.Emit(masm.I{A: microcode.ASelStore, R: 0, B: microcode.BSelT, Flow: masm.Goto("emu")})
+	bl.EmitAt("svc", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
+	bl.Emit(masm.I{A: microcode.ASelStore, R: 1, B: microcode.BSelT,
+		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM, Block: true, Flow: masm.Goto("svc")})
+	p := mustProgram(t, bl)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(&p.Words)
+	m.Mem().SetBase(2, 0x6000)
+	m.SetRM(0, 0x40)
+	m.SetRM(1, 0x6100)
+	if err := m.Attach(device.NewWordSource(11, 27, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m.SetIOAddress(11, 11)
+	m.SetTPC(11, p.MustEntry("svc"))
+	lb := device.NewLoopback(9)
+	lb.Arm(true)
+	if err := m.Attach(lb); err != nil {
+		t.Fatal(err)
+	}
+	m.SetIOAddress(9, 9)
+	m.SetTPC(9, p.MustEntry("svc"))
+	m.Start(p.MustEntry("emu"))
+	return m
+}
+
+// TestSnapshotRoundTrip is the byte-identity property: restoring a snapshot
+// into a fresh machine and snapshotting again reproduces the exact bytes.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		m := snapMachine(t, Config{Reference: ref})
+		m.RunCycles(5000)
+		snap := m.Snapshot()
+
+		fresh := snapMachine(t, Config{Reference: ref})
+		if err := fresh.Restore(snap); err != nil {
+			t.Fatalf("reference=%v: restore: %v", ref, err)
+		}
+		again := fresh.Snapshot()
+		if !bytes.Equal(snap, again) {
+			t.Fatalf("reference=%v: Snapshot→Restore→Snapshot is not byte-identical (%d vs %d bytes)",
+				ref, len(snap), len(again))
+		}
+		// And snapshotting the same machine twice must be deterministic.
+		if !bytes.Equal(snap, m.Snapshot()) {
+			t.Fatalf("reference=%v: back-to-back snapshots differ", ref)
+		}
+	}
+}
+
+// TestSnapshotSplitRun is the checkpoint property at the core level: running
+// N cycles straight through equals running k, snapshotting, restoring into a
+// fresh machine, and running N−k — for several k, on both interpreter paths.
+func TestSnapshotSplitRun(t *testing.T) {
+	const total = 8000
+	for _, ref := range []bool{false, true} {
+		straight := snapMachine(t, Config{Reference: ref})
+		straight.RunCycles(total)
+		want := straight.Snapshot()
+
+		for _, k := range []uint64{1, 137, 4000, 7999} {
+			first := snapMachine(t, Config{Reference: ref})
+			first.RunCycles(k)
+			mid := first.Snapshot()
+
+			second := snapMachine(t, Config{Reference: ref})
+			if err := second.Restore(mid); err != nil {
+				t.Fatalf("reference=%v k=%d: restore: %v", ref, k, err)
+			}
+			second.RunCycles(total - k)
+			if got := second.Snapshot(); !bytes.Equal(got, want) {
+				t.Errorf("reference=%v: split at k=%d diverges from straight run", ref, k)
+			}
+		}
+	}
+}
+
+// TestSnapshotCrossPath proves a snapshot taken on one interpreter path
+// restores onto the other and continues identically: the snapshot holds
+// machine state, not interpreter choice.
+func TestSnapshotCrossPath(t *testing.T) {
+	const k, rest = 3000, 3000
+
+	fast := snapMachine(t, Config{})
+	fast.RunCycles(k)
+	mid := fast.Snapshot()
+	fast.RunCycles(rest)
+
+	ref := snapMachine(t, Config{Reference: true})
+	if err := ref.Restore(mid); err != nil {
+		t.Fatalf("restore fast snapshot onto reference path: %v", err)
+	}
+	ref.RunCycles(rest)
+
+	if !bytes.Equal(fast.Snapshot(), ref.Snapshot()) {
+		t.Fatal("fast→reference restore diverged from the fast run")
+	}
+}
+
+// TestRestoreInvalidatesPredecode is the restore analogue of the SetIM rule:
+// a machine whose microstore differs from the snapshot must, after Restore,
+// execute the *snapshot's* program on the predecoded path — i.e. the dim
+// cache was rebuilt, not left stale.
+func TestRestoreInvalidatesPredecode(t *testing.T) {
+	src := snapMachine(t, Config{})
+	src.RunCycles(1000)
+	snap := src.Snapshot()
+	src.RunCycles(1000)
+
+	dst := snapMachine(t, Config{})
+	// Poison every microstore word (and therefore every predecode entry)
+	// with halt-in-place before restoring.
+	for a := 0; a < microcode.StoreSize; a++ {
+		dst.SetIM(microcode.Addr(a), microcode.Word{FF: microcode.FFHalt})
+	}
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	dst.RunCycles(1000)
+	if dst.Halted() {
+		t.Fatal("restored machine executed the poisoned predecode cache")
+	}
+	if !bytes.Equal(dst.Snapshot(), src.Snapshot()) {
+		t.Fatal("restored machine diverged from the source")
+	}
+}
+
+// TestRestoreRejectsMismatch: a snapshot must not restore onto a machine
+// with different ablation options or a different device set.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	src := snapMachine(t, Config{})
+	src.RunCycles(100)
+	snap := src.Snapshot()
+
+	wrongOpts := snapMachine(t, Config{Options: Options{DelayedBranch: true}})
+	if err := wrongOpts.Restore(snap); err == nil {
+		t.Error("restore accepted mismatched ablation options")
+	}
+
+	bare, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.Restore(snap); err == nil {
+		t.Error("restore accepted a machine with no devices attached")
+	}
+
+	if err := src.Restore(nil); err == nil {
+		t.Error("restore accepted an empty document")
+	}
+	if err := src.Restore(snap[:len(snap)-3]); err == nil {
+		t.Error("restore accepted a truncated document")
+	}
+}

@@ -22,6 +22,8 @@
 // peak slow-I/O measurements, and a Pulse timer for latency probes.
 package device
 
+import "dorado/internal/state"
+
 // Device is the hardware half of a controller, driven by the processor
 // simulation one cycle at a time.
 type Device interface {
@@ -44,6 +46,13 @@ type Device interface {
 	// Atten reports the device's attention line (the IOAtten branch
 	// condition).
 	Atten() bool
+	// SaveState appends the device's mutable state (FIFOs, timers,
+	// counters) to a machine snapshot. Devices with no mutable state
+	// inherit the no-op from Nop.
+	SaveState(e *state.Encoder)
+	// LoadState restores what SaveState wrote. The decoder is already
+	// positioned at this device's data.
+	LoadState(d *state.Decoder)
 }
 
 // Nop is a Device with no behavior; embed it to implement only what a
@@ -73,3 +82,9 @@ func (*Nop) Control(uint16, uint64) {}
 
 // Atten implements Device.
 func (*Nop) Atten() bool { return false }
+
+// SaveState implements Device: no mutable state.
+func (*Nop) SaveState(*state.Encoder) {}
+
+// LoadState implements Device: no mutable state.
+func (*Nop) LoadState(*state.Decoder) {}

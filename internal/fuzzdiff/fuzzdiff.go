@@ -1,0 +1,277 @@
+// Package fuzzdiff is the snapshot-anchored differential fuzzer: it
+// generates random-but-valid microprograms, runs them on both the
+// predecoded interpreter and the Config.Reference interpreter in lockstep,
+// and uses machine snapshots (internal/state) two ways:
+//
+//   - as the equality oracle: two machines in identical architectural
+//     states produce byte-identical snapshots (Config.Reference is not part
+//     of the snapshot), so one bytes.Equal per checkpoint replaces a
+//     field-by-field comparison of the entire machine;
+//   - as bisection anchors: a checkpoint is taken every K cycles, and when
+//     a divergence appears the harness restores both paths from the last
+//     agreeing checkpoint and single-steps to the exact cycle — and thus
+//     the exact microinstruction — where the paths first disagree.
+//
+// The result is a Divergence carrying a ready-to-paste regression test, so
+// an overnight fuzz finding becomes a one-line repro in the test suite.
+package fuzzdiff
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"dorado/internal/core"
+	"dorado/internal/device"
+	"dorado/internal/masm"
+	"dorado/internal/memory"
+	"dorado/internal/microcode"
+)
+
+// Config parameterizes one fuzz run. Every field is deterministic: the same
+// Config always generates the same program and the same cycle-for-cycle
+// execution, which is what makes a printed repro reproducible.
+type Config struct {
+	// Seed selects the generated microprogram and initial machine state.
+	Seed int64
+	// Instructions is the number of random task-0 instructions (default 24).
+	Instructions int
+	// Cycles is the total simulated length of the run (default 20000).
+	Cycles uint64
+	// CheckpointEvery is K, the snapshot interval in cycles (default 512).
+	// Smaller K means cheaper bisection and more expensive scanning.
+	CheckpointEvery uint64
+
+	// tamper, when set (package tests only), mutates the fast-path machine
+	// before the given cycle executes — a fault injector proving the
+	// harness detects and localizes divergence.
+	tamper func(cycle uint64, fast *core.Machine)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instructions <= 0 {
+		c.Instructions = 24
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 20000
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 512
+	}
+	return c
+}
+
+// Divergence describes the first cycle at which the two interpreter paths
+// disagreed, pinned to the single microinstruction that exposed it.
+type Divergence struct {
+	Seed  int64
+	Cycle uint64         // cycle whose execution diverged
+	Task  int            // task running that cycle (on the fast path)
+	PC    microcode.Addr // microstore address executed
+	Word  microcode.Word // the offending microinstruction
+	// Detail locates the first differing byte between the two post-step
+	// snapshots (section-relative context for debugging).
+	Detail string
+	// Repro is a ready-to-paste Go test reproducing the divergence.
+	Repro string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("seed %d: interpreters diverge at cycle %d (task %d, pc %v, word %+v): %s",
+		d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Detail)
+}
+
+// Run executes one deterministic fuzz iteration and returns the bisected
+// divergence, or nil if the predecoded and reference interpreters agreed
+// for the whole run.
+func Run(cfg Config) (*Divergence, error) {
+	cfg = cfg.withDefaults()
+	prog, err := generate(cfg.Seed, cfg.Instructions)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := buildMachine(prog, cfg.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := buildMachine(prog, cfg.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+
+	lastGood := fast.Snapshot()
+	if !bytes.Equal(lastGood, ref.Snapshot()) {
+		return nil, fmt.Errorf("fuzzdiff: machines differ before cycle 0 (builder bug)")
+	}
+
+	for fast.Cycle() < cfg.Cycles {
+		k := cfg.CheckpointEvery
+		if left := cfg.Cycles - fast.Cycle(); left < k {
+			k = left
+		}
+		stepBoth(cfg, fast, ref, k)
+		fsnap := fast.Snapshot()
+		if !bytes.Equal(fsnap, ref.Snapshot()) {
+			return bisect(cfg, prog, lastGood)
+		}
+		lastGood = fsnap
+		if fast.Halted() {
+			break // both halted identically (snapshots matched)
+		}
+	}
+	return nil, nil
+}
+
+// stepBoth advances both machines k cycles in lockstep, applying the test
+// fault injector on the fast path if one is installed.
+func stepBoth(cfg Config, fast, ref *core.Machine, k uint64) {
+	if cfg.tamper == nil {
+		fast.RunCycles(k)
+		ref.RunCycles(k)
+		return
+	}
+	for i := uint64(0); i < k && !fast.Halted(); i++ {
+		cfg.tamper(fast.Cycle(), fast)
+		fast.Step()
+		ref.Step()
+	}
+}
+
+// bisect restores both interpreter paths from the last agreeing checkpoint
+// and single-steps them to the first cycle whose post-state differs.
+func bisect(cfg Config, prog *masm.Program, lastGood []byte) (*Divergence, error) {
+	fast, err := buildMachine(prog, cfg.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := buildMachine(prog, cfg.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := fast.Restore(lastGood); err != nil {
+		return nil, fmt.Errorf("fuzzdiff: restore checkpoint onto fast path: %w", err)
+	}
+	if err := ref.Restore(lastGood); err != nil {
+		return nil, fmt.Errorf("fuzzdiff: restore checkpoint onto reference path: %w", err)
+	}
+	for i := uint64(0); i <= cfg.CheckpointEvery; i++ {
+		cycle := fast.Cycle()
+		task, pc := fast.CurTask(), fast.CurPC()
+		word := fast.IM(pc)
+		if cfg.tamper != nil {
+			cfg.tamper(cycle, fast)
+		}
+		fast.Step()
+		ref.Step()
+		fsnap, rsnap := fast.Snapshot(), ref.Snapshot()
+		if !bytes.Equal(fsnap, rsnap) {
+			d := &Divergence{
+				Seed:   cfg.Seed,
+				Cycle:  cycle,
+				Task:   task,
+				PC:     pc,
+				Word:   word,
+				Detail: firstDiff(fsnap, rsnap),
+			}
+			d.Repro = repro(cfg, d)
+			return d, nil
+		}
+		if fast.Halted() {
+			break
+		}
+	}
+	return nil, fmt.Errorf("fuzzdiff: checkpoint disagreed but single-stepping from it did not diverge within %d cycles", cfg.CheckpointEvery)
+}
+
+// firstDiff describes the first byte at which two snapshots differ.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("snapshots differ first at byte %d: fast %#02x, reference %#02x", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("snapshot lengths differ: fast %d bytes, reference %d", len(a), len(b))
+}
+
+// repro renders a ready-to-paste regression test: minimal cycle budget (one
+// checkpoint past the diverging cycle), the same seed and program size.
+func repro(cfg Config, d *Divergence) string {
+	return fmt.Sprintf(`// Regression: predecoded and reference interpreters diverged.
+//   seed=%d cycle=%d task=%d pc=%v
+//   word=%+v (raw %#011x)
+func TestFuzzDiffSeed%d(t *testing.T) {
+	d, err := fuzzdiff.Run(fuzzdiff.Config{
+		Seed:            %d,
+		Instructions:    %d,
+		Cycles:          %d,
+		CheckpointEvery: %d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("interpreter divergence: %%v", d)
+	}
+}
+`, d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Word.Encode(),
+		d.Seed, d.Seed, cfg.Instructions, d.Cycle+1, cfg.CheckpointEvery)
+}
+
+// fuzzMemConfig keeps storage small so per-checkpoint snapshots stay cheap
+// (a snapshot embeds all of storage).
+var fuzzMemConfig = memory.Config{
+	CacheWords:   256,
+	CacheWays:    2,
+	StorageWords: 4096,
+}
+
+// buildMachine assembles one side of the differential pair: identical
+// construction except for the Reference flag, exactly like the fixed
+// differential workloads in internal/bench.
+func buildMachine(prog *masm.Program, seed int64, reference bool) (*core.Machine, error) {
+	m, err := core.New(core.Config{Memory: fuzzMemConfig, Reference: reference})
+	if err != nil {
+		return nil, err
+	}
+	m.Load(&prog.Words)
+
+	// Seed architectural state from the same stream both sides share.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := 0; i < 64; i++ {
+		m.SetRM(i, uint16(rng.Uint32()))
+	}
+	for t := 0; t < core.NumTasks; t++ {
+		m.SetT(t, uint16(rng.Uint32()))
+	}
+	m.SetCount(uint16(rng.Intn(40)))
+	m.SetQ(uint16(rng.Uint32()))
+	m.Mem().SetBase(2, 0x100)
+	m.Mem().SetBase(3, 0x500)
+	for va := uint32(0); va < 0x400; va++ {
+		m.Mem().Poke(va, uint16(rng.Uint32()))
+	}
+
+	// Two live controllers so the scheduler, wakeup pipeline, and device
+	// FIFOs are part of every run: a paced producer and an always-ready
+	// loopback, each with the generated service routine.
+	ws := device.NewWordSource(11, 27, 2)
+	if err := m.Attach(ws); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(11, 11)
+	m.SetTPC(11, prog.MustEntry("svc"))
+	lb := device.NewLoopback(9)
+	lb.Arm(true)
+	if err := m.Attach(lb); err != nil {
+		return nil, err
+	}
+	m.SetIOAddress(9, 9)
+	m.SetTPC(9, prog.MustEntry("svc"))
+
+	m.Start(prog.MustEntry("main"))
+	return m, nil
+}

@@ -1,0 +1,225 @@
+package masm
+
+import (
+	"fmt"
+	"strings"
+
+	"dorado/internal/microcode"
+)
+
+// Format renders a Builder's instructions back into the ParseText format,
+// one instruction per line, in canonical clause order. It is the inverse
+// direction of ParseText: for any builder obtained from ParseText,
+// ParseText(Format(b)) reconstructs the same instruction sequence (the
+// assemble→disassemble→assemble fixpoint the fuzz target checks).
+//
+// Canonical choices where the text format has more than one spelling:
+// default-valued clauses are omitted, the task-0 stack modifier renders as
+// separate "r=N block" clauses (never "stack=D"), and a halt-in-place
+// instruction renders as the "halt" shorthand.
+//
+// Builders that use features the text format cannot express — Dispatch256,
+// raw constant B selects, FF codes without a text name, labels containing
+// the format's metacharacters — return an error.
+func Format(b *Builder) (string, error) {
+	var sb strings.Builder
+	for _, in := range b.insts {
+		var line []string
+		for _, lbl := range in.labels {
+			if !renderableLabel(lbl) {
+				return "", fmt.Errorf("masm: label %q cannot be written in the text format", lbl)
+			}
+			line = append(line, lbl+":")
+		}
+		clauses, err := formatInst(in.I)
+		if err != nil {
+			return "", fmt.Errorf("masm: instruction #%d: %v", in.index, err)
+		}
+		line = append(line, clauses...)
+		sb.WriteString(strings.Join(line, " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// renderableLabel reports whether a label survives the text format's
+// tokenizer: takeLabel rejects ' ', '\t', '=' and ',' and splits at the
+// first ':'; ';' would start a comment.
+func renderableLabel(s string) bool {
+	return s != "" && !strings.ContainsAny(s, " \t=,:;")
+}
+
+func formatInst(in I) ([]string, error) {
+	var cl []string
+	if in.R != 0 {
+		if in.R > 15 {
+			return nil, fmt.Errorf("r=%d out of the text format's 0..15", in.R)
+		}
+		cl = append(cl, fmt.Sprintf("r=%d", in.R))
+	}
+	if in.ALU != microcode.ALUAplusB {
+		name, ok := aluNamesRev[in.ALU]
+		if !ok {
+			return nil, fmt.Errorf("alu function %d has no text name", in.ALU)
+		}
+		cl = append(cl, "alu="+name)
+	}
+	if in.A != microcode.ASelRM {
+		cl = append(cl, "a="+formatASel(in.A))
+	}
+	if in.HasConst {
+		cl = append(cl, fmt.Sprintf("const=%d", in.Const))
+	} else if in.B != microcode.BSelRM {
+		name, err := formatBSel(in.B)
+		if err != nil {
+			return nil, err
+		}
+		cl = append(cl, "b="+name)
+	}
+	if in.LC != microcode.LCNone {
+		cl = append(cl, "lc="+map[microcode.LoadControl]string{
+			microcode.LCLoadT: "t", microcode.LCLoadRM: "rm", microcode.LCLoadBoth: "both",
+		}[in.LC])
+	}
+	// The halt shorthand owns both the FF field and the flow.
+	isHalt := !in.HasConst && in.FF == microcode.FFHalt && in.Flow.Kind == FlowSelf
+	if !in.HasConst && in.FF != microcode.FFNop && !isHalt {
+		name, err := formatFF(in.FF)
+		if err != nil {
+			return nil, err
+		}
+		cl = append(cl, "ff="+name)
+	}
+	if in.Block {
+		cl = append(cl, "block")
+	}
+	flow, err := formatFlow(in.Flow, isHalt)
+	if err != nil {
+		return nil, err
+	}
+	cl = append(cl, flow...)
+	if len(cl) == 0 {
+		// A fully default no-op still needs a token on its line (a bare
+		// label line attaches the label to the NEXT instruction).
+		cl = append(cl, "alu=a+b")
+	}
+	return cl, nil
+}
+
+func formatFlow(f Flow, isHalt bool) ([]string, error) {
+	target := func(l string) (string, error) {
+		if !renderableLabel(l) {
+			return "", fmt.Errorf("flow target %q cannot be written in the text format", l)
+		}
+		return l, nil
+	}
+	switch f.Kind {
+	case FlowSeq:
+		return nil, nil
+	case FlowGoto, FlowCall:
+		l, err := target(f.Target)
+		if err != nil {
+			return nil, err
+		}
+		kw := "goto"
+		if f.Kind == FlowCall {
+			kw = "call"
+		}
+		return []string{kw, l}, nil
+	case FlowReturn:
+		return []string{"ret"}, nil
+	case FlowIFUJump:
+		return []string{"ifujump"}, nil
+	case FlowSelf:
+		if isHalt {
+			return []string{"halt"}, nil
+		}
+		return []string{"self"}, nil
+	case FlowBranch:
+		cond, ok := condNamesRev[f.Cond]
+		if !ok {
+			return nil, fmt.Errorf("condition %d has no text name", f.Cond)
+		}
+		// An empty Else ("next emitted instruction") renders as an empty
+		// list entry, which parses back to the same empty label.
+		for _, l := range []string{f.Else, f.Then} {
+			if l != "" {
+				if _, err := target(l); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if f.Then == "" {
+			return nil, fmt.Errorf("branch with empty true target")
+		}
+		return []string{"br", cond + "," + f.Else + "," + f.Then}, nil
+	case FlowDispatch8:
+		if len(f.Table) == 0 {
+			return nil, fmt.Errorf("disp8 with no targets")
+		}
+		for _, l := range f.Table {
+			if l != "" {
+				if _, err := target(l); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return []string{"disp8", strings.Join(f.Table, ",")}, nil
+	}
+	return nil, fmt.Errorf("flow kind %d cannot be written in the text format", f.Kind)
+}
+
+func formatASel(a microcode.ASelect) string {
+	return [...]string{"rm", "t", "ifudata", "md", "fetch", "store", "fetchifu", "storeifu"}[a&7]
+}
+
+func formatBSel(b microcode.BSelect) (string, error) {
+	switch b {
+	case microcode.BSelRM:
+		return "rm", nil
+	case microcode.BSelT:
+		return "t", nil
+	case microcode.BSelQ:
+		return "q", nil
+	case microcode.BSelMD:
+		return "md", nil
+	}
+	return "", fmt.Errorf("b select %v is not expressible in the text format (constants use const=)", b)
+}
+
+func formatFF(ff uint8) (string, error) {
+	if name, ok := ffNamesRev[ff]; ok {
+		return name, nil
+	}
+	switch {
+	case ff >= microcode.FFCountBase && ff < microcode.FFCountBase+16:
+		return fmt.Sprintf("count=%d", ff-microcode.FFCountBase), nil
+	case ff >= microcode.FFMemBaseBase && ff < microcode.FFMemBaseBase+32:
+		return fmt.Sprintf("membase=%d", ff-microcode.FFMemBaseBase), nil
+	case ff >= microcode.FFRotBase && ff < microcode.FFRotBase+32:
+		return fmt.Sprintf("rot=%d", ff-microcode.FFRotBase), nil
+	case ff >= microcode.FFRMDestBase && ff < microcode.FFRMDestBase+16:
+		return fmt.Sprintf("rmdest=%d", ff-microcode.FFRMDestBase), nil
+	}
+	return "", fmt.Errorf("ff %#02x has no text name", ff)
+}
+
+// Reverse lookup tables for the parser's name maps (values are unique).
+var (
+	aluNamesRev  = reverse(aluNames)
+	ffNamesRev   = reverse(ffNames)
+	condNamesRev = map[microcode.Condition]string{
+		microcode.CondALUZero: "zero", microcode.CondALUNeg: "neg",
+		microcode.CondCarry: "carry", microcode.CondCountNZ: "count",
+		microcode.CondOverflow: "ovf", microcode.CondStackError: "stkerr",
+		microcode.CondIOAtten: "ioatten", microcode.CondMB: "mb",
+	}
+)
+
+func reverse[K comparable, V comparable](m map[V]K) map[K]V {
+	r := make(map[K]V, len(m))
+	for v, k := range m {
+		r[k] = v
+	}
+	return r
+}

@@ -1,0 +1,48 @@
+package masm
+
+import (
+	"testing"
+)
+
+// FuzzParseText throws arbitrary text at the microassembler's parser. Two
+// properties: ParseText must never panic, and where the text actually
+// assembles, the canonical rendering must round-trip — Format(parse(src))
+// reparses and reassembles to the identical word image (the
+// assemble→disassemble→assemble fixpoint).
+func FuzzParseText(f *testing.F) {
+	f.Add("main: r=1 alu=a+1 lc=rm goto main\n")
+	f.Add("loop: const=0x1234 lc=t\n halt\n")
+	f.Add("a: br count,,a\nb: alu=a-1 lc=rm goto a\n")
+	f.Add("x: ff=input lc=t\n stack=1 block goto x\n")
+	f.Add("v: disp8 v,w,v,w\nw: ret\n")
+	f.Add("m: call s ; comment\n halt\ns: ff=getlink lc=t ret\n")
+	f.Add("r=16")
+	f.Add("q: a=md b=q alu=xnor lc=both ifujump\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := ParseText(src)
+		if err != nil {
+			return // rejected input only has to be rejected cleanly
+		}
+		p1, err := b.Assemble()
+		if err != nil {
+			return // parsed but unplaceable (e.g. branch alignment)
+		}
+		// Everything ParseText can produce, Format must be able to render…
+		txt, err := Format(b)
+		if err != nil {
+			t.Fatalf("Format failed on parsed program: %v\nsource:\n%s", err, src)
+		}
+		// …and the rendering must mean the same program.
+		b2, err := ParseText(txt)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nrendering:\n%s", err, txt)
+		}
+		p2, err := b2.Assemble()
+		if err != nil {
+			t.Fatalf("reassemble failed: %v\nrendering:\n%s", err, txt)
+		}
+		if p1.Words != p2.Words {
+			t.Fatalf("word image changed across Format round trip\nsource:\n%s\nrendering:\n%s", src, txt)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+
+	"dorado/internal/state"
+)
+
+// Snapshot sections owned by the memory system. The configuration section
+// exists so a restore into a differently-sized or differently-timed memory
+// fails loudly instead of continuing with divergent timing.
+const (
+	sectMemConfig  = "MCFG"
+	sectMemState   = "MEMS"
+	sectMemStorage = "MDAT"
+	sectMemCache   = "MCCH"
+)
+
+// SaveState appends the memory system's complete state to a snapshot:
+// configuration fingerprint, base registers, page map, per-task MD state,
+// storage-pipe timing, fault latch, counters, the cache's residency/LRU
+// metadata, and the full storage contents.
+func (s *System) SaveState(e *state.Encoder) {
+	e.Section(sectMemConfig)
+	e.U32(uint32(s.cfg.CacheWords))
+	e.U32(uint32(s.cfg.CacheWays))
+	e.U32(uint32(s.cfg.StorageWords))
+	e.U32(uint32(s.cfg.HitLatency))
+	e.U32(uint32(s.cfg.MissLatency))
+	e.U32(uint32(s.cfg.StorageCycle))
+
+	e.Section(sectMemState)
+	e.U64(s.storageFreeAt)
+	for _, b := range s.base {
+		e.U32(b)
+	}
+	for i := range s.md {
+		md := &s.md[i]
+		e.U16(md.val)
+		e.U64(md.readyAt)
+		e.U64(md.issueAt)
+		e.Bool(md.pending)
+	}
+	e.U8(uint8(s.fault.Kind))
+	e.U32(s.fault.VA)
+	e.U8(uint8(s.fault.Task))
+	e.U64(s.stats.Reads)
+	e.U64(s.stats.Writes)
+	e.U64(s.stats.StorageOps)
+	e.U64(s.stats.FastReads)
+	e.U64(s.stats.FastWrites)
+	e.U64(s.stats.MapFaults)
+	e.U64(s.stats.Faults)
+	// The page-map overrides, sorted by virtual page so the encoding is
+	// canonical (Go map iteration order is deliberately random).
+	vps := make([]uint32, 0, len(s.vmapx))
+	for vp := range s.vmapx {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	e.U32(uint32(len(vps)))
+	for _, vp := range vps {
+		ent := s.vmapx[vp]
+		e.U32(vp)
+		e.U32(ent.rp)
+		e.Bool(ent.flags.WP)
+		e.Bool(ent.flags.Vacant)
+		e.Bool(ent.flags.Ref)
+		e.Bool(ent.flags.Dirty)
+	}
+
+	e.Section(sectMemCache)
+	e.U32(s.cache.clock)
+	e.U64(s.cache.hits)
+	e.U64(s.cache.misses)
+	e.U64(s.cache.writebacks)
+	for i := range s.cache.lines {
+		l := &s.cache.lines[i]
+		e.Bool(l.valid)
+		e.Bool(l.dirty)
+		e.U32(l.tag)
+		e.U32(l.lru)
+	}
+
+	e.Section(sectMemStorage)
+	e.U16s(s.data)
+}
+
+// LoadState restores the memory system from a snapshot taken by SaveState.
+// The target system must have been built with the identical configuration.
+func (s *System) LoadState(d *state.Decoder) error {
+	if err := d.Section(sectMemConfig); err != nil {
+		return err
+	}
+	got := Config{
+		CacheWords:   int(d.U32()),
+		CacheWays:    int(d.U32()),
+		StorageWords: int(d.U32()),
+		HitLatency:   int(d.U32()),
+		MissLatency:  int(d.U32()),
+		StorageCycle: int(d.U32()),
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if got != s.cfg {
+		return fmt.Errorf("memory: snapshot config %+v, machine config %+v", got, s.cfg)
+	}
+
+	if err := d.Section(sectMemState); err != nil {
+		return err
+	}
+	s.storageFreeAt = d.U64()
+	for i := range s.base {
+		s.base[i] = d.U32()
+	}
+	for i := range s.md {
+		md := &s.md[i]
+		md.val = d.U16()
+		md.readyAt = d.U64()
+		md.issueAt = d.U64()
+		md.pending = d.Bool()
+	}
+	s.fault = Fault{Kind: FaultKind(d.U8()), VA: d.U32(), Task: int(d.U8())}
+	s.stats.Reads = d.U64()
+	s.stats.Writes = d.U64()
+	s.stats.StorageOps = d.U64()
+	s.stats.FastReads = d.U64()
+	s.stats.FastWrites = d.U64()
+	s.stats.MapFaults = d.U64()
+	s.stats.Faults = d.U64()
+	n := d.U32()
+	s.vmapx = make(map[uint32]mapEntry, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		vp := d.U32()
+		var ent mapEntry
+		ent.rp = d.U32()
+		ent.flags.WP = d.Bool()
+		ent.flags.Vacant = d.Bool()
+		ent.flags.Ref = d.Bool()
+		ent.flags.Dirty = d.Bool()
+		s.vmapx[vp] = ent
+	}
+
+	if err := d.Section(sectMemCache); err != nil {
+		return err
+	}
+	s.cache.clock = d.U32()
+	s.cache.hits = d.U64()
+	s.cache.misses = d.U64()
+	s.cache.writebacks = d.U64()
+	for i := range s.cache.lines {
+		l := &s.cache.lines[i]
+		l.valid = d.Bool()
+		l.dirty = d.Bool()
+		l.tag = d.U32()
+		l.lru = d.U32()
+	}
+
+	if err := d.Section(sectMemStorage); err != nil {
+		return err
+	}
+	d.U16s(s.data)
+	return d.Err()
+}

@@ -1,0 +1,143 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Section("AAAA")
+	e.U8(0x12)
+	e.U16(0x3456)
+	e.U32(0x789ABCDE)
+	e.U64(0x1122334455667788)
+	e.I8(-3)
+	e.Bool(true)
+	e.Bool(false)
+	e.Section("BBBB")
+	e.U16s([]uint16{1, 2, 3})
+	e.Bytes32([]byte("hello"))
+	e.String("world")
+	doc := e.Bytes()
+
+	d, err := NewDecoder(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("AAAA"); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U8(); v != 0x12 {
+		t.Errorf("U8 = %#x", v)
+	}
+	if v := d.U16(); v != 0x3456 {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := d.U32(); v != 0x789ABCDE {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := d.U64(); v != 0x1122334455667788 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := d.I8(); v != -3 {
+		t.Errorf("I8 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if err := d.Section("BBBB"); err != nil {
+		t.Fatal(err)
+	}
+	var three [3]uint16
+	d.U16s(three[:])
+	if three != [3]uint16{1, 2, 3} {
+		t.Errorf("U16s = %v", three)
+	}
+	if got := d.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	build := func() []byte {
+		e := NewEncoder()
+		e.Section("TTTT")
+		e.U64(42)
+		return e.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical encodes differ")
+	}
+}
+
+func TestStrictness(t *testing.T) {
+	e := NewEncoder()
+	e.Section("AAAA")
+	e.U32(7)
+	e.Section("ZZZZ")
+	e.U8(1)
+	doc := e.Bytes()
+
+	// Missing section.
+	d, _ := NewDecoder(doc)
+	if err := d.Section("NOPE"); err == nil {
+		t.Error("opening a missing section succeeded")
+	}
+
+	// Partially consumed section.
+	d, _ = NewDecoder(doc)
+	if err := d.Section("AAAA"); err != nil {
+		t.Fatal(err)
+	}
+	d.U8()
+	if err := d.Section("ZZZZ"); err == nil {
+		t.Error("opening the next section with unread bytes succeeded")
+	}
+
+	// Unopened section caught by Finish.
+	d, _ = NewDecoder(doc)
+	if err := d.Section("AAAA"); err != nil {
+		t.Fatal(err)
+	}
+	d.U32()
+	if err := d.Finish(); err == nil {
+		t.Error("Finish accepted a document with an unopened section")
+	}
+
+	// Over-read inside a section.
+	d, _ = NewDecoder(doc)
+	if err := d.Section("AAAA"); err != nil {
+		t.Fatal(err)
+	}
+	d.U64()
+	if d.Err() == nil {
+		t.Error("short read not detected")
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := NewDecoder([]byte("junk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	doc := NewEncoder().Bytes()
+	doc[4] = 0xFF // corrupt version
+	doc[5] = 0xFF
+	if _, err := NewDecoder(doc); err == nil {
+		t.Error("future version accepted")
+	}
+	// Truncated section framing.
+	e := NewEncoder()
+	e.Section("AAAA")
+	e.U64(1)
+	doc = e.Bytes()
+	if _, err := NewDecoder(doc[:len(doc)-2]); err == nil {
+		t.Error("truncated section accepted")
+	}
+}
