@@ -1,0 +1,63 @@
+// Benchguard enforces the observability layer's performance budget by
+// comparing two simbench reports: the metrics-off hot loop must hold the
+// committed baseline's predecode speedup to within 3%, and the metrics-on
+// (instrumented) path must stay within 15% of the same run's predecoded
+// throughput. A failed check exits nonzero.
+//
+// Both reports must come from the same simbench executable: function
+// placement differs between binaries, which alone shifts the hot loop's
+// predecode ratio by more than the 3% budget. For live CI gating use
+// `simbench -guard`, which measures and checks inside one process;
+// benchguard is the offline comparator for reports already on disk.
+//
+// Usage:
+//
+//	benchguard -current current.json             compare against BENCH_SIM.json
+//	benchguard -baseline a.json -current b.json  compare two saved reports
+//	benchguard -off 0.05 -on 0.20                loosen the thresholds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dorado/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_SIM.json", "committed baseline report")
+	currentPath := flag.String("current", "", "current report JSON (required)")
+	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "metrics-off allowed fractional regression")
+	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "metrics-on allowed fractional overhead")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required (use `simbench -guard` for live measurement)")
+		os.Exit(2)
+	}
+	baseline, err := bench.ReadHostReportFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	current, err := bench.ReadHostReportFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: current: %v\n", err)
+		os.Exit(1)
+	}
+
+	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on}
+	checks, ok := bench.Guard(baseline, current, th)
+	fmt.Printf("benchguard: baseline %s (%s %s/%s), thresholds off %.0f%% on %.0f%%\n",
+		*baselinePath, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,
+		100*th.MetricsOff, 100*th.MetricsOn)
+	for _, c := range checks {
+		fmt.Println(c)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchguard: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all checks passed")
+}

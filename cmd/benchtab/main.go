@@ -19,12 +19,23 @@ import (
 	"os"
 
 	"dorado/internal/bench"
+	"dorado/internal/obs"
 )
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit experiment tables as JSON")
 	out := flag.String("o", "", "with -json: write to this file instead of stdout")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while experiments run")
 	flag.Parse()
+	if *httpAddr != "" {
+		srv, err := obs.ServeDebug(*httpAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchtab: debug server on http://%s\n", srv.Addr())
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true

@@ -21,13 +21,23 @@
 //	                                 the snapshot carries the whole machine
 //	                                 state but not its configuration or
 //	                                 device complement)
+//	-metrics-out FILE                write a Prometheus text snapshot of the
+//	                                 run's counters and histograms
+//	-chrometrace FILE                write the scheduling timeline as Chrome
+//	                                 trace_event JSON (chrome://tracing,
+//	                                 Perfetto)
+//	-http ADDR                       serve /metrics, /debug/vars and
+//	                                 /debug/pprof while running (the run is
+//	                                 sliced so the snapshot stays fresh)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"dorado"
 	"dorado/internal/core"
@@ -45,6 +55,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print full machine statistics")
 	saveFile := flag.String("save", "", "write a machine snapshot to this file after the run")
 	restoreFile := flag.String("restore", "", "restore a machine snapshot from this file before running")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus text snapshot to this file after the run")
+	chromeTrace := flag.String("chrometrace", "", "write a Chrome trace_event JSON timeline to this file after the run")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address while running")
 	flag.Parse()
 
 	language, ok := map[string]dorado.Language{
@@ -54,7 +67,12 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown language %q", *lang))
 	}
-	sys, err := dorado.NewSystem(language)
+	opts := []dorado.Option{dorado.WithLanguage(language)}
+	observed := *metricsOut != "" || *chromeTrace != "" || *httpAddr != ""
+	if observed {
+		opts = append(opts, dorado.WithMetrics(dorado.NewMetrics()))
+	}
+	sys, err := dorado.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +133,42 @@ func main() {
 		what = fmt.Sprintf("%s, resumed from %s at cycle %d", what, *restoreFile, sys.Machine.Cycle())
 	}
 	fmt.Printf("Dorado: %v emulator, %s\n", language, what)
-	halted := sys.Run(*cycles)
+	var halted bool
+	if *httpAddr == "" {
+		halted = sys.Run(*cycles)
+	} else {
+		// Slice the run so the served snapshot tracks the simulation; the
+		// machine only advances between publishes, so each snapshot is a
+		// consistent paused view.
+		var mu sync.Mutex
+		var snap *dorado.MetricsSnapshot
+		publish := func() {
+			s := sys.Snapshot()
+			mu.Lock()
+			snap = s
+			mu.Unlock()
+		}
+		publish()
+		srv, err := dorado.ServeDebug(*httpAddr, func() *dorado.MetricsSnapshot {
+			mu.Lock()
+			defer mu.Unlock()
+			return snap
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+		const slice = 1 << 16
+		for done := uint64(0); done < *cycles && !halted; done += slice {
+			n := uint64(slice)
+			if rest := *cycles - done; rest < n {
+				n = rest
+			}
+			halted = sys.Run(n)
+			publish()
+		}
+	}
 	st := sys.Machine.Stats()
 	if halted {
 		fmt.Printf("halted after %d cycles (%.3f ms at 60 ns)\n",
@@ -157,6 +210,31 @@ func main() {
 		}
 		fmt.Printf("saved snapshot to %s (cycle %d)\n", *saveFile, sys.Machine.Cycle())
 	}
+	if *metricsOut != "" {
+		if err := writeExport(*metricsOut, sys.WritePrometheus); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Prometheus metrics to %s\n", *metricsOut)
+	}
+	if *chromeTrace != "" {
+		if err := writeExport(*chromeTrace, sys.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *chromeTrace)
+	}
+}
+
+// writeExport streams one exporter into a freshly created file.
+func writeExport(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFileAtomic writes data via a temporary file and rename, so an

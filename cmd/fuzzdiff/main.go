@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dorado/internal/fuzzdiff"
+	"dorado/internal/obs"
 )
 
 func main() {
@@ -25,7 +26,17 @@ func main() {
 	cycles := flag.Uint64("cycles", 20000, "simulated cycles per seed")
 	k := flag.Uint64("k", 512, "checkpoint interval in cycles")
 	insts := flag.Int("insts", 24, "generated instructions per program")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while fuzzing")
 	flag.Parse()
+	if *httpAddr != "" {
+		srv, err := obs.ServeDebug(*httpAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzzdiff: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fuzzdiff: debug server on http://%s\n", srv.Addr())
+	}
 
 	failed := 0
 	for seed := *start; seed < *start+*seeds; seed++ {

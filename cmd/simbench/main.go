@@ -1,15 +1,27 @@
 // Simbench measures host performance: how many simulated Dorado cycles per
 // second the simulator sustains on the machine running it, across the §7
 // workload families (emulator mix, disk, fast I/O, BitBlt). Each workload
-// runs twice — on the predecoded hot loop and on the reference interpreter
-// (per-cycle decode, the pre-optimization baseline) — and the report
-// records both plus the speedup.
+// runs three times — on the predecoded hot loop, on the reference
+// interpreter (per-cycle decode, the pre-optimization baseline), and on
+// the hot loop with an observability recorder attached — and the report
+// records all three plus the predecode speedup and the metrics-on
+// overhead.
+//
+// With -guard the report is additionally checked against the committed
+// BENCH_SIM.json baseline (cmd/benchguard's thresholds), re-measuring on
+// failure up to -attempts times. The guard MUST run inside simbench
+// rather than a separate binary: function placement differs between
+// binaries, which alone shifts the hot loop's predecode ratio by more
+// than the 3% budget — baseline and current must come from the same
+// executable to be comparable. cmd/benchguard compares two report files
+// after the fact.
 //
 // Usage:
 //
 //	simbench                         print the report, write BENCH_SIM.json
 //	simbench -cycles 5000000         longer runs (steadier numbers)
 //	simbench -o path.json            write elsewhere ("" skips the file)
+//	simbench -guard -o current.json  CI mode: measure, then enforce thresholds
 package main
 
 import (
@@ -22,32 +34,90 @@ import (
 
 func main() {
 	cycles := flag.Uint64("cycles", 2_000_000, "simulated cycles per (workload, path) measurement")
+	reps := flag.Int("reps", 3, "measurements per (workload, path); the fastest is kept")
 	out := flag.String("o", "BENCH_SIM.json", "output JSON path (empty: stdout report only)")
+	guard := flag.Bool("guard", false, "check the report against -baseline and exit nonzero on regression")
+	baselinePath := flag.String("baseline", "BENCH_SIM.json", "committed baseline report for -guard")
+	attempts := flag.Int("attempts", 3, "with -guard: full re-measurements before a failure is final")
+	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "with -guard: metrics-off allowed fractional regression")
+	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "with -guard: metrics-on allowed fractional overhead")
 	flag.Parse()
 
-	rep, err := bench.RunHostReport(*cycles)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
+	// In guard mode the default output would overwrite the baseline being
+	// guarded against; only write where -o was given explicitly.
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
+	if *guard && !outSet {
+		*out = ""
 	}
 
-	fmt.Printf("simbench: %s %s/%s, %d cycles per measurement\n\n",
-		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CyclesPerRun)
-	fmt.Printf("%-10s %-11s %14s %10s %12s\n", "workload", "path", "cycles/sec", "ns/cycle", "allocs/cycle")
-	for _, r := range rep.Results {
-		fmt.Printf("%-10s %-11s %14.0f %10.1f %12.4f\n",
-			r.Workload, r.Path, r.CyclesPerSec, r.NsPerCycle, r.AllocsPerCycle)
-	}
-	fmt.Println()
-	for _, w := range bench.HostWorkloads() {
-		fmt.Printf("%-10s speedup %.2fx\n", w.ID, rep.Speedup[w.ID])
+	var baseline *bench.HostReport
+	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on}
+	if *guard {
+		var err error
+		baseline, err = bench.ReadHostReportFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
-	if *out != "" {
-		if err := bench.WriteJSONFile(*out, rep); err != nil {
+	tries := 1
+	if *guard {
+		tries = *attempts
+		if tries < 1 {
+			tries = 1
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		rep, err := bench.RunHostReport(*cycles, *reps)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %s\n", *out)
+
+		fmt.Printf("simbench: %s %s/%s, %d cycles per measurement\n\n",
+			rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CyclesPerRun)
+		fmt.Printf("%-10s %-12s %14s %10s %12s\n", "workload", "path", "cycles/sec", "ns/cycle", "allocs/cycle")
+		for _, r := range rep.Results {
+			fmt.Printf("%-10s %-12s %14.0f %10.1f %12.4f\n",
+				r.Workload, r.Path, r.CyclesPerSec, r.NsPerCycle, r.AllocsPerCycle)
+		}
+		fmt.Println()
+		for _, w := range bench.HostWorkloads() {
+			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%\n",
+				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1))
+		}
+
+		if *out != "" {
+			if err := bench.WriteJSONFile(*out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", *out)
+		}
+		if !*guard {
+			return
+		}
+
+		checks, ok := bench.Guard(baseline, &rep, th)
+		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%%\n",
+			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn)
+		for _, c := range checks {
+			fmt.Println(c)
+		}
+		if ok {
+			fmt.Println("guard: all checks passed")
+			return
+		}
+		if attempt >= tries {
+			fmt.Fprintln(os.Stderr, "guard: FAILED")
+			os.Exit(1)
+		}
+		fmt.Printf("guard: attempt %d/%d failed, re-measuring\n\n", attempt, tries)
 	}
 }

@@ -17,15 +17,19 @@
 //
 // Quickstart — run a Mesa byte-code program:
 //
-//	sys, _ := dorado.NewSystem(dorado.Mesa)
+//	sys, _ := dorado.New(dorado.WithLanguage(dorado.Mesa))
 //	asm := sys.Asm()
 //	asm.OpB("LIB", 2).OpB("LIB", 40).Op("ADD").Op("HALT")
 //	sys.Boot(asm)
 //	sys.Run(10_000)
 //	fmt.Println(sys.Stack()) // [42]
 //
-// or drop to the microcode level with NewMachine and the masm builder; see
-// examples/ for complete programs and cmd/benchtab for the paper's
+// New takes functional options: WithLanguage picks an emulator, WithConfig
+// a machine configuration, WithMetrics a cycle-level observability
+// recorder (Prometheus and Chrome-trace exportable, see WritePrometheus /
+// WriteChromeTrace), WithTracer a per-cycle tracer, WithDevice an I/O
+// controller. With no options New builds a bare microcode-level machine;
+// see examples/ for complete programs and cmd/benchtab for the paper's
 // evaluation tables.
 package dorado
 
@@ -65,6 +69,13 @@ type (
 	Asm = emulator.Asm
 	// BitBltParams describes one raster operation.
 	BitBltParams = bitblt.Params
+	// Tracer receives one event per simulated cycle (see WithTracer).
+	Tracer = core.Tracer
+	// TraceEvent is one cycle's trace record.
+	TraceEvent = core.TraceEvent
+	// InstallError is the typed error emulator install paths return
+	// (match with errors.As).
+	InstallError = emulator.InstallError
 )
 
 // CycleNS is the machine cycle time in nanoseconds.
@@ -72,6 +83,9 @@ const CycleNS = core.CycleNS
 
 // NewMachine builds a bare machine (microcode level). Load a program
 // assembled with NewBuilder, set TPCs, attach devices, and Step or Run.
+//
+// Deprecated: use New(WithConfig(cfg)) and the System's Machine field;
+// NewMachine remains as a thin equivalent wrapper.
 func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
 
 // NewBuilder returns an empty microassembler.
@@ -79,6 +93,10 @@ func NewBuilder() *Builder { return masm.NewBuilder() }
 
 // Language selects one of the four byte-code emulators of §7.
 type Language int
+
+// None marks a System with no emulator installed (a bare machine built by
+// New without WithLanguage).
+const None Language = -1
 
 const (
 	// Mesa is the compile-time-checked stack machine (loads/stores in 1–2
@@ -95,6 +113,8 @@ const (
 
 func (l Language) String() string {
 	switch l {
+	case None:
+		return "None"
 	case Mesa:
 		return "Mesa"
 	case BCPL:
@@ -107,43 +127,30 @@ func (l Language) String() string {
 	return fmt.Sprintf("Language(%d)", int(l))
 }
 
-// System is a machine with an emulator installed: the configuration a
-// Dorado user saw.
+// System is a machine built by New — with an emulator installed (the
+// configuration a Dorado user saw) or bare (Language None). Metrics is the
+// recorder attached via WithMetrics, nil otherwise.
 type System struct {
 	Machine  *Machine
 	Language Language
 	Emulator *emulator.Program
+	Metrics  *Metrics
 }
 
 // NewSystem builds a machine running the given language's emulator.
+//
+// Deprecated: use New(WithLanguage(lang)). NewSystem delegates to it with
+// identical behavior.
 func NewSystem(lang Language) (*System, error) {
-	return NewSystemWith(lang, Config{})
+	return New(WithLanguage(lang))
 }
 
 // NewSystemWith is NewSystem with a machine configuration.
+//
+// Deprecated: use New(WithLanguage(lang), WithConfig(cfg)). NewSystemWith
+// delegates to it with identical behavior.
 func NewSystemWith(lang Language, cfg Config) (*System, error) {
-	var prog *emulator.Program
-	var err error
-	switch lang {
-	case Mesa:
-		prog, err = emulator.BuildMesa()
-	case BCPL:
-		prog, err = emulator.BuildBCPL()
-	case Lisp:
-		prog, err = emulator.BuildLisp()
-	case Smalltalk:
-		prog, err = emulator.BuildSmalltalk()
-	default:
-		return nil, fmt.Errorf("dorado: unknown language %v", lang)
-	}
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &System{Machine: m, Language: lang, Emulator: prog}, nil
+	return New(WithLanguage(lang), WithConfig(cfg))
 }
 
 // Asm returns a byte-code assembler for the system's instruction set.
@@ -161,13 +168,18 @@ func (s *System) Boot(a *Asm) error {
 // Run executes up to maxCycles, returning true if the program halted.
 func (s *System) Run(maxCycles uint64) bool { return s.Machine.Run(maxCycles) }
 
-// Stack returns the hardware evaluation stack, bottom first (meaningful
-// for Mesa and Smalltalk; Lisp keeps its stack in memory).
+// Stack returns the hardware evaluation stack of the currently selected
+// stack bank, bottom first (meaningful for Mesa and Smalltalk; Lisp keeps
+// its stack in memory). STACKPTR is [stack:2][word:6] (§6.3.3): the word
+// field is the depth, the bank bits select which of the four 64-word
+// stacks the words come from.
 func (s *System) Stack() []uint16 {
-	n := int(s.Machine.StackPtr() & 0x3F)
+	sp := int(s.Machine.StackPtr())
+	base := sp &^ (core.StackWords - 1)
+	n := sp & (core.StackWords - 1)
 	out := make([]uint16, n)
 	for i := 1; i <= n; i++ {
-		out[i-1] = s.Machine.Stack(i)
+		out[i-1] = s.Machine.Stack(base + i)
 	}
 	return out
 }
@@ -234,7 +246,7 @@ func (s *System) BootSource(src string) error {
 		p.InstallOn(s.Machine)
 		return nil
 	}
-	return fmt.Errorf("dorado: no compiler for %v (BCPL programs assemble via Asm)", s.Language)
+	return fmt.Errorf("%w %v (BCPL programs assemble via Asm)", ErrNoCompiler, s.Language)
 }
 
 // BuildSystemImage assembles all four emulators into one microstore image

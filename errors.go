@@ -1,0 +1,13 @@
+package dorado
+
+import "errors"
+
+// Sentinel errors returned by the facade. Match them with errors.Is; the
+// install paths additionally surface *emulator.InstallError for errors.As.
+var (
+	// ErrUnknownLanguage reports a Language value the facade does not know.
+	ErrUnknownLanguage = errors.New("dorado: unknown language")
+	// ErrNoCompiler reports a BootSource call for a language without a
+	// source compiler (BCPL programs assemble via Asm).
+	ErrNoCompiler = errors.New("dorado: no compiler for language")
+)

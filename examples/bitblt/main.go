@@ -30,10 +30,11 @@ func main() {
 	}
 
 	run := func(p bitblt.Params, label, paper string) {
-		m, err := dorado.NewMachine(dorado.Config{})
+		sys, err := dorado.New() // a bare machine: no emulator, no devices
 		if err != nil {
 			log.Fatal(err)
 		}
+		m := sys.Machine
 		for a := p.Src; a < p.Src+uint32(p.SrcPitch*p.Height); a++ {
 			m.Mem().Poke(a, uint16(a)*0x9E37)
 		}
@@ -62,10 +63,11 @@ func main() {
 	run(p, "Merge with filter", "24, complex case")
 
 	// And show the bits: paint a checkerboard with two filtered merges.
-	m, err := dorado.NewMachine(dorado.Config{})
+	sys, err := dorado.New()
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := sys.Machine
 	const w, h = 4, 8 // words × rows
 	for a := uint32(0); a < w*h; a++ {
 		m.Mem().Poke(srcArt+a, 0xFFFF)

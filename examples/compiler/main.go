@@ -46,7 +46,7 @@ func main() {
 			f.Name, f.Entry, f.Args, f.Slot)
 	}
 
-	sys, err := dorado.NewSystem(dorado.Mesa)
+	sys, err := dorado.New(dorado.WithLanguage(dorado.Mesa))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +90,7 @@ return fib(14);
 }
 
 func runMesa(src string) uint64 {
-	sys, err := dorado.NewSystem(dorado.Mesa)
+	sys, err := dorado.New(dorado.WithLanguage(dorado.Mesa))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func runMesa(src string) uint64 {
 }
 
 func runLisp(src string) uint64 {
-	sys, err := dorado.NewSystem(dorado.Lisp)
+	sys, err := dorado.New(dorado.WithLanguage(dorado.Lisp))
 	if err != nil {
 		log.Fatal(err)
 	}

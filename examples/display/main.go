@@ -42,10 +42,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	m, err := dorado.NewMachine(dorado.Config{})
+	// A bare machine with a metrics recorder attached: the recorder taps
+	// the scheduler, so the wakeup and hold histograms below come from the
+	// same run that produces the bandwidth figures.
+	sys, err := dorado.New(dorado.WithMetrics(dorado.NewMetrics()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := sys.Machine
 	m.Load(&prog.Words)
 	m.Start(prog.MustEntry("emu"))
 
@@ -87,4 +91,16 @@ func main() {
 		100*st.Utilization(0), st.TaskExecuted[0])
 	fmt.Printf("  display underruns: %d, disk overruns: %d\n",
 		display.Underruns(), disk.Overruns())
+
+	// §6.2.1: "two cycles after the wakeup is asserted, the new task is
+	// running" — read the claim back out of the recorded histogram.
+	sys.Metrics.Flush(m.Cycle())
+	w := sys.Metrics.WakeupToRun().Snapshot()
+	fmt.Printf("  wakeup-to-run: %d task switches, %.2f cycles mean (paper: 2)\n",
+		w.Total, float64(w.Sum)/float64(w.Total))
+	for i, bound := range w.Bounds {
+		if w.Counts[i] > 0 {
+			fmt.Printf("    ≤%2d cycles: %d\n", bound, w.Counts[i])
+		}
+	}
 }

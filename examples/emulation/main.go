@@ -22,7 +22,7 @@ func main() {
 }
 
 func runOne(lang dorado.Language) {
-	sys, err := dorado.NewSystem(lang)
+	sys, err := dorado.New(dorado.WithLanguage(lang))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@ func main() {
 	// A Dorado running the Mesa instruction set — the machine's primary
 	// configuration (§3 of the paper: "optimized for the execution of
 	// languages that are compiled into streams of byte codes").
-	sys, err := dorado.NewSystem(dorado.Mesa)
+	sys, err := dorado.New(dorado.WithLanguage(dorado.Mesa))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package bench
+
+import "fmt"
+
+// The bench guard bounds the cost of the observability layer against the
+// committed baseline (BENCH_SIM.json, recorded by PR 1 before the layer
+// existed):
+//
+//   - metrics-off: the hot loop with a detached recorder — one nil check
+//     per cycle — must stay within GuardThresholds.MetricsOff of the
+//     baseline;
+//   - metrics-on: the instrumented path must stay within
+//     GuardThresholds.MetricsOn of the same run's predecoded path.
+//
+// CI hosts differ from the host that recorded the baseline, so the
+// metrics-off check compares the *predecode speedup* (predecoded over
+// reference cycles/sec) rather than absolute throughput: both paths run on
+// the same host in the same process, so host speed divides out, while a
+// regression that slows only the hot loop (the recorder hook lives in the
+// shared step, but predecode-relative costs surface here) drags the ratio
+// down. The metrics-on check needs no normalization at all — both sides
+// come from the current run.
+
+// GuardThresholds are allowed fractional slowdowns (0.03 = 3%).
+type GuardThresholds struct {
+	MetricsOff float64 // predecode-speedup regression vs baseline
+	MetricsOn  float64 // instrumented vs predecoded, current run
+}
+
+// DefaultGuardThresholds are the budgets the CI job enforces.
+var DefaultGuardThresholds = GuardThresholds{MetricsOff: 0.03, MetricsOn: 0.15}
+
+// GuardCheck is one pass/fail comparison.
+type GuardCheck struct {
+	Workload string
+	Check    string  // "metrics-off" or "metrics-on"
+	Baseline float64 // reference value the current one is held to
+	Current  float64
+	Limit    float64 // minimum acceptable Current
+	OK       bool
+}
+
+func (c GuardCheck) String() string {
+	verdict := "ok  "
+	if !c.OK {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %-8s %-11s current %6.3f  baseline %6.3f  limit %6.3f",
+		verdict, c.Workload, c.Check, c.Current, c.Baseline, c.Limit)
+}
+
+// Guard compares a current report against the baseline. It returns every
+// check performed and whether all passed.
+//
+// Noise floor: host-performance numbers on shared CI machines jitter by a
+// few percent run to run, which is why the thresholds are ratios over
+// paired same-process measurements rather than absolute cycles/sec.
+func Guard(baseline, current *HostReport, th GuardThresholds) ([]GuardCheck, bool) {
+	var checks []GuardCheck
+	ok := true
+	for _, w := range HostWorkloads() {
+		// metrics-off: current predecode speedup vs the baseline's.
+		if base, cur := baseline.Speedup[w.ID], current.Speedup[w.ID]; base > 0 && cur > 0 {
+			limit := base * (1 - th.MetricsOff)
+			c := GuardCheck{
+				Workload: w.ID, Check: "metrics-off",
+				Baseline: base, Current: cur, Limit: limit, OK: cur >= limit,
+			}
+			checks = append(checks, c)
+			ok = ok && c.OK
+		}
+		// metrics-on: instrumented throughput vs this run's predecoded.
+		fast := current.Result(w.ID, PathPredecoded)
+		inst := current.Result(w.ID, PathInstrumented)
+		if fast != nil && inst != nil && fast.CyclesPerSec > 0 {
+			rel := inst.CyclesPerSec / fast.CyclesPerSec
+			limit := 1 - th.MetricsOn
+			c := GuardCheck{
+				Workload: w.ID, Check: "metrics-on",
+				Baseline: 1, Current: rel, Limit: limit, OK: rel >= limit,
+			}
+			checks = append(checks, c)
+			ok = ok && c.OK
+		}
+	}
+	return checks, ok
+}

@@ -1,0 +1,104 @@
+package bench
+
+import "testing"
+
+func guardReport(speedup map[string]float64, results []HostResult) *HostReport {
+	return &HostReport{Speedup: speedup, Results: results}
+}
+
+func TestGuardPassesIdenticalReports(t *testing.T) {
+	base := guardReport(map[string]float64{"emulator": 2.3, "disk": 2.0, "fastio": 1.8, "bitblt": 2.1}, nil)
+	cur := guardReport(base.Speedup, []HostResult{
+		{Workload: "emulator", Path: PathPredecoded, CyclesPerSec: 25e6},
+		{Workload: "emulator", Path: PathInstrumented, CyclesPerSec: 24e6},
+	})
+	checks, ok := Guard(base, cur, DefaultGuardThresholds)
+	if !ok {
+		t.Fatalf("identical reports failed the guard: %v", checks)
+	}
+	// 4 metrics-off checks + 1 metrics-on (only emulator has both paths).
+	if len(checks) != 5 {
+		t.Errorf("%d checks, want 5", len(checks))
+	}
+}
+
+func TestGuardCatchesSpeedupRegression(t *testing.T) {
+	base := guardReport(map[string]float64{"emulator": 2.3}, nil)
+	cur := guardReport(map[string]float64{"emulator": 2.3 * 0.90}, nil) // 10% down
+	checks, ok := Guard(base, cur, DefaultGuardThresholds)
+	if ok {
+		t.Fatal("10% speedup regression passed a 3% threshold")
+	}
+	var failed bool
+	for _, c := range checks {
+		if !c.OK && c.Check == "metrics-off" && c.Workload == "emulator" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Errorf("no failing metrics-off check in %v", checks)
+	}
+}
+
+func TestGuardAllowsSmallRegression(t *testing.T) {
+	base := guardReport(map[string]float64{"emulator": 2.3}, nil)
+	cur := guardReport(map[string]float64{"emulator": 2.3 * 0.98}, nil) // 2% down
+	if _, ok := Guard(base, cur, DefaultGuardThresholds); !ok {
+		t.Error("2% regression failed a 3% threshold")
+	}
+}
+
+func TestGuardCatchesInstrumentationOverhead(t *testing.T) {
+	cur := guardReport(nil, []HostResult{
+		{Workload: "disk", Path: PathPredecoded, CyclesPerSec: 30e6},
+		{Workload: "disk", Path: PathInstrumented, CyclesPerSec: 30e6 * 0.80}, // 20% overhead
+	})
+	checks, ok := Guard(&HostReport{}, cur, DefaultGuardThresholds)
+	if ok {
+		t.Fatalf("20%% instrumentation overhead passed a 15%% threshold: %v", checks)
+	}
+}
+
+func TestGuardToleratesMissingInstrumentedPath(t *testing.T) {
+	// A PR-1-era report has no instrumented results: only the speedup
+	// checks run, and nothing panics.
+	base := guardReport(map[string]float64{"emulator": 2.3}, nil)
+	cur := guardReport(map[string]float64{"emulator": 2.35}, []HostResult{
+		{Workload: "emulator", Path: PathPredecoded, CyclesPerSec: 25e6},
+	})
+	checks, ok := Guard(base, cur, DefaultGuardThresholds)
+	if !ok {
+		t.Fatalf("guard failed: %v", checks)
+	}
+	for _, c := range checks {
+		if c.Check == "metrics-on" {
+			t.Errorf("metrics-on check without an instrumented result: %v", c)
+		}
+	}
+}
+
+// End to end on real (tiny) measurements: the instrumented path must work
+// and the report must carry all three paths with sane ratios.
+func TestRunHostReportThreePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host measurement in -short")
+	}
+	rep, err := RunHostReport(50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range HostWorkloads() {
+		for _, path := range []string{PathPredecoded, PathReference, PathInstrumented} {
+			r := rep.Result(w.ID, path)
+			if r == nil {
+				t.Fatalf("missing (%s, %s)", w.ID, path)
+			}
+			if r.CyclesPerSec <= 0 {
+				t.Errorf("(%s, %s): %f cycles/sec", w.ID, path, r.CyclesPerSec)
+			}
+		}
+		if rep.Overhead[w.ID] <= 0 {
+			t.Errorf("%s: overhead %f", w.ID, rep.Overhead[w.ID])
+		}
+	}
+}

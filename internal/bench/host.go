@@ -7,24 +7,36 @@ import (
 
 	"dorado/internal/bitblt"
 	"dorado/internal/core"
+	"dorado/internal/obs"
 )
 
 // This file measures *host* performance — how fast the simulator itself
 // runs on the machine executing it — as opposed to the simulated §7 claims
-// the E-experiments reproduce. Each workload runs on both execution paths:
-// the predecoded hot loop (the default) and the reference interpreter
+// the E-experiments reproduce. Each workload runs on three execution paths:
+// the predecoded hot loop (the default), the reference interpreter
 // (Config.Reference: decode the packed microword from scratch every cycle
-// and scan all 16 device slots, the seed simulator's behavior). The ratio
-// of the two is the predecode speedup recorded in BENCH_SIM.json.
+// and scan all 16 device slots, the seed simulator's behavior), and the
+// predecoded loop with an observability recorder attached. The
+// predecoded/reference ratio is the predecode speedup recorded in
+// BENCH_SIM.json; the predecoded/instrumented ratio is the metrics-on
+// overhead the bench guard bounds (see guard.go).
+
+// Measurement paths.
+const (
+	PathPredecoded   = "predecoded"   // the default hot loop
+	PathReference    = "reference"    // per-cycle decode (seed behavior)
+	PathInstrumented = "instrumented" // hot loop + obs.Recorder attached
+)
 
 // HostWorkload is one host-throughput scenario. Build constructs a machine
 // under cfg and returns a run function that advances the simulation by up
 // to budget cycles, returning the cycles actually simulated — so the timed
-// region excludes assembly and machine construction.
+// region excludes assembly and machine construction. The machine is
+// returned alongside so the instrumented path can attach a recorder.
 type HostWorkload struct {
-	ID   string
-	Name string
-	Build func(cfg core.Config) (run func(budget uint64) (uint64, error), err error)
+	ID    string
+	Name  string
+	Build func(cfg core.Config) (run func(budget uint64) (uint64, error), m *core.Machine, err error)
 }
 
 // HostWorkloads returns the §7 workload families used for host-throughput
@@ -41,13 +53,13 @@ func HostWorkloads() []HostWorkload {
 
 // hostRunner adapts a machine-level workload builder (workloads.go) to the
 // host-measurement shape: the timed region is RunCycles only.
-func hostRunner(build func(core.Config) (*core.Machine, error)) func(core.Config) (func(uint64) (uint64, error), error) {
-	return func(cfg core.Config) (func(uint64) (uint64, error), error) {
+func hostRunner(build func(core.Config) (*core.Machine, error)) func(core.Config) (func(uint64) (uint64, error), *core.Machine, error) {
+	return func(cfg core.Config) (func(uint64) (uint64, error), *core.Machine, error) {
 		m, err := build(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, nil
+		return func(budget uint64) (uint64, error) { return m.RunCycles(budget), nil }, m, nil
 	}
 }
 
@@ -60,14 +72,14 @@ var (
 // buildHostBitBlt runs back-to-back screen-scale merges; the machine's
 // cycle counter accumulates across blits, so run consumes its budget in
 // whole-blit units.
-func buildHostBitBlt(cfg core.Config) (func(uint64) (uint64, error), error) {
+func buildHostBitBlt(cfg core.Config) (func(uint64) (uint64, error), *core.Machine, error) {
 	ps, err := bitblt.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := core.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := bitblt.Params{
 		Src: 0x10000, Dst: 0x40000, WidthWords: 64, Height: 64,
@@ -86,13 +98,13 @@ func buildHostBitBlt(cfg core.Config) (func(uint64) (uint64, error), error) {
 			done += c
 		}
 		return done, nil
-	}, nil
+	}, m, nil
 }
 
 // HostResult is one (workload, path) measurement.
 type HostResult struct {
 	Workload       string  `json:"workload"`
-	Path           string  `json:"path"` // "predecoded" or "reference"
+	Path           string  `json:"path"` // PathPredecoded, PathReference, or PathInstrumented
 	SimCycles      uint64  `json:"sim_cycles"`
 	HostSeconds    float64 `json:"host_seconds"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
@@ -102,14 +114,16 @@ type HostResult struct {
 
 // MeasureHost times one workload on one path for roughly budget simulated
 // cycles, reporting host throughput and allocation rate.
-func MeasureHost(w HostWorkload, reference bool, budget uint64) (HostResult, error) {
-	run, err := w.Build(core.Config{Reference: reference})
+func MeasureHost(w HostWorkload, path string, budget uint64) (HostResult, error) {
+	run, m, err := w.Build(core.Config{Reference: path == PathReference})
 	if err != nil {
 		return HostResult{}, err
 	}
-	path := "predecoded"
-	if reference {
-		path = "reference"
+	if path == PathInstrumented {
+		// The recorder a long measurement run would realistically wear:
+		// default histogram/counter setup, bounded span and timeline
+		// buffers (overflow is counted, not stored).
+		m.SetRecorder(obs.NewRecorder(obs.Config{}))
 	}
 	// Warm up: caches, device queues, and the host branch predictor.
 	if _, err := run(budget / 10); err != nil {
@@ -140,38 +154,68 @@ func MeasureHost(w HostWorkload, reference bool, budget uint64) (HostResult, err
 	}, nil
 }
 
-// HostReport is the BENCH_SIM.json document: both paths across every
-// workload plus the per-workload speedup (predecoded over reference
-// cycles/sec).
+// HostReport is the BENCH_SIM.json document: every path across every
+// workload plus the per-workload predecode speedup (predecoded over
+// reference cycles/sec) and metrics-on overhead (predecoded over
+// instrumented; 1.0 means free). Reports written before the instrumented
+// path existed simply lack those results and the overhead map.
 type HostReport struct {
-	GoVersion   string             `json:"go_version"`
-	GOOS        string             `json:"goos"`
-	GOARCH      string             `json:"goarch"`
-	CyclesPerRun uint64            `json:"cycles_per_run"`
-	Results     []HostResult       `json:"results"`
-	Speedup     map[string]float64 `json:"speedup"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	CyclesPerRun uint64             `json:"cycles_per_run"`
+	Results      []HostResult       `json:"results"`
+	Speedup      map[string]float64 `json:"speedup"`
+	Overhead     map[string]float64 `json:"overhead,omitempty"`
 }
 
-// RunHostReport measures every workload on both paths.
-func RunHostReport(budget uint64) (HostReport, error) {
+// Result returns the measurement for (workload, path), or nil.
+func (r *HostReport) Result(workload, path string) *HostResult {
+	for i := range r.Results {
+		if r.Results[i].Workload == workload && r.Results[i].Path == path {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// RunHostReport measures every workload on all three paths, best of reps
+// runs each. Host throughput on shared machines jitters downward
+// (scheduler preemption, frequency scaling), so each path's result is the
+// best of reps measurements — the steadier estimator of what the
+// simulator can sustain — and the reps are interleaved across paths so a
+// contention episode degrades all three paths alike instead of silently
+// skewing one side of a ratio the bench guard checks.
+func RunHostReport(budget uint64, reps int) (HostReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	rep := HostReport{
 		GoVersion:    runtime.Version(),
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		CyclesPerRun: budget,
 		Speedup:      map[string]float64{},
+		Overhead:     map[string]float64{},
 	}
+	paths := []string{PathPredecoded, PathReference, PathInstrumented}
 	for _, w := range HostWorkloads() {
-		fast, err := MeasureHost(w, false, budget)
-		if err != nil {
-			return rep, fmt.Errorf("bench: %s (predecoded): %w", w.ID, err)
+		best := map[string]HostResult{}
+		for i := 0; i < reps; i++ {
+			for _, path := range paths {
+				r, err := MeasureHost(w, path, budget)
+				if err != nil {
+					return rep, fmt.Errorf("bench: %s (%s): %w", w.ID, path, err)
+				}
+				if b, ok := best[path]; !ok || r.CyclesPerSec > b.CyclesPerSec {
+					best[path] = r
+				}
+			}
 		}
-		ref, err := MeasureHost(w, true, budget)
-		if err != nil {
-			return rep, fmt.Errorf("bench: %s (reference): %w", w.ID, err)
-		}
-		rep.Results = append(rep.Results, fast, ref)
+		fast, ref, inst := best[PathPredecoded], best[PathReference], best[PathInstrumented]
+		rep.Results = append(rep.Results, fast, ref, inst)
 		rep.Speedup[w.ID] = fast.CyclesPerSec / ref.CyclesPerSec
+		rep.Overhead[w.ID] = fast.CyclesPerSec / inst.CyclesPerSec
 	}
 	return rep, nil
 }

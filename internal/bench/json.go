@@ -17,6 +17,20 @@ func WriteJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
+// ReadHostReportFile loads a host report (the BENCH_SIM.json shape) for
+// the bench guard.
+func ReadHostReportFile(path string) (*HostReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep HostReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // WriteJSONFile writes v to path atomically: encode into a temporary file
 // in the same directory, then rename over the destination. A reader (or a
 // benchmark run killed mid-write) never sees a truncated document.

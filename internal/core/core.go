@@ -38,6 +38,7 @@ import (
 	"dorado/internal/ifu"
 	"dorado/internal/memory"
 	"dorado/internal/microcode"
+	"dorado/internal/obs"
 )
 
 // CycleNS is the machine cycle time in nanoseconds (60 ns, §1; stitchwelded
@@ -46,6 +47,13 @@ const CycleNS = 60
 
 // NumTasks is the number of microcode priority levels (§5.1).
 const NumTasks = 16
+
+// StackWords is the depth of one hardware stack (§6.3.3: "four stacks of
+// 64 words each"); STACKPTR is [stack:2][word:6].
+const StackWords = 64
+
+// NumStacks is the number of hardware stacks (§6.3.3).
+const NumStacks = 4
 
 // Options select the paper's design-alternative ablations. The zero value
 // is the Dorado as built.
@@ -151,6 +159,7 @@ type Machine struct {
 	pend pendingWrite // NoBypass delayed write
 
 	tracer Tracer
+	rec    *obs.Recorder // attached metrics recorder, or nil (the fast path)
 
 	halted bool
 	haltPC microcode.Addr
@@ -385,3 +394,13 @@ type Tracer interface {
 
 // SetTracer installs (or, with nil, removes) a cycle tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// SetRecorder attaches (or, with nil, detaches) a metrics recorder: the
+// hot loop then feeds it one obs.Recorder.Cycle call per cycle — wakeup
+// edges, hold episodes, scheduling spans, utilization samples. Detached
+// (the default), the only cost is a nil check per cycle; the bench guard
+// (cmd/benchguard) enforces both budgets.
+func (m *Machine) SetRecorder(r *obs.Recorder) { m.rec = r }
+
+// Recorder returns the attached metrics recorder, or nil.
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }

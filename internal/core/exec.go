@@ -69,12 +69,12 @@ func (m *Machine) exec(d *decoded, now uint64) (held, blocked bool, nextPC micro
 	if useStack {
 		rmVal = m.stack[m.stackPtr]
 		delta := int(d.stackDelta)
-		word := int(m.stackPtr & 0x3F)
+		word := int(m.stackPtr) & (StackWords - 1)
 		nw := word + delta
-		if nw < 0 || nw > 63 {
+		if nw < 0 || nw >= StackWords {
 			ts.stackErr = true // underflow/overflow checking (§6.3.3)
 		}
-		stNewPtr = m.stackPtr&0xC0 | uint8(nw&0x3F)
+		stNewPtr = m.stackPtr&^uint8(StackWords-1) | uint8(nw&(StackWords-1))
 	} else {
 		rmVal = m.rm[rIndex]
 	}

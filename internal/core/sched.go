@@ -88,6 +88,7 @@ func (m *Machine) step(traced bool) {
 	}
 
 	// Execute this cycle's instruction (or burn a DelayedBranch dead cycle).
+	execTask := m.curTask
 	var held, blocked bool
 	var nextPC = m.curPC
 	if m.stalls > 0 {
@@ -153,5 +154,13 @@ func (m *Machine) step(traced bool) {
 	// Arbitration: priority-encode this cycle's latch into BESTNEXTTASK
 	// for use in the next cycle's NEXT computation.
 	m.bestNext = 15 - bits.LeadingZeros16(lines)
+
+	// Observability hook: one predicted-not-taken branch when detached.
+	// When a recorder is on, the inlined NeedsCycle guard keeps event-free
+	// cycles to a few compares; only cycles with wakeup edges, holds, task
+	// switches, or a due timeline sample pay the Cycle call.
+	if r := m.rec; r != nil && r.NeedsCycle(now, execTask, held, lines) {
+		r.Cycle(now, execTask, held, lines, &m.stats.TaskCycles)
+	}
 	m.cycle++
 }

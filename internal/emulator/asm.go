@@ -133,11 +133,12 @@ func (a *Asm) Bytes() ([]byte, error) {
 	return a.code, nil
 }
 
-// Install loads the assembled bytes into the machine's code area.
+// Install loads the assembled bytes into the machine's code area. A
+// failed assembly surfaces as an *InstallError wrapping the first error.
 func (a *Asm) Install(m *core.Machine) error {
 	code, err := a.Bytes()
 	if err != nil {
-		return err
+		return &InstallError{Emulator: a.prog.Name, Stage: "macrocode", Err: err}
 	}
 	LoadCode(m, code)
 	return nil

@@ -1,0 +1,21 @@
+package emulator
+
+import "fmt"
+
+// InstallError reports a failure while assembling, combining, or installing
+// an emulator. It wraps the underlying cause so callers can classify
+// failures with errors.As without parsing message strings.
+type InstallError struct {
+	Emulator string // emulator name ("mesa", "lisp", ...); "" when not specific
+	Stage    string // "assemble", "splice", "decode-table", "macrocode"
+	Err      error
+}
+
+func (e *InstallError) Error() string {
+	if e.Emulator == "" {
+		return fmt.Sprintf("emulator: %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("emulator %s: %s: %v", e.Emulator, e.Stage, e.Err)
+}
+
+func (e *InstallError) Unwrap() error { return e.Err }

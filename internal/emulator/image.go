@@ -1,10 +1,6 @@
 package emulator
 
-import (
-	"fmt"
-
-	"dorado/internal/masm"
-)
+import "dorado/internal/masm"
 
 // SystemImage is the entire emulator suite in one microstore — the way the
 // production Dorado's writable store held all of its microcode at once
@@ -38,11 +34,11 @@ func BuildSystemImage() (*SystemImage, error) {
 	for _, pt := range parts {
 		ep, err := pt.build()
 		if err != nil {
-			return nil, fmt.Errorf("emulator: image: %s: %v", pt.name, err)
+			return nil, &InstallError{Emulator: pt.name, Stage: "assemble", Err: err}
 		}
 		combined, err = masm.SpliceAs(combined, ep.Micro, pt.name+"/")
 		if err != nil {
-			return nil, fmt.Errorf("emulator: image: splicing %s: %v", pt.name, err)
+			return nil, &InstallError{Emulator: pt.name, Stage: "splice", Err: err}
 		}
 	}
 	img := &SystemImage{Micro: combined}

@@ -87,7 +87,7 @@ func (p *Program) InstallOn(m *core.Machine) error {
 		if p.Table[op].Valid {
 			e := p.Table[op]
 			if err := u.SetEntry(uint8(op), e); err != nil {
-				return fmt.Errorf("emulator %s: %v", p.Name, err)
+				return &InstallError{Emulator: p.Name, Stage: "decode-table", Err: err}
 			}
 		}
 	}

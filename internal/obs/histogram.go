@@ -1,0 +1,95 @@
+package obs
+
+import "sync/atomic"
+
+// HoldLatencyBounds bucket the length of hold episodes in cycles. The
+// paper's Table 3 puts typical holds at a few cycles (cache hit wait) with
+// a tail out to storage-miss latency, so the buckets are fine-grained low
+// and exponential high.
+var HoldLatencyBounds = []uint64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128, 256}
+
+// WakeupBounds bucket wakeup-to-run latency in cycles. The claim under
+// test (§5.4) is that an undisturbed wakeup reaches execution in exactly
+// two cycles, so every small value gets its own bucket.
+var WakeupBounds = []uint64{1, 2, 3, 4, 5, 6, 8, 12, 16, 32, 64, 128}
+
+// Histogram is a fixed-bucket cumulative histogram over uint64 samples.
+// Observe is single-writer (the hot loop); the atomic buckets let a
+// concurrent exporter read monotonic values mid-run.
+type Histogram struct {
+	bounds []uint64 // upper bounds, ascending; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []uint64) Histogram {
+	return Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.total.Store(0)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []uint64 { return h.bounds }
+
+// BucketCount returns the sample count of bucket i (i == len(Bounds())
+// addresses the +Inf bucket).
+func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i].Load() }
+
+// HistogramSnapshot is a point-in-time copy for exporters.
+type HistogramSnapshot struct {
+	Bounds []uint64 // ascending upper bounds; +Inf bucket is implicit
+	Counts []uint64 // len(Bounds)+1 per-bucket counts
+	Sum    uint64
+	Total  uint64
+}
+
+// Snapshot copies the histogram. With the single-writer model the copy is
+// coherent whenever the writer is between cycles; mid-run it is monotone
+// but buckets may trail the totals by one sample.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Total:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

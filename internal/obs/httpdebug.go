@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the cmd tools' observability endpoint: expvar
+// (/debug/vars), pprof (/debug/pprof/), and a Prometheus scrape target
+// (/metrics) whose content comes from a snapshot function, all on one
+// listener. It stands in for the Dorado's console microcomputer port: an
+// out-of-band window onto the running machine.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu   sync.Mutex
+	snap func() *Snapshot
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060").
+// snapshot may be nil (the /metrics endpoint then reports no families);
+// swap it later with SetSnapshot. The server runs until Close.
+func ServeDebug(addr string, snapshot func() *Snapshot) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, snap: snapshot}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", d.metrics)
+
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// SetSnapshot installs the /metrics source. The function is called per
+// scrape; it must be safe to run concurrently with the simulation (the
+// cmd tools publish a fresh snapshot between run slices, see cmd/dorado).
+func (d *DebugServer) SetSnapshot(f func() *Snapshot) {
+	d.mu.Lock()
+	d.snap = f
+	d.mu.Unlock()
+}
+
+func (d *DebugServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	f := d.snap
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if f == nil {
+		return
+	}
+	if s := f(); s != nil {
+		WritePrometheus(w, s) //nolint:errcheck // client disconnects only
+	}
+}
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

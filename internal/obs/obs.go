@@ -1,0 +1,328 @@
+// Package obs is the simulator's observability layer: the software
+// analogue of the Dorado's console microcomputer (§6.2), which watched the
+// running processor from out of band, and of the hardware event counters
+// the paper's evaluation (§7) is built from.
+//
+// The package has two halves:
+//
+//   - a Recorder, fed one call per cycle by core's hot loop when attached
+//     (and costing exactly one nil check per cycle when not): wakeup-edge
+//     counters, a hold-latency histogram, a wakeup-to-run histogram (the
+//     empirical check on the paper's two-cycle claim, §5.4), per-task
+//     scheduling spans, and a sampled per-task utilization timeline;
+//   - exporters that render collected data in standard formats: Prometheus
+//     text exposition (WritePrometheus), Chrome trace_event JSON that loads
+//     in chrome://tracing and Perfetto (WriteChromeTrace), and an expvar +
+//     pprof debug server for the cmd tools (ServeDebug).
+//
+// Concurrency model: the simulation is single-goroutine, so the Recorder
+// has a single writer — core's Step loop. Scalar counters and histogram
+// buckets are updated with atomic adds so a concurrent scraper (the
+// ServeDebug /metrics endpoint, or an expvar poll) reads coherent
+// monotonic values without stopping the machine; the event-shaped data
+// (spans, timeline) is append-only and must be exported only while the
+// machine is paused, which is how the cmd tools use it. Atomics are spent
+// only where events happen — the per-cycle fast path is bit tests on two
+// machine words — which is what keeps the metrics-on overhead within the
+// budget the bench guard enforces (see DESIGN.md §9).
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// MaxTasks is the number of microcode priority levels the recorder tracks
+// (mirrors core.NumTasks; the two are asserted equal in core's tests).
+const MaxTasks = 16
+
+// Span is one scheduling interval: task held the processor from cycle
+// Start up to but not including cycle End.
+type Span struct {
+	Task  int
+	Start uint64
+	End   uint64
+}
+
+// Slice is one utilization-timeline sample: per-task cycle counts over
+// [Start, Start+Interval).
+type Slice struct {
+	Start  uint64
+	Cycles [MaxTasks]uint32
+}
+
+// Config sizes the recorder. The zero value picks usable defaults.
+type Config struct {
+	// MaxSpans bounds the scheduling-span buffer (default 1<<16); spans
+	// beyond it are counted in SpansDropped rather than stored, so a long
+	// run cannot grow without bound.
+	MaxSpans int
+	// TimelineInterval is the utilization sampling period in cycles,
+	// rounded up to a power of two (default 4096).
+	TimelineInterval uint64
+	// MaxSlices bounds the timeline buffer (default 1<<14).
+	MaxSlices int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSpans == 0 {
+		c.MaxSpans = 1 << 16
+	}
+	if c.TimelineInterval == 0 {
+		c.TimelineInterval = 4096
+	}
+	// Round up to a power of two so the hot loop masks instead of dividing.
+	if c.TimelineInterval&(c.TimelineInterval-1) != 0 {
+		c.TimelineInterval = 1 << bits.Len64(c.TimelineInterval)
+	}
+	if c.MaxSlices == 0 {
+		c.MaxSlices = 1 << 14
+	}
+	return c
+}
+
+// Recorder accumulates observability data for one machine. Attach it with
+// the facade's WithMetrics option (or core.Machine.SetRecorder) and read
+// it through Snapshot/Spans/Timeline after — or, for the atomic counters,
+// during — a run.
+type Recorder struct {
+	cfg Config
+
+	// Counters (atomic; readable mid-run).
+	wakeups      [MaxTasks]atomic.Uint64 // rising wakeup-line edges per task
+	spansDropped atomic.Uint64
+	slicesLost   atomic.Uint64
+
+	// Histograms (atomic buckets; readable mid-run).
+	holdLatency Histogram // consecutive held cycles per hold episode (§5.7)
+	wakeupToRun Histogram // wakeup edge → first executed cycle (§5.4)
+
+	// Hot-loop scratch (single writer, never read concurrently).
+	fastKey   uint64           // prevLines | spanTask<<16, or ^0 (see Cycle)
+	prevLines uint16           // last cycle's wakeup latch, for edge detection
+	wakeAt    [MaxTasks]uint64 // cycle+1 of the pending wakeup edge; 0 = none
+	holdStart uint64           // cycle+1 the open hold episode began; 0 = none
+	spanTask  int              // task of the open scheduling span
+	spanStart uint64
+	names     [MaxTasks]string
+
+	// Event buffers (single writer; export only while paused).
+	spans     []Span
+	timeline  []Slice
+	lastTaken [MaxTasks]uint64 // task-cycle counters at the previous sample
+	nextAt    uint64           // cycle of the next timeline sample
+}
+
+// NewRecorder builds a recorder; NewRecorder(Config{}) is the usual call.
+func NewRecorder(cfg Config) *Recorder {
+	r := &Recorder{cfg: cfg.withDefaults()}
+	r.holdLatency = NewHistogram(HoldLatencyBounds)
+	r.wakeupToRun = NewHistogram(WakeupBounds)
+	r.Reset()
+	return r
+}
+
+// Reset clears all collected data (counters, histograms, spans, timeline)
+// so the recorder can observe a fresh run.
+func (r *Recorder) Reset() {
+	for t := range r.wakeups {
+		r.wakeups[t].Store(0)
+		r.wakeAt[t] = 0
+		r.lastTaken[t] = 0
+	}
+	r.spansDropped.Store(0)
+	r.slicesLost.Store(0)
+	r.holdLatency.Reset()
+	r.wakeupToRun.Reset()
+	r.fastKey = ^uint64(0) // first cycle must take the slow path
+	r.prevLines = 0
+	r.holdStart = 0
+	r.spanTask = -1
+	r.spanStart = 0
+	r.spans = r.spans[:0]
+	r.timeline = r.timeline[:0]
+	r.nextAt = r.cfg.TimelineInterval
+}
+
+// SetTaskName labels a task in exports ("emulator", "disk", ...).
+func (r *Recorder) SetTaskName(task int, name string) {
+	if task >= 0 && task < MaxTasks {
+		r.names[task] = name
+	}
+}
+
+// TaskName returns the label for a task ("task N" when unset).
+func (r *Recorder) TaskName(task int) string {
+	if task >= 0 && task < MaxTasks && r.names[task] != "" {
+		return r.names[task]
+	}
+	return "task " + strconv.Itoa(task)
+}
+
+// heldKeyBit marks a held cycle in the fast-path key, above the 16 line
+// bits and 4 task bits.
+const heldKeyBit = 1 << 20
+
+// NeedsCycle reports whether Cycle has any work to do this cycle. It is
+// small enough to inline, so core's hot loop guards the Cycle call with it
+// and an event-free cycle costs a few compares and no call. Cycle leaves
+// fastKey = prevLines | spanTask<<16 (| heldKeyBit mid-episode) when a
+// next cycle in the same state needs no bookkeeping — steady runs of
+// unheld execution *and* steady hold episodes both ride the fast path —
+// and poisons it (^0) while a pending wakeup edge for the running task
+// forces per-cycle attention. The timeline sample deadline is checked
+// separately because it is a moving cycle count.
+func (r *Recorder) NeedsCycle(now uint64, task int, held bool, lines uint16) bool {
+	key := uint64(lines) | uint64(uint16(task))<<16
+	if held {
+		key |= heldKeyBit
+	}
+	return key != r.fastKey || now+1 >= r.nextAt
+}
+
+// Cycle records one machine cycle. It is the hot-loop hook: core calls it
+// once per cycle when the recorder is attached (and, for speed, only when
+// NeedsCycle says there is work). Calling it on a no-event cycle is
+// harmless — it re-checks NeedsCycle and returns.
+//
+//	now        the cycle just simulated
+//	task       the task that occupied the processor this cycle
+//	held       whether the instruction was held (§5.7)
+//	lines      this cycle's WAKEUP latch (bit per task)
+//	taskCycles the machine's running per-task cycle counters
+func (r *Recorder) Cycle(now uint64, task int, held bool, lines uint16, taskCycles *[MaxTasks]uint64) {
+	if !r.NeedsCycle(now, task, held, lines) {
+		return
+	}
+	// Wakeup edges: a line that is up this cycle and was down last cycle.
+	// Most cycles have none, so the common path is two ALU ops and a branch.
+	if edges := lines &^ r.prevLines; edges != 0 {
+		r.prevLines = lines
+		for edges != 0 {
+			t := bits.TrailingZeros16(edges)
+			edges &= edges - 1
+			r.wakeups[t].Add(1)
+			// Task 0's line is wired high (§5.1): its single boot-time
+			// edge is not a wakeup whose latency means anything.
+			if t != 0 && r.wakeAt[t] == 0 {
+				r.wakeAt[t] = now + 1 // +1 so zero means "no pending edge"
+			}
+		}
+	} else {
+		r.prevLines = lines
+	}
+
+	// Wakeup-to-run: the task running now had a pending edge at cycle w.
+	// The paper's pipeline (§5.4) makes this 2 in the undisturbed case.
+	if w := r.wakeAt[task]; w != 0 {
+		r.wakeupToRun.Observe(now - (w - 1))
+		r.wakeAt[task] = 0
+	}
+
+	// Hold episodes: note where one starts, record its length on release.
+	// The cycles in between ride the fast path (heldKeyBit), so a long
+	// storage-latency hold costs two slow cycles, not one per held cycle.
+	if held {
+		if r.holdStart == 0 {
+			r.holdStart = now + 1 // +1 so zero means "no open episode"
+		}
+	} else if r.holdStart != 0 {
+		r.holdLatency.Observe(now - (r.holdStart - 1))
+		r.holdStart = 0
+	}
+
+	// Scheduling spans: close the open span when occupancy changes.
+	if task != r.spanTask {
+		if r.spanTask >= 0 {
+			r.endSpan(now)
+		}
+		r.spanTask = task
+		r.spanStart = now
+	}
+
+	// Utilization timeline: sample the per-task counters every interval.
+	if now+1 >= r.nextAt {
+		r.sample(now+1, taskCycles)
+	}
+
+	// Re-arm the fast path: encode the state an event-free next cycle will
+	// present, or poison the key while a pending edge for the running task
+	// needs per-cycle bookkeeping.
+	key := uint64(r.prevLines) | uint64(uint16(r.spanTask))<<16
+	if held {
+		key |= heldKeyBit
+	}
+	if r.wakeAt[task] != 0 {
+		key = ^uint64(0)
+	}
+	r.fastKey = key
+}
+
+// Flush closes the open scheduling span and hold episode at end-of-run so
+// exports account for every cycle up to now.
+func (r *Recorder) Flush(now uint64) {
+	if r.holdStart != 0 {
+		r.holdLatency.Observe(now - (r.holdStart - 1))
+		r.holdStart = 0
+	}
+	if r.spanTask >= 0 && now > r.spanStart {
+		r.endSpan(now)
+		r.spanStart = now
+	}
+	r.fastKey = ^uint64(0) // resuming after a flush re-enters the slow path
+}
+
+func (r *Recorder) endSpan(end uint64) {
+	if len(r.spans) >= r.cfg.MaxSpans {
+		r.spansDropped.Add(1)
+		return
+	}
+	r.spans = append(r.spans, Span{Task: r.spanTask, Start: r.spanStart, End: end})
+}
+
+func (r *Recorder) sample(at uint64, taskCycles *[MaxTasks]uint64) {
+	r.nextAt = at + r.cfg.TimelineInterval
+	if len(r.timeline) >= r.cfg.MaxSlices {
+		r.slicesLost.Add(1)
+		return
+	}
+	s := Slice{Start: at - r.cfg.TimelineInterval}
+	for t := 0; t < MaxTasks; t++ {
+		s.Cycles[t] = uint32(taskCycles[t] - r.lastTaken[t])
+		r.lastTaken[t] = taskCycles[t]
+	}
+	r.timeline = append(r.timeline, s)
+}
+
+// Wakeups returns the rising-edge count for a task (atomic; safe mid-run).
+func (r *Recorder) Wakeups(task int) uint64 { return r.wakeups[task&(MaxTasks-1)].Load() }
+
+// WakeupsTotal sums the per-task wakeup edges (excluding task 0, whose
+// line is wired high, §5.1 — it contributes exactly one boot-time edge).
+func (r *Recorder) WakeupsTotal() uint64 {
+	var n uint64
+	for t := 1; t < MaxTasks; t++ {
+		n += r.wakeups[t].Load()
+	}
+	return n
+}
+
+// SpansDropped reports spans lost to the MaxSpans cap.
+func (r *Recorder) SpansDropped() uint64 { return r.spansDropped.Load() }
+
+// HoldLatency returns the hold-episode-length histogram.
+func (r *Recorder) HoldLatency() *Histogram { return &r.holdLatency }
+
+// WakeupToRun returns the wakeup-to-first-run latency histogram.
+func (r *Recorder) WakeupToRun() *Histogram { return &r.wakeupToRun }
+
+// Spans returns the recorded scheduling spans. Export-only: call while the
+// machine is not running (after Flush for the tail span).
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Timeline returns the utilization samples. Export-only.
+func (r *Recorder) Timeline() []Slice { return r.timeline }
+
+// TimelineInterval returns the effective sampling period in cycles.
+func (r *Recorder) TimelineInterval() uint64 { return r.cfg.TimelineInterval }

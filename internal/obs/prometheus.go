@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one labeled value of a metric. Label is the rendered label set
+// ("" or a full `{name="value"}` clause) so the exporter stays a plain
+// loop and the output is byte-deterministic in slice order.
+type Sample struct {
+	Label string
+	Value uint64
+}
+
+// Metric is one exposition family: a counter/gauge with samples, or a
+// histogram.
+type Metric struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge", or "histogram"
+
+	Samples []Sample           // counter/gauge
+	Hist    *HistogramSnapshot // histogram
+}
+
+// Snapshot is an ordered set of metric families — the document
+// WritePrometheus renders. Builders (internal/trace.MetricsSnapshot, the
+// facade) append families in a fixed order, so two identical runs export
+// byte-identical text.
+type Snapshot struct {
+	Metrics []Metric
+}
+
+// Add appends a counter/gauge family.
+func (s *Snapshot) Add(name, help, typ string, samples ...Sample) {
+	s.Metrics = append(s.Metrics, Metric{Name: name, Help: help, Type: typ, Samples: samples})
+}
+
+// AddHistogram appends a histogram family.
+func (s *Snapshot) AddHistogram(name, help string, h HistogramSnapshot) {
+	s.Metrics = append(s.Metrics, Metric{Name: name, Help: help, Type: "histogram", Hist: &h})
+}
+
+// TaskLabel renders the standard task label clause.
+func TaskLabel(task int) string { return `{task="` + strconv.Itoa(task) + `"}` }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample per line,
+// histograms as cumulative le-labeled buckets with _sum and _count.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	for _, m := range s.Metrics {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		if m.Type == "histogram" && m.Hist != nil {
+			if err := writeHist(w, m.Name, m.Hist); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, smp := range m.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, smp.Label, smp.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name string, h *HistogramSnapshot) error {
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Total); err != nil {
+		return err
+	}
+	return nil
+}

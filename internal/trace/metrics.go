@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"dorado/internal/core"
+	"dorado/internal/obs"
+)
+
+// MetricsSnapshot assembles a Prometheus-ready snapshot from a machine's
+// counters and, when rec is non-nil, the recorder's histograms and wakeup
+// counts. Families are appended in a fixed order and per-task samples in
+// task order, so two identical runs render byte-identical text — the
+// property the facade's golden-export tests pin down.
+func MetricsSnapshot(m *core.Machine, rec *obs.Recorder) *obs.Snapshot {
+	st := m.Stats()
+	ms := m.Mem().Stats()
+	is := m.IFU().Stats()
+
+	s := &obs.Snapshot{}
+	s.Add("dorado_cycles_total", "Machine cycles simulated.", "counter",
+		obs.Sample{Value: st.Cycles})
+	s.Add("dorado_instructions_total", "Microinstructions executed (excludes held cycles).", "counter",
+		obs.Sample{Value: st.Executed})
+	s.Add("dorado_holds_total", "Cycles lost to Hold (§5.7), by cause.", "counter",
+		obs.Sample{Label: `{cause="md"}`, Value: st.HoldMD},
+		obs.Sample{Label: `{cause="mem"}`, Value: st.HoldMem},
+		obs.Sample{Label: `{cause="ifu"}`, Value: st.HoldIFU})
+	s.Add("dorado_task_switches_total", "Context switches between microcode tasks (§5.3).", "counter",
+		obs.Sample{Value: st.TaskSwitches})
+	s.Add("dorado_task_blocks_total", "Voluntary processor releases via Block.", "counter",
+		obs.Sample{Value: st.Blocks})
+	s.Add("dorado_task_preemptions_total", "Involuntary switches to a higher-priority task.", "counter",
+		obs.Sample{Value: st.Preemptions})
+	s.Add("dorado_branch_stalls_total", "Dead cycles from the delayed-branch ablation.", "counter",
+		obs.Sample{Value: st.BranchStalls})
+
+	taskCycles := make([]obs.Sample, 0, core.NumTasks)
+	taskExec := make([]obs.Sample, 0, core.NumTasks)
+	for t := 0; t < core.NumTasks; t++ {
+		if st.TaskCycles[t] == 0 && st.TaskExecuted[t] == 0 {
+			continue
+		}
+		taskCycles = append(taskCycles, obs.Sample{Label: obs.TaskLabel(t), Value: st.TaskCycles[t]})
+		taskExec = append(taskExec, obs.Sample{Label: obs.TaskLabel(t), Value: st.TaskExecuted[t]})
+	}
+	s.Add("dorado_task_cycles_total", "Processor cycles consumed per task.", "counter", taskCycles...)
+	s.Add("dorado_task_instructions_total", "Microinstructions executed per task.", "counter", taskExec...)
+
+	s.Add("dorado_cache_references_total", "Cache references, by kind.", "counter",
+		obs.Sample{Label: `{kind="read"}`, Value: ms.Reads},
+		obs.Sample{Label: `{kind="write"}`, Value: ms.Writes})
+	s.Add("dorado_cache_hits_total", "Cache hits.", "counter",
+		obs.Sample{Value: ms.Hits})
+	s.Add("dorado_cache_misses_total", "Cache misses.", "counter",
+		obs.Sample{Value: ms.Misses})
+	s.Add("dorado_cache_writebacks_total", "Dirty-victim writebacks.", "counter",
+		obs.Sample{Value: ms.Writebacks})
+	s.Add("dorado_storage_ops_total", "Storage-pipe occupancies (fills, writebacks, fast-I/O blocks).", "counter",
+		obs.Sample{Value: ms.StorageOps})
+	s.Add("dorado_fast_io_blocks_total", "Fast-I/O blocks moved without cache involvement (§4), by direction.", "counter",
+		obs.Sample{Label: `{dir="read"}`, Value: ms.FastReads},
+		obs.Sample{Label: `{dir="write"}`, Value: ms.FastWrites})
+	s.Add("dorado_map_faults_total", "References past the end of real storage.", "counter",
+		obs.Sample{Value: ms.MapFaults})
+
+	s.Add("dorado_ifu_dispatches_total", "Macroinstructions dispatched by the IFU (§2).", "counter",
+		obs.Sample{Value: is.Dispatches})
+	s.Add("dorado_ifu_resets_total", "IFU jumps/restarts.", "counter",
+		obs.Sample{Value: is.Resets})
+	s.Add("dorado_ifu_bytes_total", "Instruction-stream bytes consumed.", "counter",
+		obs.Sample{Value: is.BytesRead})
+	s.Add("dorado_ifu_fetched_words_total", "Words prefetched from memory by the IFU.", "counter",
+		obs.Sample{Value: is.WordsFetch})
+
+	if rec != nil {
+		wakeups := make([]obs.Sample, 0, obs.MaxTasks)
+		for t := 1; t < obs.MaxTasks; t++ {
+			if n := rec.Wakeups(t); n != 0 {
+				wakeups = append(wakeups, obs.Sample{Label: obs.TaskLabel(t), Value: n})
+			}
+		}
+		s.Add("dorado_wakeups_total", "Rising wakeup-line edges per task (task 0's line is wired high).", "counter", wakeups...)
+		s.AddHistogram("dorado_hold_latency_cycles", "Consecutive held cycles per hold episode (§5.7).",
+			rec.HoldLatency().Snapshot())
+		s.AddHistogram("dorado_wakeup_to_run_cycles", "Cycles from wakeup edge to first executed microinstruction (§5.4: two in the undisturbed case).",
+			rec.WakeupToRun().Snapshot())
+		s.Add("dorado_spans_dropped_total", "Scheduling spans lost to the recorder's span cap.", "counter",
+			obs.Sample{Value: rec.SpansDropped()})
+	}
+	return s
+}
