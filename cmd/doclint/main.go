@@ -1,0 +1,235 @@
+// Command doclint is the repository's documentation gate: it fails when a
+// package lacks a package comment or an exported identifier lacks a doc
+// comment, so the API reference implied by the source never rots silently.
+//
+// Usage:
+//
+//	go run ./cmd/doclint ./...
+//
+// Each argument is a directory to check; a trailing "/..." recurses. With
+// no arguments it checks "./...". The exit status is non-zero when any
+// violation is found, which is how CI wires it in as a gate.
+//
+// Rules (deliberately those of "go vet"-era review practice, not godoc
+// completeness for its own sake):
+//
+//   - every package must carry a package comment on at least one file;
+//   - every exported type, function, and method on an exported type must
+//     have a doc comment;
+//   - every exported package-level var and const must be documented on
+//     either the declaration group, the individual spec, or a trailing
+//     line comment;
+//   - _test.go files are exempt (test helpers are not API), as are
+//     struct fields and interface methods (documented at the type's
+//     discretion), and main packages' exported symbols (nothing can
+//     import them) — though main packages still need package comments.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, arg := range args {
+		d, err := expand(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, d...)
+	}
+	sort.Strings(dirs)
+
+	var total int
+	for _, dir := range dirs {
+		for _, v := range checkDir(dir) {
+			fmt.Println(v)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// expand resolves one command-line argument into the list of directories
+// that contain Go files, recursing when the argument ends in "/...".
+func expand(arg string) ([]string, error) {
+	root, recurse := strings.CutSuffix(arg, "/...")
+	if root == "" {
+		root = "."
+	}
+	if !recurse {
+		return []string{filepath.Clean(root)}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, filepath.Clean(path))
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses every non-test Go file in dir and returns the formatted
+// violations, in file/line order.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		out = append(out, checkPackage(fset, pkg)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkPackage(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+
+	var documented bool
+	var firstFile *ast.File
+	for _, name := range sortedKeys(pkg.Files) {
+		f := pkg.Files[name]
+		if firstFile == nil {
+			firstFile = f
+		}
+		if f.Doc != nil {
+			documented = true
+		}
+	}
+	if !documented && firstFile != nil {
+		report(firstFile.Package, "package %s has no package comment", pkg.Name)
+	}
+
+	// Exported symbols in a main package have no importers; only the
+	// package comment above is required there.
+	if pkg.Name == "main" {
+		return out
+	}
+
+	for _, name := range sortedKeys(pkg.Files) {
+		f := pkg.Files[name]
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if recv := receiverName(d); recv != "" {
+					if !ast.IsExported(recv) {
+						continue // method on an unexported type
+					}
+					report(d.Pos(), "exported method %s.%s is undocumented", recv, d.Name.Name)
+				} else {
+					report(d.Pos(), "exported function %s is undocumented", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(report, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkGenDecl flags undocumented exported names in a type, var, or const
+// declaration. A group comment covers every spec in the group; a spec doc
+// or trailing line comment covers that spec alone.
+func checkGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "exported %s %s is undocumented", d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName returns the base type name of a method receiver, or "" for
+// a plain function.
+func receiverName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func sortedKeys(m map[string]*ast.File) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

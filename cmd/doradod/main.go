@@ -1,0 +1,109 @@
+// Doradod serves a fleet of simulated Dorados over HTTP/JSON: many
+// concurrently simulated machines behind one scheduler, the service shape
+// the ROADMAP's related work argues scales — parallel deployment of simple
+// processors rather than one faster one.
+//
+// Each session is one machine built through the dorado.New facade.
+// Operations on a session are serialized; different sessions run in
+// parallel on a bounded worker pool. Full queues reject with 429 (back
+// off and retry), idle sessions are parked to snapshots and revived on
+// demand, and SIGINT/SIGTERM (or POST /v1/drain) drains gracefully:
+// in-flight operations finish, new ones get 503.
+//
+// Usage:
+//
+//	doradod [flags]
+//
+//	-addr ADDR            listen address (default 127.0.0.1:7480)
+//	-workers N            worker goroutines (default GOMAXPROCS)
+//	-max-sessions N       session limit (default 64)
+//	-queue N              per-session operation queue depth (default 8)
+//	-idle-evict DUR       park sessions idle this long, 0 disables
+//	                      (default 5m)
+//	-drain-timeout DUR    shutdown grace period (default 30s)
+//
+// The API (see internal/fleet.Server for the route list):
+//
+//	curl -X POST localhost:7480/v1/sessions -d '{"language":"mesa"}'
+//	curl -X POST localhost:7480/v1/sessions/s1/boot -d '{"source":"return 6*7;"}'
+//	curl -X POST localhost:7480/v1/sessions/s1/run -d '{"cycles":100000}'
+//	curl localhost:7480/v1/sessions/s1
+//	curl localhost:7480/metrics
+//
+// Observability rides on the same listener: /metrics is the Prometheus
+// scrape target (fleet counters plus per-session cycle counters),
+// /debug/vars is expvar, /debug/pprof is the usual profiler surface.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dorado/internal/fleet"
+	"dorado/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7480", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines executing session operations")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live+parked sessions")
+	queue := flag.Int("queue", 8, "per-session operation queue depth")
+	idle := flag.Duration("idle-evict", 5*time.Minute, "park sessions idle this long (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	mgr := fleet.New(fleet.Config{
+		Workers:     *workers,
+		MaxSessions: *maxSessions,
+		QueueDepth:  *queue,
+		IdleAfter:   *idle,
+	})
+	srv := fleet.NewServer(mgr)
+	srv.DrainTimeout = *drainTimeout
+	obs.RegisterDebug(srv.Mux())
+	expvar.Publish("fleet_sessions", expvar.Func(func() any { return mgr.Sessions() }))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	fmt.Printf("doradod: serving on http://%s (%d workers, %d sessions max)\n",
+		ln.Addr(), *workers, *maxSessions)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("doradod: %v, draining\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "doradod: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "doradod: shutdown: %v\n", err)
+	}
+	fmt.Println("doradod: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doradod:", err)
+	os.Exit(1)
+}

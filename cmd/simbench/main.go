@@ -18,10 +18,18 @@
 //
 // Usage:
 //
+// With -fleet the report additionally measures fleet scaling: aggregate
+// cycles/sec with 1→N sessions simulated concurrently on the
+// internal/fleet worker pool (GOMAXPROCS workers), the multi-tenant
+// throughput cmd/doradod serves. Without -fleet, an existing fleet section
+// in the baseline file is carried over unchanged, so single-machine guard
+// runs do not erase the recorded scaling curve.
+//
 //	simbench                         print the report, write BENCH_SIM.json
 //	simbench -cycles 5000000         longer runs (steadier numbers)
 //	simbench -o path.json            write elsewhere ("" skips the file)
 //	simbench -guard -o current.json  CI mode: measure, then enforce thresholds
+//	simbench -fleet                  also measure 1→8-session fleet scaling
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"os"
 
 	"dorado/internal/bench"
+	"dorado/internal/fleet"
 )
 
 func main() {
@@ -41,6 +50,10 @@ func main() {
 	attempts := flag.Int("attempts", 3, "with -guard: full re-measurements before a failure is final")
 	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "with -guard: metrics-off allowed fractional regression")
 	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "with -guard: metrics-on allowed fractional overhead")
+	doFleet := flag.Bool("fleet", false, "also measure fleet scaling (aggregate cycles/sec, 1→N sessions)")
+	fleetMax := flag.Int("fleet-sessions", 8, "with -fleet: largest session count (doubling from 1)")
+	fleetCycles := flag.Uint64("fleet-cycles", 250_000, "with -fleet: cycles per run operation")
+	fleetOps := flag.Int("fleet-ops", 8, "with -fleet: run operations per session")
 	flag.Parse()
 
 	// In guard mode the default output would overwrite the baseline being
@@ -91,6 +104,33 @@ func main() {
 		for _, w := range bench.HostWorkloads() {
 			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%\n",
 				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1))
+		}
+
+		if *doFleet {
+			var sizes []int
+			for n := 1; n <= *fleetMax; n *= 2 {
+				sizes = append(sizes, n)
+			}
+			points, err := fleet.MeasureScaling(fleet.ScalingOptions{
+				Sessions:      sizes,
+				CyclesPerOp:   *fleetCycles,
+				OpsPerSession: *fleetOps,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: fleet: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Fleet = points
+			fmt.Printf("\n%-10s %8s %14s %10s\n", "fleet", "workers", "cycles/sec", "scaling")
+			for _, p := range points {
+				fmt.Printf("%-10d %8d %14.0f %9.2fx\n", p.Sessions, p.Workers, p.CyclesPerSec, p.Scaling)
+			}
+		} else if *out != "" {
+			// Keep the recorded scaling curve when this run did not
+			// re-measure it.
+			if prev, err := bench.ReadHostReportFile(*out); err == nil && len(prev.Fleet) > 0 {
+				rep.Fleet = prev.Fleet
+			}
 		}
 
 		if *out != "" {

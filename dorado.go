@@ -111,6 +111,7 @@ const (
 	Smalltalk
 )
 
+// String returns the language's display name ("Mesa", "BCPL", ...).
 func (l Language) String() string {
 	switch l {
 	case None:

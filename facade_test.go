@@ -1,6 +1,10 @@
 package dorado
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"dorado/internal/bitblt"
@@ -209,4 +213,110 @@ func TestFacadeSystemImage(t *testing.T) {
 	if img.Micro.Stats.WordsUsed < 400 {
 		t.Errorf("image suspiciously small: %v", img.Micro.Stats)
 	}
+}
+
+// The Example functions below are the compile-checked companions to
+// docs/API.md: each section of the guided tour points at one of these, so
+// the documented snippets can never drift from the real API.
+
+// ExampleNew is the quickstart: build a Mesa system, assemble a byte-code
+// program, boot it, and read the result off the hardware stack.
+func ExampleNew() {
+	sys, err := New(WithLanguage(Mesa))
+	if err != nil {
+		panic(err)
+	}
+	asm := sys.Asm()
+	asm.OpB("LIB", 2).OpB("LIB", 40).Op("ADD").Op("HALT")
+	if err := sys.Boot(asm); err != nil {
+		panic(err)
+	}
+	sys.Run(10_000)
+	fmt.Println(sys.Stack())
+	// Output: [42]
+}
+
+// ExampleSystem_BootSource compiles the small Mesa-flavored source
+// language and boots the result in one call.
+func ExampleSystem_BootSource() {
+	sys, err := New(WithLanguage(Mesa))
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.BootSource("return 6*7;"); err != nil {
+		panic(err)
+	}
+	halted := sys.Run(1_000_000)
+	fmt.Println(halted, sys.Stack())
+	// Output: true [42]
+}
+
+// ExampleNew_metrics attaches the cycle-level observability recorder and
+// exports its counters in the Prometheus text format.
+func ExampleNew_metrics() {
+	sys, err := New(WithLanguage(Mesa), WithMetrics(NewMetrics()))
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.BootSource("return 6*7;"); err != nil {
+		panic(err)
+	}
+	sys.Run(1_000_000)
+	var buf bytes.Buffer
+	if err := sys.WritePrometheus(&buf); err != nil {
+		panic(err)
+	}
+	out := buf.String()
+	fmt.Println(strings.Contains(out, "# TYPE dorado_cycles_total counter"))
+	fmt.Println(strings.Contains(out, "# TYPE dorado_task_switches_total counter"))
+	// Output:
+	// true
+	// true
+}
+
+// Example_snapshotRestore captures a machine mid-run and rewinds it: the
+// snapshot is a complete, versioned state document, so restoring lands the
+// machine exactly where it was.
+func Example_snapshotRestore() {
+	sys, err := New(WithLanguage(Mesa))
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.BootSource("return 6*7;"); err != nil {
+		panic(err)
+	}
+	sys.Run(200)
+	before := sys.Machine.Cycle()
+	snap := sys.Machine.Snapshot()
+
+	sys.Run(1_000) // keep going past the capture point...
+	if err := sys.Machine.Restore(snap); err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Machine.Cycle() == before)
+	// ...and the restored machine re-runs the same future.
+	sys.Run(1_000_000)
+	fmt.Println(sys.Stack())
+	// Output:
+	// true
+	// [42]
+}
+
+// Example_errorHandling shows the facade's sentinel errors; match them
+// with errors.Is (install failures additionally carry an *InstallError
+// for errors.As).
+func Example_errorHandling() {
+	_, err := New(WithLanguage(Language(99)))
+	fmt.Println(errors.Is(err, ErrUnknownLanguage))
+
+	sys, err := New(WithLanguage(BCPL))
+	if err != nil {
+		panic(err)
+	}
+	// BCPL has no source compiler; programs assemble via sys.Asm().
+	err = sys.BootSource("x := 1")
+	fmt.Println(errors.Is(err, ErrNoCompiler))
+	// Output:
+	// true
+	// true
 }

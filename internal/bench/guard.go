@@ -40,6 +40,7 @@ type GuardCheck struct {
 	OK       bool
 }
 
+// String renders the check as a one-line pass/fail report row.
 func (c GuardCheck) String() string {
 	verdict := "ok  "
 	if !c.OK {

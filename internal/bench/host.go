@@ -154,11 +154,26 @@ func MeasureHost(w HostWorkload, path string, budget uint64) (HostResult, error)
 	}, nil
 }
 
+// FleetPoint is one fleet-scaling measurement: aggregate simulator
+// throughput with Sessions machines running concurrently on Workers
+// worker goroutines (see internal/fleet.MeasureScaling, recorded by
+// simbench -fleet). Scaling is CyclesPerSec over the one-session point's
+// CyclesPerSec — the multi-tenancy speedup the fleet service exists for.
+type FleetPoint struct {
+	Sessions     int     `json:"sessions"`
+	Workers      int     `json:"workers"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	HostSeconds  float64 `json:"host_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Scaling      float64 `json:"scaling_vs_one"`
+}
+
 // HostReport is the BENCH_SIM.json document: every path across every
 // workload plus the per-workload predecode speedup (predecoded over
 // reference cycles/sec) and metrics-on overhead (predecoded over
 // instrumented; 1.0 means free). Reports written before the instrumented
-// path existed simply lack those results and the overhead map.
+// path existed simply lack those results and the overhead map; Fleet is
+// present only when simbench ran with -fleet (older reports carry none).
 type HostReport struct {
 	GoVersion    string             `json:"go_version"`
 	GOOS         string             `json:"goos"`
@@ -167,6 +182,7 @@ type HostReport struct {
 	Results      []HostResult       `json:"results"`
 	Speedup      map[string]float64 `json:"speedup"`
 	Overhead     map[string]float64 `json:"overhead,omitempty"`
+	Fleet        []FleetPoint       `json:"fleet,omitempty"`
 }
 
 // Result returns the measurement for (workload, path), or nil.

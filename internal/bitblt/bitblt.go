@@ -48,6 +48,7 @@ const (
 	Merge
 )
 
+// String returns the operation's name ("Fill", "Copy", "Merge").
 func (o Op) String() string {
 	switch o {
 	case Fill:

@@ -11,6 +11,7 @@ type InstallError struct {
 	Err      error
 }
 
+// Error implements the error interface, naming the emulator and stage.
 func (e *InstallError) Error() string {
 	if e.Emulator == "" {
 		return fmt.Sprintf("emulator: %s: %v", e.Stage, e.Err)
@@ -18,4 +19,5 @@ func (e *InstallError) Error() string {
 	return fmt.Sprintf("emulator %s: %s: %v", e.Emulator, e.Stage, e.Err)
 }
 
+// Unwrap exposes the underlying cause for errors.Is / errors.As.
 func (e *InstallError) Unwrap() error { return e.Err }

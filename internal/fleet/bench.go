@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dorado/internal/bench"
+)
+
+// SpinMicrocode is the fleet benchmark workload: a two-instruction counter
+// loop that never halts, so a session can absorb any cycle budget. It is
+// also the smallest useful smoke input for the load-microcode API.
+const SpinMicrocode = `
+; fleet scaling workload: increment T forever
+start:  const=0 alu=b lc=t
+loop:   alu=a+1 a=t lc=t goto loop
+`
+
+// ScalingOptions parameterizes MeasureScaling. The zero value measures
+// 1, 2, 4, and 8 sessions, 250k cycles per operation, 8 operations per
+// session.
+type ScalingOptions struct {
+	// Sessions are the fleet sizes to measure, in order; the first is the
+	// scaling baseline.
+	Sessions []int
+	// CyclesPerOp is the cycle budget of each run operation.
+	CyclesPerOp uint64
+	// OpsPerSession is how many run operations each session's driver
+	// submits inside the timed region.
+	OpsPerSession int
+}
+
+func (o ScalingOptions) withDefaults() ScalingOptions {
+	if len(o.Sessions) == 0 {
+		o.Sessions = []int{1, 2, 4, 8}
+	}
+	if o.CyclesPerOp == 0 {
+		o.CyclesPerOp = 250_000
+	}
+	if o.OpsPerSession <= 0 {
+		o.OpsPerSession = 8
+	}
+	return o
+}
+
+// MeasureScaling measures aggregate fleet throughput at each requested
+// session count: a fresh Manager (GOMAXPROCS workers) runs n sessions of
+// the spin workload, each driven by its own goroutine submitting run
+// operations back to back — the saturated-service shape, every session
+// always having work — and the point records total simulated cycles over
+// wall time. On a host with GOMAXPROCS ≥ n the aggregate should approach
+// n × the one-session rate; the recorded Workers field says what
+// parallelism was actually available.
+func MeasureScaling(opt ScalingOptions) ([]bench.FleetPoint, error) {
+	opt = opt.withDefaults()
+	var points []bench.FleetPoint
+	for _, n := range opt.Sessions {
+		p, err := measureFleet(n, opt)
+		if err != nil {
+			return points, err
+		}
+		if len(points) > 0 {
+			p.Scaling = p.CyclesPerSec / points[0].CyclesPerSec
+		} else {
+			p.Scaling = 1
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func measureFleet(n int, opt ScalingOptions) (bench.FleetPoint, error) {
+	m := New(Config{Workers: runtime.GOMAXPROCS(0), MaxSessions: n, QueueDepth: 2})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := m.Create(Spec{})
+		if err != nil {
+			return bench.FleetPoint{}, err
+		}
+		if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+			return bench.FleetPoint{}, err
+		}
+		// Warm the machine (caches, predecode, host branch predictor).
+		if _, err := m.Run(id, opt.CyclesPerOp/4); err != nil {
+			return bench.FleetPoint{}, err
+		}
+		ids[i] = id
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		total  uint64
+		firstE error
+	)
+	start := time.Now()
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var ran uint64
+			for i := 0; i < opt.OpsPerSession; i++ {
+				r, err := m.Run(id, opt.CyclesPerOp)
+				if err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = fmt.Errorf("fleet bench: session %s: %w", id, err)
+					}
+					mu.Unlock()
+					return
+				}
+				ran += r.Ran
+			}
+			mu.Lock()
+			total += ran
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstE != nil {
+		return bench.FleetPoint{}, firstE
+	}
+	sec := elapsed.Seconds()
+	return bench.FleetPoint{
+		Sessions:     n,
+		Workers:      m.Workers(),
+		SimCycles:    total,
+		HostSeconds:  sec,
+		CyclesPerSec: float64(total) / sec,
+	}, nil
+}

@@ -1,0 +1,315 @@
+// Package fleet is the concurrent simulation service layer: a session
+// manager that owns many independently simulated Dorado machines and runs
+// them on a bounded worker pool, the first step from "simulator library"
+// toward the production-scale service the ROADMAP aims at.
+//
+// The design follows the parallel-deployment argument of the related work
+// (Schirmer's NOP papers): aggregate throughput comes from running many
+// simple, independent machines behind a scheduler, not from making one
+// machine faster. Each session is one Dorado built through the public
+// dorado.New facade; the Manager serializes operations within a session
+// (a machine is single-threaded by construction) while running different
+// sessions in parallel, up to Config.Workers at a time.
+//
+// Concurrency model, in one paragraph: every session has a bounded FIFO of
+// pending operations and a scheduled flag. Submitting an operation appends
+// to the FIFO (rejecting with ErrOverloaded when full — backpressure is an
+// error, never an unbounded queue) and, if the session is not already
+// scheduled, places it on the runnable channel. Worker goroutines pop a
+// session, execute exactly one operation — so a session cannot starve the
+// pool — and re-enqueue the session if more work arrived meanwhile. The
+// scheduled flag guarantees a session is owned by at most one worker, which
+// is the whole per-session serialization argument: operation bodies touch
+// the machine without any lock of their own.
+//
+// Idle sessions are evicted to reclaim memory: a janitor parks any session
+// unused for Config.IdleAfter by serializing it through the machine's
+// snapshot (internal/state) and dropping the live machine; the next
+// operation transparently rebuilds the machine from the session's Spec and
+// restores the snapshot. Drain stops admission and waits for every accepted
+// operation to finish, then stops the workers — the graceful-shutdown path
+// cmd/doradod runs on SIGTERM.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sentinel errors returned by Manager operations. Match with errors.Is;
+// the HTTP server maps them onto status codes (429, 503, 404).
+var (
+	// ErrOverloaded reports that a session's operation queue is full. The
+	// caller should back off and retry; cmd/doradod returns 429.
+	ErrOverloaded = errors.New("fleet: session queue full")
+	// ErrDraining reports that the manager is shutting down and admits no
+	// new operations; cmd/doradod returns 503.
+	ErrDraining = errors.New("fleet: manager draining")
+	// ErrNotFound reports an unknown or destroyed session id.
+	ErrNotFound = errors.New("fleet: no such session")
+	// ErrTooManySessions reports that Config.MaxSessions are already live.
+	ErrTooManySessions = errors.New("fleet: session limit reached")
+)
+
+// Config sizes a Manager. The zero value picks usable defaults.
+type Config struct {
+	// Workers is the number of worker goroutines executing session
+	// operations — the cross-session parallelism bound. Default GOMAXPROCS.
+	Workers int
+	// MaxSessions bounds the number of sessions (live + parked).
+	// Default 64.
+	MaxSessions int
+	// QueueDepth bounds each session's pending-operation FIFO; a full
+	// queue rejects with ErrOverloaded. Default 8.
+	QueueDepth int
+	// IdleAfter parks sessions unused for this long (snapshot taken, live
+	// machine released). Zero disables eviction.
+	IdleAfter time.Duration
+	// SweepEvery is the janitor period. Default IdleAfter/4 (min 1s) when
+	// eviction is enabled.
+	SweepEvery time.Duration
+
+	// now is the test clock hook; nil means time.Now.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.IdleAfter > 0 && c.SweepEvery <= 0 {
+		c.SweepEvery = c.IdleAfter / 4
+		if c.SweepEvery < time.Second {
+			c.SweepEvery = time.Second
+		}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Manager owns a pool of simulated machines and the worker pool that runs
+// them. Create one with New; it is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	draining bool
+
+	// runnable carries sessions with pending work to the workers. A
+	// session appears at most once (the scheduled flag), so capacity
+	// MaxSessions makes every send non-blocking.
+	runnable chan *Session
+
+	opsWG    sync.WaitGroup // accepted-but-unfinished operations
+	workerWG sync.WaitGroup
+	stopOnce sync.Once
+	janitorC chan struct{} // closed to stop the janitor
+
+	counters counters
+}
+
+// New builds a Manager and starts its workers (and, when eviction is
+// configured, its janitor). Stop it with Drain.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		sessions: map[string]*Session{},
+		runnable: make(chan *Session, cfg.MaxSessions),
+		janitorC: make(chan struct{}),
+	}
+	m.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	if cfg.IdleAfter > 0 {
+		go m.janitor()
+	}
+	return m
+}
+
+// Workers returns the configured worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// worker executes one queued operation per scheduling round, then yields
+// the session back to the runnable queue if more work arrived. The
+// scheduled flag (owned by the session lock) guarantees at most one worker
+// holds a session, so operation bodies run the machine without locks.
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for s := range m.runnable {
+		s.mu.Lock()
+		op := s.pending[0]
+		copy(s.pending, s.pending[1:])
+		s.pending = s.pending[:len(s.pending)-1]
+		if s.sys == nil && s.parked != nil {
+			// Revive before unlocking: the rebuild mutates s.sys, and a
+			// concurrent janitor sweep must observe either parked or live,
+			// never a half-built machine.
+			s.reviveLocked(m)
+		}
+		sys, reviveErr := s.sys, s.reviveErr
+		s.mu.Unlock()
+
+		var res opResult
+		if reviveErr != nil {
+			res.err = reviveErr
+		} else {
+			res.value, res.err = op.fn(sys)
+		}
+		if res.err == nil && sys != nil {
+			s.noteStats(sys)
+		}
+		op.done <- res
+
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			s.mu.Unlock()
+			m.runnable <- s
+		} else {
+			s.scheduled = false
+			s.mu.Unlock()
+		}
+		// Done only after the re-enqueue decision: Drain closes runnable
+		// once this counter hits zero, and pending work implies a nonzero
+		// count, so no send above can race the close.
+		m.opsWG.Done()
+	}
+}
+
+// submit queues fn on the session and waits for its result. It enforces,
+// in order: drain state, session existence, and queue bound.
+func (m *Manager) submit(id string, kind opKind, fn func(sys *system) (any, error)) (any, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.counters.rejectedDrain.Add(1)
+		return nil, ErrDraining
+	}
+	s := m.sessions[id]
+	if s == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	// Count the operation before releasing the lock: Drain flips draining
+	// under the same lock, so once it begins waiting, no new Add can slip
+	// in behind it.
+	m.opsWG.Add(1)
+	m.mu.Unlock()
+
+	o := &op{fn: fn, done: make(chan opResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.opsWG.Done()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if len(s.pending) >= m.cfg.QueueDepth {
+		s.mu.Unlock()
+		m.opsWG.Done()
+		m.counters.rejectedLoad.Add(1)
+		return nil, fmt.Errorf("%w: session %q has %d operations pending", ErrOverloaded, id, m.cfg.QueueDepth)
+	}
+	s.pending = append(s.pending, o)
+	s.lastUsed = m.cfg.now()
+	enqueue := !s.scheduled
+	if enqueue {
+		s.scheduled = true
+	}
+	s.mu.Unlock()
+	if enqueue {
+		m.runnable <- s
+	}
+
+	res := <-o.done
+	m.counters.ops[kind].Add(1)
+	return res.value, res.err
+}
+
+// janitor periodically parks idle sessions.
+func (m *Manager) janitor() {
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorC:
+			return
+		case <-t.C:
+			m.Sweep()
+		}
+	}
+}
+
+// Sweep parks every session idle for at least Config.IdleAfter and returns
+// how many it parked. The janitor calls it on a timer; it is exported so
+// tests and operators can force a pass.
+func (m *Manager) Sweep() int {
+	if m.cfg.IdleAfter <= 0 {
+		return 0
+	}
+	cutoff := m.cfg.now().Add(-m.cfg.IdleAfter)
+	m.mu.Lock()
+	list := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	m.mu.Unlock()
+
+	parked := 0
+	for _, s := range list {
+		if s.park(cutoff) {
+			m.counters.evicted.Add(1)
+			parked++
+		}
+	}
+	return parked
+}
+
+// Drain gracefully shuts the manager down: new operations are rejected
+// with ErrDraining, every already-accepted operation runs to completion,
+// then the workers and janitor stop. If ctx expires first, Drain returns
+// ctx.Err() with the workers still running (call again to finish). Drain
+// is idempotent.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.opsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+	}
+	m.stopOnce.Do(func() {
+		close(m.runnable)
+		m.workerWG.Wait()
+		close(m.janitorC)
+	})
+	return nil
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}

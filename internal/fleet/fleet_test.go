@@ -1,0 +1,389 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dorado"
+	"dorado/internal/memory"
+	"dorado/internal/obs"
+)
+
+// smallSpec keeps test machines light: 32 KB of storage instead of 2 MB.
+func smallSpec() Spec {
+	return Spec{Machine: dorado.Config{Memory: memory.Config{StorageWords: 1 << 14}}}
+}
+
+func drainNow(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestCreateLoadRunReadState(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "s1" {
+		t.Fatalf("first session id = %q", id)
+	}
+	res, err := m.LoadMicrocode(id, SpinMicrocode, "start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement == "" {
+		t.Error("empty placement report")
+	}
+	r, err := m.Run(id, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ran != 1000 || r.Cycle != 1000 || r.Halted {
+		t.Fatalf("run = %+v", r)
+	}
+	st, err := m.ReadState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 1000 || st.Halted || st.Language != "None" {
+		t.Fatalf("state = %+v", st)
+	}
+	infos := m.Sessions()
+	if len(infos) != 1 || infos[0].ID != id || infos[0].Cycle != 1000 || infos[0].Parked {
+		t.Fatalf("sessions = %+v", infos)
+	}
+}
+
+func TestMesaSessionBootSource(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer drainNow(t, m)
+
+	id, err := m.Create(Spec{Language: "mesa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BootSource(id, "return 6*7;"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(id, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Halted {
+		t.Fatal("program did not halt")
+	}
+	st, err := m.ReadState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Stack) != 1 || st.Stack[0] != 42 {
+		t.Fatalf("stack = %v", st.Stack)
+	}
+	if err := m.BootSource(id, "syntax error ("); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(id, snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.ReadState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 1000 {
+		t.Fatalf("restored cycle = %d, want 1000", st.Cycle)
+	}
+	again, err := m.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, again) {
+		t.Fatal("snapshot→restore→snapshot is not byte-identical")
+	}
+	if err := m.Restore(id, []byte("junk")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// blockSession parks the (single) worker inside an operation on id until
+// the returned release function is called.
+func blockSession(t *testing.T, m *Manager, id string) (running <-chan struct{}, release func()) {
+	t.Helper()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := m.submit(id, opRun, func(*system) (any, error) {
+			close(started)
+			<-gate
+			return RunResult{}, nil
+		})
+		if err != nil {
+			t.Errorf("blocking op: %v", err)
+		}
+	}()
+	return started, func() { close(gate); <-done }
+}
+
+func TestBackpressureOverload(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, release := blockSession(t, m, id)
+	<-running
+
+	// The worker is busy; one operation fits in the queue, the next must
+	// be rejected.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := m.Run(id, 1)
+		queued <- err
+	}()
+	waitQueue(t, m, id, 1)
+	if _, err := m.Run(id, 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overload error = %v", err)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued op: %v", err)
+	}
+	if got := m.counters.rejectedLoad.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d", got)
+	}
+}
+
+// waitQueue blocks until the session's pending queue reaches depth n.
+func waitQueue(t *testing.T, m *Manager, id string, n int) {
+	t.Helper()
+	s, ok := m.lookup(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		depth := len(s.pending)
+		s.mu.Unlock()
+		if depth >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestDrainRejectsAndCompletes(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 4})
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, release := blockSession(t, m, id)
+	<-running
+
+	// A short-deadline drain must time out while the operation is stuck.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	err = m.Drain(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with stuck op = %v", err)
+	}
+
+	// Admission is already closed.
+	if _, err := m.Run(id, 1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("run while draining = %v", err)
+	}
+	if _, err := m.Create(smallSpec()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create while draining = %v", err)
+	}
+
+	release()
+	drainNow(t, m)
+	// Idempotent.
+	drainNow(t, m)
+}
+
+func TestIdleEvictionAndRevival(t *testing.T) {
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time {
+		clock.Lock()
+		defer clock.Unlock()
+		return clock.t
+	}
+	m := New(Config{Workers: 1, IdleAfter: time.Minute, SweepEvery: time.Hour, now: now})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(id, 500); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("fresh session parked (%d)", n)
+	}
+	clock.Lock()
+	clock.t = clock.t.Add(2 * time.Minute)
+	clock.Unlock()
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep parked %d sessions, want 1", n)
+	}
+	infos := m.Sessions()
+	if !infos[0].Parked {
+		t.Fatalf("session not parked: %+v", infos[0])
+	}
+
+	// The next operation revives the machine with its state intact.
+	r, err := m.Run(id, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycle != 1000 {
+		t.Fatalf("revived cycle = %d, want 1000", r.Cycle)
+	}
+	if m.counters.evicted.Load() != 1 || m.counters.revived.Load() != 1 {
+		t.Fatalf("evicted/revived = %d/%d",
+			m.counters.evicted.Load(), m.counters.revived.Load())
+	}
+}
+
+func TestDestroyAndLimits(t *testing.T) {
+	m := New(Config{Workers: 1, MaxSessions: 2})
+	defer drainNow(t, m)
+
+	a, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(smallSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(smallSpec()); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("over-limit create = %v", err)
+	}
+	if err := m.Destroy(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(a, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("run destroyed = %v", err)
+	}
+	if err := m.Destroy(a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double destroy = %v", err)
+	}
+	if _, err := m.Create(smallSpec()); err != nil {
+		t.Fatalf("create after destroy: %v", err)
+	}
+	if _, err := m.Run("nope", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id = %v", err)
+	}
+}
+
+func TestMetricsSnapshotFamilies(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(id, 2048); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, m.MetricsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`dorado_fleet_sessions{state="live"} 1`,
+		`dorado_fleet_ops_total{op="run"} 1`,
+		`dorado_fleet_ops_total{op="microcode"} 1`,
+		`dorado_fleet_cycles_total 2048`,
+		`dorado_fleet_session_cycles_total{session="s1"} 2048`,
+		`dorado_fleet_rejected_total{reason="overloaded"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	// Export is deterministic for a quiet fleet.
+	var again bytes.Buffer
+	if err := obs.WritePrometheus(&again, m.MetricsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if text != again.String() {
+		t.Error("metrics export not deterministic")
+	}
+}
+
+func TestMeasureScalingSmoke(t *testing.T) {
+	points, err := MeasureScaling(ScalingOptions{
+		Sessions:      []int{1, 2},
+		CyclesPerOp:   20_000,
+		OpsPerSession: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Scaling != 1 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.CyclesPerSec <= 0 || p.SimCycles != uint64(p.Sessions)*40_000 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"dorado/internal/obs"
+)
+
+// counters is the manager's scrape-safe bookkeeping: every field is
+// atomic, updated on the operation paths and read by MetricsSnapshot
+// without stopping any simulation.
+type counters struct {
+	ops           [numOpKinds]atomic.Uint64
+	rejectedLoad  atomic.Uint64 // ErrOverloaded rejections
+	rejectedDrain atomic.Uint64
+	created       atomic.Uint64
+	destroyed     atomic.Uint64
+	evicted       atomic.Uint64
+	revived       atomic.Uint64
+	cycles        atomic.Uint64 // simulated cycles, all sessions ever
+}
+
+// MetricsSnapshot assembles the fleet's Prometheus families: manager-level
+// counters plus one cycles/instructions sample per session, in creation
+// order so identical fleets export identical text. It reads only atomics
+// and the session table, never a running machine — safe to call from a
+// scrape handler at any time.
+func (m *Manager) MetricsSnapshot() *obs.Snapshot {
+	m.mu.Lock()
+	list := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	draining := m.draining
+	m.mu.Unlock()
+	sortSessions(list)
+
+	live, parked, queued := 0, 0, 0
+	cyc := make([]obs.Sample, 0, len(list))
+	exec := make([]obs.Sample, 0, len(list))
+	holds := make([]obs.Sample, 0, len(list))
+	for _, s := range list {
+		s.mu.Lock()
+		if s.sys == nil {
+			parked++
+		} else {
+			live++
+		}
+		queued += len(s.pending)
+		s.mu.Unlock()
+		label := `{session="` + s.id + `"}`
+		cyc = append(cyc, obs.Sample{Label: label, Value: s.stats.cycles.Load()})
+		exec = append(exec, obs.Sample{Label: label, Value: s.stats.executed.Load()})
+		holds = append(holds, obs.Sample{Label: label, Value: s.stats.holds.Load()})
+	}
+
+	sn := &obs.Snapshot{}
+	sn.Add("dorado_fleet_sessions", "Sessions owned by the manager, by residency.", "gauge",
+		obs.Sample{Label: `{state="live"}`, Value: uint64(live)},
+		obs.Sample{Label: `{state="parked"}`, Value: uint64(parked)})
+	sn.Add("dorado_fleet_workers", "Worker goroutines executing session operations.", "gauge",
+		obs.Sample{Value: uint64(m.cfg.Workers)})
+	sn.Add("dorado_fleet_queue_depth", "Operations waiting in session queues.", "gauge",
+		obs.Sample{Value: uint64(queued)})
+	sn.Add("dorado_fleet_draining", "1 while the manager is draining.", "gauge",
+		obs.Sample{Value: b2u(draining)})
+
+	opSamples := make([]obs.Sample, 0, int(numOpKinds))
+	for k := opKind(0); k < numOpKinds; k++ {
+		opSamples = append(opSamples, obs.Sample{
+			Label: `{op="` + k.String() + `"}`, Value: m.counters.ops[k].Load(),
+		})
+	}
+	sn.Add("dorado_fleet_ops_total", "Completed session operations, by kind.", "counter", opSamples...)
+	sn.Add("dorado_fleet_rejected_total", "Rejected operations, by reason.", "counter",
+		obs.Sample{Label: `{reason="overloaded"}`, Value: m.counters.rejectedLoad.Load()},
+		obs.Sample{Label: `{reason="draining"}`, Value: m.counters.rejectedDrain.Load()})
+	sn.Add("dorado_fleet_sessions_created_total", "Sessions ever created.", "counter",
+		obs.Sample{Value: m.counters.created.Load()})
+	sn.Add("dorado_fleet_sessions_destroyed_total", "Sessions ever destroyed.", "counter",
+		obs.Sample{Value: m.counters.destroyed.Load()})
+	sn.Add("dorado_fleet_sessions_evicted_total", "Idle sessions parked to a snapshot.", "counter",
+		obs.Sample{Value: m.counters.evicted.Load()})
+	sn.Add("dorado_fleet_sessions_revived_total", "Parked sessions rebuilt on demand.", "counter",
+		obs.Sample{Value: m.counters.revived.Load()})
+	sn.Add("dorado_fleet_cycles_total", "Simulated cycles across all sessions.", "counter",
+		obs.Sample{Value: m.counters.cycles.Load()})
+
+	sn.Add("dorado_fleet_session_cycles_total", "Machine cycle counter per session.", "counter", cyc...)
+	sn.Add("dorado_fleet_session_instructions_total", "Executed microinstructions per session.", "counter", exec...)
+	sn.Add("dorado_fleet_session_holds_total", "Held cycles per session.", "counter", holds...)
+	return sn
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dorado"
+	"dorado/internal/obs"
+)
+
+// Server is the HTTP/JSON face of a Manager — the handler cmd/doradod
+// serves. Every session operation maps to one route; fleet errors map to
+// status codes (ErrOverloaded → 429, ErrDraining → 503, ErrNotFound → 404,
+// bad input → 400).
+//
+// Routes (all JSON unless noted):
+//
+//	POST   /v1/sessions               create a session {"language":"mesa","metrics":true}
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          read architectural state
+//	DELETE /v1/sessions/{id}          destroy the session
+//	POST   /v1/sessions/{id}/microcode  {"text": "...", "start": "label"}
+//	POST   /v1/sessions/{id}/boot       {"source": "..."} (compile + boot)
+//	POST   /v1/sessions/{id}/run        {"cycles": N}
+//	GET    /v1/sessions/{id}/snapshot   machine snapshot (octet-stream)
+//	PUT    /v1/sessions/{id}/snapshot   restore a snapshot (octet-stream)
+//	POST   /v1/drain                  drain the manager (graceful shutdown)
+//	GET    /healthz                   liveness ("ok", or 503 while draining)
+//	GET    /metrics                   Prometheus text exposition
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+	// DrainTimeout bounds the /v1/drain request (default 30s).
+	DrainTimeout time.Duration
+}
+
+// maxSnapshotBody bounds restore uploads; a full machine snapshot is a few
+// hundred KiB, so 64 MiB is generous without being a memory hazard.
+const maxSnapshotBody = 64 << 20
+
+// NewServer wraps a Manager in its HTTP API.
+func NewServer(m *Manager) *Server {
+	s := &Server{mgr: m, mux: http.NewServeMux(), DrainTimeout: 30 * time.Second}
+	s.mux.HandleFunc("POST /v1/sessions", s.createSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.listSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.readState)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.destroySession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/microcode", s.loadMicrocode)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/boot", s.bootSource)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.runCycles)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.getSnapshot)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.putSnapshot)
+	s.mux.HandleFunc("POST /v1/drain", s.drain)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	obs.RegisterMetrics(s.mux, m.MetricsSnapshot)
+	return s
+}
+
+// Mux exposes the underlying mux so callers (cmd/doradod) can mount
+// additional routes — the expvar/pprof debug endpoints — beside the API.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError renders a fleet error as JSON with the mapped status code.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		code = http.StatusInsufficientStorage
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client disconnects only
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<24))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// parseLanguage maps the wire name onto a dorado.Language; "" and "none"
+// select a bare machine.
+func parseLanguage(name string) (dorado.Language, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return dorado.None, nil
+	case "mesa":
+		return dorado.Mesa, nil
+	case "bcpl":
+		return dorado.BCPL, nil
+	case "lisp":
+		return dorado.Lisp, nil
+	case "smalltalk":
+		return dorado.Smalltalk, nil
+	}
+	return dorado.None, fmt.Errorf("unknown language %q", name)
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Language string `json:"language"`
+		Metrics  bool   `json:"metrics"`
+	}
+	if err := decodeJSON(r, &req); err != nil && err != io.EOF {
+		badRequest(w, err)
+		return
+	}
+	if _, err := parseLanguage(req.Language); err != nil {
+		badRequest(w, err)
+		return
+	}
+	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) listSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.mgr.Sessions()})
+}
+
+func (s *Server) readState(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.ReadState(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) destroySession(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Destroy(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"destroyed": true})
+}
+
+func (s *Server) loadMicrocode(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Text  string `json:"text"`
+		Start string `json:"start"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if req.Start == "" {
+		req.Start = "start"
+	}
+	res, err := s.mgr.LoadMicrocode(r.PathValue("id"), req.Text, req.Start)
+	if err != nil {
+		if isFleetErr(err) {
+			httpError(w, err)
+		} else {
+			badRequest(w, err) // assembly / placement / label errors
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) bootSource(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Source string `json:"source"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if err := s.mgr.BootSource(r.PathValue("id"), req.Source); err != nil {
+		if isFleetErr(err) {
+			httpError(w, err)
+		} else {
+			badRequest(w, err) // compile errors
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"booted": true})
+}
+
+func (s *Server) runCycles(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Cycles uint64 `json:"cycles"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if req.Cycles == 0 {
+		badRequest(w, errors.New("cycles must be positive"))
+		return
+	}
+	res, err := s.mgr.Run(r.PathValue("id"), req.Cycles)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) getSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := s.mgr.Snapshot(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) putSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	if err := s.mgr.Restore(r.PathValue("id"), data); err != nil {
+		if isFleetErr(err) {
+			httpError(w, err)
+		} else {
+			badRequest(w, err) // malformed or mismatched snapshot
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"restored": true})
+}
+
+func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.DrainTimeout)
+	defer cancel()
+	if err := s.mgr.Drain(ctx); err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"drained": true})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n")) //nolint:errcheck // client disconnects only
+}
+
+// isFleetErr reports whether err is one of the manager's sentinels (whose
+// status mapping should win over the generic 400 for user input).
+func isFleetErr(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrNotFound) || errors.Is(err, ErrTooManySessions)
+}

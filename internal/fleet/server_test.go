@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer builds a manager + HTTP server; the manager is returned so
+// tests can reach behind the API (block workers, force sweeps).
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := New(cfg)
+	ts := httptest.NewServer(NewServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		drainNow(t, m)
+	})
+	return m, ts
+}
+
+// call does one JSON request and decodes the response body into out (when
+// non-nil), returning the status code.
+func call(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func createSession(t *testing.T, base, lang string) string {
+	t.Helper()
+	var res struct {
+		ID string `json:"id"`
+	}
+	if code := call(t, "POST", base+"/v1/sessions", map[string]any{"language": lang}, &res); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	return res.ID
+}
+
+func TestServerSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, "mesa")
+
+	// Boot source, run to halt, read the result off the stack.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/boot",
+		map[string]string{"source": "return 6*7;"}, nil); code != http.StatusOK {
+		t.Fatalf("boot: status %d", code)
+	}
+	var run RunResult
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 1_000_000}, &run); code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+	if !run.Halted {
+		t.Fatalf("run = %+v", run)
+	}
+	var st State
+	if code := call(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &st); code != http.StatusOK {
+		t.Fatalf("state: status %d", code)
+	}
+	if len(st.Stack) != 1 || st.Stack[0] != 42 || st.Language != "Mesa" {
+		t.Fatalf("state = %+v", st)
+	}
+
+	// Listing includes the session.
+	var list struct {
+		Sessions []Info `json:"sessions"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != id || !list.Sessions[0].Halted {
+		t.Fatalf("list = %+v", list.Sessions)
+	}
+
+	// Destroy, then every session route 404s.
+	if code := call(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusOK {
+		t.Fatalf("destroy: status %d", code)
+	}
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/sessions/" + id},
+		{"DELETE", "/v1/sessions/" + id},
+		{"POST", "/v1/sessions/" + id + "/run"},
+		{"GET", "/v1/sessions/" + id + "/snapshot"},
+	} {
+		body := any(nil)
+		if probe.method == "POST" {
+			body = map[string]uint64{"cycles": 1}
+		}
+		if code := call(t, probe.method, ts.URL+probe.path, body, nil); code != http.StatusNotFound {
+			t.Errorf("%s %s after destroy: status %d", probe.method, probe.path, code)
+		}
+	}
+}
+
+func TestServerMicrocodeAndSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, "")
+
+	var load LoadResult
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/microcode",
+		map[string]string{"text": SpinMicrocode, "start": "start"}, &load); code != http.StatusOK {
+		t.Fatalf("microcode: status %d", code)
+	}
+	if load.Placement == "" {
+		t.Error("no placement report")
+	}
+	// Bad microassembly is the caller's fault.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/microcode",
+		map[string]string{"text": "bogus clause=1"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad microcode: status %d", code)
+	}
+
+	var run RunResult
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 1000}, &run); code != http.StatusOK || run.Cycle != 1000 {
+		t.Fatalf("run: status %d, %+v", code, run)
+	}
+
+	// Snapshot bytes round-trip through the API.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %v status %d", err, resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Errorf("snapshot content-type = %q", resp.Header.Get("Content-Type"))
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 500}, nil); code != http.StatusOK {
+		t.Fatalf("second run: status %d", code)
+	}
+	if code := call(t, "PUT", ts.URL+"/v1/sessions/"+id+"/snapshot", snap, nil); code != http.StatusOK {
+		t.Fatalf("restore: status %d", code)
+	}
+	var st State
+	if code := call(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &st); code != http.StatusOK || st.Cycle != 1000 {
+		t.Fatalf("restored state: status %d, %+v", code, st)
+	}
+	// Garbage restore is a 400, not a crash.
+	if code := call(t, "PUT", ts.URL+"/v1/sessions/"+id+"/snapshot", []byte("junk"), nil); code != http.StatusBadRequest {
+		t.Fatalf("junk restore: status %d", code)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		map[string]string{"language": "fortran"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad language: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		[]byte(`{"language": `), nil); code != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: status %d", code)
+	}
+	id := createSession(t, ts.URL, "")
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("zero cycles: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/boot",
+		map[string]string{"source": "func ("}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad source: status %d", code)
+	}
+}
+
+func TestServerOverload429(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	id := createSession(t, ts.URL, "")
+
+	running, release := blockSession(t, m, id)
+	<-running
+	// Fill the queue behind the stuck worker...
+	queued := make(chan int, 1)
+	go func() {
+		queued <- call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run", map[string]uint64{"cycles": 1}, nil)
+	}()
+	waitQueue(t, m, id, 1)
+	// ...so the next request bounces with 429.
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 1}, &errBody); code != http.StatusTooManyRequests {
+		t.Fatalf("overload: status %d", code)
+	}
+	if !strings.Contains(errBody.Error, "queue full") {
+		t.Errorf("overload body = %+v", errBody)
+	}
+	release()
+	if code := <-queued; code != http.StatusOK {
+		t.Fatalf("queued run: status %d", code)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1})
+	id := createSession(t, ts.URL, "")
+
+	if code := call(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	var res struct {
+		Drained bool `json:"drained"`
+	}
+	if code := call(t, "POST", ts.URL+"/v1/drain", nil, &res); code != http.StatusOK || !res.Drained {
+		t.Fatalf("drain: status %d, %+v", code, res)
+	}
+	// Draining: operations 503, health 503, metrics still served.
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 1}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("run after drain: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions", map[string]string{}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("create after drain: status %d", code)
+	}
+	if code := call(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: status %d", code)
+	}
+	if !m.Draining() {
+		t.Error("manager not draining")
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := createSession(t, ts.URL, "")
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/microcode",
+		map[string]string{"text": SpinMicrocode}, nil); code != http.StatusOK {
+		t.Fatalf("microcode: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": 4096}, nil); code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v status %d", err, resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE dorado_fleet_sessions gauge",
+		fmt.Sprintf(`dorado_fleet_session_cycles_total{session="%s"} 4096`, id),
+		`dorado_fleet_ops_total{op="run"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dorado"
+	"dorado/internal/masm"
+)
+
+// system aliases the facade's System so operation bodies read naturally.
+type system = dorado.System
+
+// Spec describes the machine a session simulates. It is retained for the
+// session's lifetime: reviving a parked session rebuilds the machine from
+// the Spec and restores the parked snapshot onto it.
+type Spec struct {
+	// Language selects a byte-code emulator by name ("mesa", "bcpl",
+	// "lisp", "smalltalk", case-insensitive); "" or "none" builds a bare
+	// microcode-level machine.
+	Language string
+	// Machine is the machine configuration (zero = the Dorado as built).
+	Machine dorado.Config
+	// Metrics attaches a cycle-level observability recorder to the
+	// session's machine (dorado.WithMetrics); it costs a few percent of
+	// throughput and enables the per-session wakeup/latency histograms.
+	Metrics bool
+}
+
+func (sp Spec) build() (*dorado.System, error) {
+	lang, err := parseLanguage(sp.Language)
+	if err != nil {
+		return nil, err
+	}
+	opts := []dorado.Option{dorado.WithConfig(sp.Machine)}
+	if lang != dorado.None {
+		opts = append(opts, dorado.WithLanguage(lang))
+	}
+	if sp.Metrics {
+		opts = append(opts, dorado.WithMetrics(dorado.NewMetrics()))
+	}
+	return dorado.New(opts...)
+}
+
+// op is one queued unit of work; done is buffered so a worker never blocks
+// on a departed caller.
+type op struct {
+	fn   func(sys *system) (any, error)
+	done chan opResult
+}
+
+type opResult struct {
+	value any
+	err   error
+}
+
+// opKind indexes the manager's per-operation counters.
+type opKind int
+
+// Operation kinds, in metrics-export order.
+const (
+	opRun opKind = iota
+	opMicrocode
+	opBoot
+	opState
+	opSnapshot
+	opRestore
+	numOpKinds
+)
+
+func (k opKind) String() string {
+	return [...]string{"run", "microcode", "boot", "state", "snapshot", "restore"}[k]
+}
+
+// Session is one simulated machine owned by a Manager. All fields behind
+// mu are protected by it; the stats block is atomic so metric scrapes
+// never contend with the simulation.
+type Session struct {
+	id    string
+	seq   uint64 // creation order, for stable metric export
+	spec  Spec
+	birth time.Time
+
+	mu        sync.Mutex
+	pending   []*op
+	scheduled bool
+	closed    bool
+	lastUsed  time.Time
+	sys       *dorado.System
+	parked    []byte // snapshot of an evicted session; nil while live
+	reviveErr error  // sticky failure rebuilding a parked session
+
+	stats sessionStats
+}
+
+// sessionStats caches machine counters so scrapes read atomics instead of
+// racing the hot loop. The owning worker refreshes it after every
+// operation.
+type sessionStats struct {
+	cycles   atomic.Uint64
+	executed atomic.Uint64
+	holds    atomic.Uint64
+	halted   atomic.Bool
+	ops      atomic.Uint64
+}
+
+// ID returns the session's identifier ("s1", "s2", ...).
+func (s *Session) ID() string { return s.id }
+
+// noteStats refreshes the scrape-safe counters; called only by the worker
+// that owns the session, while it still owns it.
+func (s *Session) noteStats(sys *dorado.System) {
+	st := sys.Machine.Stats()
+	s.stats.cycles.Store(st.Cycles)
+	s.stats.executed.Store(st.Executed)
+	s.stats.holds.Store(st.Holds)
+	s.stats.halted.Store(sys.Machine.Halted())
+	s.stats.ops.Add(1)
+}
+
+// park snapshots and releases the machine if the session has been idle
+// since before cutoff. Safe against the workers: a scheduled session (one
+// a worker owns or will own) is never parked.
+func (s *Session) park(cutoff time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.scheduled || len(s.pending) > 0 || s.sys == nil || !s.lastUsed.Before(cutoff) {
+		return false
+	}
+	s.parked = s.sys.Machine.Snapshot()
+	s.sys = nil
+	return true
+}
+
+// reviveLocked rebuilds a parked session's machine and restores its
+// snapshot. Caller holds s.mu. A failure is sticky: the session keeps
+// reporting it rather than silently restarting from scratch.
+func (s *Session) reviveLocked(m *Manager) {
+	sys, err := s.spec.build()
+	if err == nil {
+		err = sys.Machine.Restore(s.parked)
+	}
+	if err != nil {
+		s.reviveErr = fmt.Errorf("fleet: reviving session %s: %w", s.id, err)
+		return
+	}
+	s.sys = sys
+	s.parked = nil
+	m.counters.revived.Add(1)
+}
+
+// Create builds a new session from spec and returns its id.
+func (m *Manager) Create(spec Spec) (string, error) {
+	sys, err := spec.build()
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return "", ErrDraining
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	m.nextID++
+	spec.Language = sys.Language.String() // canonical name for listings and revival
+	s := &Session{
+		id:       fmt.Sprintf("s%d", m.nextID),
+		seq:      m.nextID,
+		spec:     spec,
+		birth:    m.cfg.now(),
+		lastUsed: m.cfg.now(),
+		sys:      sys,
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	m.counters.created.Add(1)
+	return s.id, nil
+}
+
+// Destroy removes a session. Operations already queued on it complete;
+// new ones get ErrNotFound.
+func (m *Manager) Destroy(id string) error {
+	m.mu.Lock()
+	s := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	m.counters.destroyed.Add(1)
+	return nil
+}
+
+// RunResult reports one run-cycles operation.
+type RunResult struct {
+	// Ran is the number of cycles actually simulated (less than requested
+	// when the machine halts).
+	Ran uint64 `json:"ran"`
+	// Cycle is the machine's cycle counter after the run.
+	Cycle uint64 `json:"cycle"`
+	// Halted reports whether the machine has executed a Halt.
+	Halted bool `json:"halted"`
+}
+
+// Run advances the session's machine by up to cycles cycles.
+func (m *Manager) Run(id string, cycles uint64) (RunResult, error) {
+	v, err := m.submit(id, opRun, func(sys *system) (any, error) {
+		before := sys.Machine.Cycle()
+		sys.Machine.Run(cycles)
+		ran := sys.Machine.Cycle() - before
+		m.counters.cycles.Add(ran)
+		return RunResult{Ran: ran, Cycle: sys.Machine.Cycle(), Halted: sys.Machine.Halted()}, nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return v.(RunResult), nil
+}
+
+// LoadResult reports a load-microcode operation.
+type LoadResult struct {
+	// Entry is the placed microstore address of the start label.
+	Entry uint16 `json:"entry"`
+	// Placement summarizes how the placer packed the program.
+	Placement string `json:"placement"`
+}
+
+// LoadMicrocode assembles microassembly text (the doradoasm format, see
+// masm.ParseText), loads the placed image into the session's microstore,
+// and starts task 0 at the named label.
+func (m *Manager) LoadMicrocode(id, text, start string) (LoadResult, error) {
+	v, err := m.submit(id, opMicrocode, func(sys *system) (any, error) {
+		prog, err := masm.AssembleText(text)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := prog.Entry(start)
+		if err != nil {
+			return nil, err
+		}
+		sys.Machine.Load(&prog.Words)
+		sys.Machine.Start(entry)
+		return LoadResult{Entry: uint16(entry), Placement: prog.Stats.String()}, nil
+	})
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return v.(LoadResult), nil
+}
+
+// BootSource compiles source text for the session's language (Mesa, Lisp,
+// or Smalltalk) and boots it, exactly as dorado.(*System).BootSource.
+func (m *Manager) BootSource(id, source string) error {
+	_, err := m.submit(id, opBoot, func(sys *system) (any, error) {
+		return nil, sys.BootSource(source)
+	})
+	return err
+}
+
+// State is a read of one session's architectural and scheduling state.
+type State struct {
+	ID       string `json:"id"`
+	Language string `json:"language"`
+	// Parked reports that the session is currently evicted (snapshot-only).
+	Parked bool `json:"parked"`
+	// Queue is the number of operations pending behind this read.
+	Queue    int    `json:"queue"`
+	Cycle    uint64 `json:"cycle"`
+	Executed uint64 `json:"executed"`
+	Halted   bool   `json:"halted"`
+	// Stack is the hardware evaluation stack (Mesa/Smalltalk sessions).
+	Stack []uint16 `json:"stack,omitempty"`
+	// Acc is task 0's T register (the BCPL accumulator).
+	Acc uint16 `json:"acc"`
+}
+
+// ReadState runs a serialized read of the session's machine state. Note
+// that the read revives a parked session; use Sessions for a listing that
+// leaves parked sessions parked.
+func (m *Manager) ReadState(id string) (State, error) {
+	v, err := m.submit(id, opState, func(sys *system) (any, error) {
+		s, _ := m.lookup(id)
+		st := State{
+			ID:       id,
+			Language: sys.Language.String(),
+			Cycle:    sys.Machine.Cycle(),
+			Executed: sys.Machine.Stats().Executed,
+			Halted:   sys.Machine.Halted(),
+			Stack:    sys.Stack(),
+			Acc:      sys.Acc(),
+		}
+		if s != nil {
+			s.mu.Lock()
+			st.Queue = len(s.pending)
+			s.mu.Unlock()
+		}
+		return st, nil
+	})
+	if err != nil {
+		return State{}, err
+	}
+	return v.(State), nil
+}
+
+// Snapshot serializes the session's complete machine state (the versioned
+// internal/state document).
+func (m *Manager) Snapshot(id string) ([]byte, error) {
+	v, err := m.submit(id, opSnapshot, func(sys *system) (any, error) {
+		return sys.Machine.Snapshot(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// Restore replaces the session's machine state with a snapshot previously
+// taken from a session with the same Spec.
+func (m *Manager) Restore(id string, data []byte) error {
+	_, err := m.submit(id, opRestore, func(sys *system) (any, error) {
+		return nil, sys.Machine.Restore(data)
+	})
+	return err
+}
+
+func (m *Manager) lookup(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Info is one row of the session listing. It is assembled from cached
+// counters, so listing does not serialize behind the sessions' queues.
+type Info struct {
+	ID       string `json:"id"`
+	Language string `json:"language"`
+	Parked   bool   `json:"parked"`
+	Queue    int    `json:"queue"`
+	Cycle    uint64 `json:"cycle"`
+	Halted   bool   `json:"halted"`
+	Ops      uint64 `json:"ops"`
+}
+
+// Sessions lists every session in creation order.
+func (m *Manager) Sessions() []Info {
+	m.mu.Lock()
+	list := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	m.mu.Unlock()
+	sortSessions(list)
+	out := make([]Info, 0, len(list))
+	for _, s := range list {
+		s.mu.Lock()
+		parked, queue := s.sys == nil, len(s.pending)
+		s.mu.Unlock()
+		out = append(out, Info{
+			ID:       s.id,
+			Language: s.spec.Language,
+			Parked:   parked,
+			Queue:    queue,
+			Cycle:    s.stats.cycles.Load(),
+			Halted:   s.stats.halted.Load(),
+			Ops:      s.stats.ops.Load(),
+		})
+	}
+	return out
+}
+
+func sortSessions(list []*Session) {
+	sort.Slice(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+}

@@ -76,6 +76,7 @@ type Divergence struct {
 	Repro string
 }
 
+// String summarizes the divergence point in one line.
 func (d *Divergence) String() string {
 	return fmt.Sprintf("seed %d: interpreters diverge at cycle %d (task %d, pc %v, word %+v): %s",
 		d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Detail)

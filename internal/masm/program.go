@@ -41,6 +41,7 @@ type PlacementStats struct {
 	UtilizationStore float64
 }
 
+// String renders the placement counters as one "key=value" report line.
 func (s PlacementStats) String() string {
 	return fmt.Sprintf("insts=%d tramps=%d words=%d pages=%d packed=%.1f%% store=%.1f%%",
 		s.Instructions, s.Trampolines, s.WordsUsed, s.PagesTouched,

@@ -34,6 +34,7 @@ const (
 	FaultVacant
 )
 
+// String returns the fault kind's short name ("wp", "vacant", ...).
 func (k FaultKind) String() string {
 	switch k {
 	case FaultNone:

@@ -32,6 +32,7 @@ func MakeAddr(page, word uint8) Addr {
 	return Addr(uint16(page)<<4 | uint16(word&WordMask))
 }
 
+// String formats the address as page.word, the microassembler notation.
 func (a Addr) String() string { return fmt.Sprintf("%02X.%X", a.Page(), a.Word()) }
 
 // BSelect selects the source of the B bus (§6.3.2). Values 4–7 implement
@@ -78,6 +79,7 @@ func (b BSelect) ConstValue(ff uint8) uint16 {
 	panic(fmt.Sprintf("microcode: BSelect %d is not a constant selector", b))
 }
 
+// String returns the B-source mnemonic used in disassembly listings.
 func (b BSelect) String() string {
 	switch b {
 	case BSelRM:
@@ -153,6 +155,7 @@ func (a ASelect) UsesIFUData() bool {
 	return false
 }
 
+// String returns the A-source mnemonic used in disassembly listings.
 func (a ASelect) String() string {
 	switch a {
 	case ASelRM:
@@ -189,6 +192,7 @@ const (
 	LCLoadBoth
 )
 
+// String returns the load-control mnemonic used in disassembly listings.
 func (lc LoadControl) String() string {
 	switch lc {
 	case LCNone:
@@ -240,6 +244,7 @@ var condNames = [8]string{
 	"ALU=0", "ALU<0", "CARRY", "COUNT#0", "OVF", "STKERR", "IOATTEN", "MB",
 }
 
+// String returns the branch-condition mnemonic used in disassembly listings.
 func (c Condition) String() string {
 	if c < 8 {
 		return condNames[c]
@@ -294,6 +299,7 @@ var aluFnNames = [16]string{
 	"A|B", "A^B", "A&^B", "A|^B", "XNOR", "A+1", "A-1", "0",
 }
 
+// String returns the ALU-function mnemonic used in disassembly listings.
 func (f ALUFn) String() string {
 	if f < 16 {
 		return aluFnNames[f]
@@ -327,6 +333,7 @@ const (
 	CarrySaved
 )
 
+// String returns the carry-control mnemonic used in disassembly listings.
 func (c CarryCtl) String() string {
 	switch c {
 	case CarryDefault:
@@ -367,4 +374,5 @@ func DefaultALUFM() [16]ALUCtl {
 	return m
 }
 
+// String renders the packed ALU control word for debugging.
 func (c ALUCtl) String() string { return c.Fn.String() + "/" + c.Cin.String() }

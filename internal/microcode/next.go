@@ -46,6 +46,7 @@ var nextKindNames = map[NextKind]string{
 	NextReserved: "RESERVED",
 }
 
+// String returns the successor kind's name for traces and disassembly.
 func (k NextKind) String() string {
 	if s, ok := nextKindNames[k]; ok {
 		return s
@@ -173,6 +174,7 @@ func (op NextOp) UsesB() bool {
 	return op.Kind == NextDispatch8 || op.Kind == NextDispatch256
 }
 
+// String renders the resolved successor operation for traces.
 func (op NextOp) String() string {
 	switch op.Kind {
 	case NextGoto, NextCall, NextLongGoto, NextLongCall:

@@ -81,6 +81,7 @@ func region(l, r uint8) uint16 {
 	return (0xFFFF >> l) & (0xFFFF << r)
 }
 
+// String returns the shifter-control mnemonic used in disassembly listings.
 func (s ShiftCtl) String() string {
 	return fmt.Sprintf("rot%d,l%d,r%d", s.Count, s.LMask, s.RMask)
 }

@@ -21,6 +21,35 @@ type DebugServer struct {
 	snap func() *Snapshot
 }
 
+// RegisterDebug mounts the out-of-band inspection endpoints — expvar
+// (/debug/vars) and pprof (/debug/pprof/...) — on an existing mux, so a
+// server with its own routes (cmd/doradod) shares the exporters ServeDebug
+// uses.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterMetrics mounts a Prometheus scrape target on /metrics. The
+// snapshot function is called once per scrape and must be safe to run
+// concurrently with the simulation; a nil snapshot (or nil result) renders
+// no families.
+func RegisterMetrics(mux *http.ServeMux, snapshot func() *Snapshot) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if snapshot == nil {
+			return
+		}
+		if s := snapshot(); s != nil {
+			WritePrometheus(w, s) //nolint:errcheck // client disconnects only
+		}
+	})
+}
+
 // ServeDebug starts a debug server on addr (e.g. "localhost:6060").
 // snapshot may be nil (the /metrics endpoint then reports no families);
 // swap it later with SetSnapshot. The server runs until Close.
@@ -32,17 +61,23 @@ func ServeDebug(addr string, snapshot func() *Snapshot) (*DebugServer, error) {
 	d := &DebugServer{ln: ln, snap: snapshot}
 
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", d.metrics)
+	RegisterDebug(mux)
+	RegisterMetrics(mux, d.snapshot)
 
 	d.srv = &http.Server{Handler: mux}
 	go d.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 	return d, nil
+}
+
+// snapshot reads the swappable snapshot source (see SetSnapshot).
+func (d *DebugServer) snapshot() *Snapshot {
+	d.mu.Lock()
+	f := d.snap
+	d.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -55,19 +90,6 @@ func (d *DebugServer) SetSnapshot(f func() *Snapshot) {
 	d.mu.Lock()
 	d.snap = f
 	d.mu.Unlock()
-}
-
-func (d *DebugServer) metrics(w http.ResponseWriter, _ *http.Request) {
-	d.mu.Lock()
-	f := d.snap
-	d.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if f == nil {
-		return
-	}
-	if s := f(); s != nil {
-		WritePrometheus(w, s) //nolint:errcheck // client disconnects only
-	}
 }
 
 // Close shuts the listener down.
