@@ -92,12 +92,16 @@ func main() {
 		fatal(err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	if err := mgr.Drain(ctx); err != nil {
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := mgr.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "doradod: drain: %v\n", err)
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil {
+	cancelDrain()
+	// Fresh budget for the HTTP listener: a slow drain must not leave
+	// Shutdown an already-expired context and cut off in-flight responses.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "doradod: shutdown: %v\n", err)
 	}
 	fmt.Println("doradod: stopped")

@@ -15,12 +15,12 @@
 // pending operations and a scheduled flag. Submitting an operation appends
 // to the FIFO (rejecting with ErrOverloaded when full — backpressure is an
 // error, never an unbounded queue) and, if the session is not already
-// scheduled, places it on the runnable channel. Worker goroutines pop a
-// session, execute exactly one operation — so a session cannot starve the
-// pool — and re-enqueue the session if more work arrived meanwhile. The
-// scheduled flag guarantees a session is owned by at most one worker, which
-// is the whole per-session serialization argument: operation bodies touch
-// the machine without any lock of their own.
+// scheduled, places it on the run queue. Worker goroutines pop a session,
+// execute exactly one operation — so a session cannot starve the pool —
+// and re-enqueue the session if more work arrived meanwhile. The scheduled
+// flag guarantees a session is owned by at most one worker, which is the
+// whole per-session serialization argument: operation bodies touch the
+// machine without any lock of their own.
 //
 // Idle sessions are evicted to reclaim memory: a janitor parks any session
 // unused for Config.IdleAfter by serializing it through the machine's
@@ -109,10 +109,17 @@ type Manager struct {
 	nextID   uint64
 	draining bool
 
-	// runnable carries sessions with pending work to the workers. A
-	// session appears at most once (the scheduled flag), so capacity
-	// MaxSessions makes every send non-blocking.
-	runnable chan *Session
+	// runq carries sessions with pending work to the workers. It is a
+	// slice guarded by runMu, not a bounded channel: a destroyed session
+	// stays scheduled until its queued operations finish, so the number of
+	// scheduled sessions can briefly exceed MaxSessions — a fixed-capacity
+	// channel could fill and deadlock the workers (the only consumers) on
+	// the re-enqueue send. The queue is still naturally bounded: a session
+	// appears at most once (the scheduled flag).
+	runMu    sync.Mutex
+	runCond  *sync.Cond
+	runq     []*Session
+	stopping bool // set by Drain once all operations finished; workers exit
 
 	opsWG    sync.WaitGroup // accepted-but-unfinished operations
 	workerWG sync.WaitGroup
@@ -129,9 +136,9 @@ func New(cfg Config) *Manager {
 	m := &Manager{
 		cfg:      cfg,
 		sessions: map[string]*Session{},
-		runnable: make(chan *Session, cfg.MaxSessions),
 		janitorC: make(chan struct{}),
 	}
+	m.runCond = sync.NewCond(&m.runMu)
 	m.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -145,13 +152,45 @@ func New(cfg Config) *Manager {
 // Workers returns the configured worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
+// enqueue places a scheduled session on the run queue and wakes a worker.
+// It never blocks, whatever the queue length — the property the deadlock
+// freedom of the pool rests on.
+func (m *Manager) enqueue(s *Session) {
+	m.runMu.Lock()
+	m.runq = append(m.runq, s)
+	m.runMu.Unlock()
+	m.runCond.Signal()
+}
+
+// dequeue blocks until a session is runnable and pops it, or returns nil
+// when the manager is stopping and the queue has fully drained.
+func (m *Manager) dequeue() *Session {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	for len(m.runq) == 0 {
+		if m.stopping {
+			return nil
+		}
+		m.runCond.Wait()
+	}
+	s := m.runq[0]
+	copy(m.runq, m.runq[1:])
+	m.runq[len(m.runq)-1] = nil
+	m.runq = m.runq[:len(m.runq)-1]
+	return s
+}
+
 // worker executes one queued operation per scheduling round, then yields
 // the session back to the runnable queue if more work arrived. The
 // scheduled flag (owned by the session lock) guarantees at most one worker
 // holds a session, so operation bodies run the machine without locks.
 func (m *Manager) worker() {
 	defer m.workerWG.Done()
-	for s := range m.runnable {
+	for {
+		s := m.dequeue()
+		if s == nil {
+			return
+		}
 		s.mu.Lock()
 		op := s.pending[0]
 		copy(s.pending, s.pending[1:])
@@ -179,14 +218,14 @@ func (m *Manager) worker() {
 		s.mu.Lock()
 		if len(s.pending) > 0 {
 			s.mu.Unlock()
-			m.runnable <- s
+			m.enqueue(s)
 		} else {
 			s.scheduled = false
 			s.mu.Unlock()
 		}
-		// Done only after the re-enqueue decision: Drain closes runnable
+		// Done only after the re-enqueue decision: Drain stops the workers
 		// once this counter hits zero, and pending work implies a nonzero
-		// count, so no send above can race the close.
+		// count, so no enqueue above can race the shutdown.
 		m.opsWG.Done()
 	}
 }
@@ -232,11 +271,13 @@ func (m *Manager) submit(id string, kind opKind, fn func(sys *system) (any, erro
 	}
 	s.mu.Unlock()
 	if enqueue {
-		m.runnable <- s
+		m.enqueue(s)
 	}
 
 	res := <-o.done
-	m.counters.ops[kind].Add(1)
+	if res.err == nil {
+		m.counters.ops[kind].Add(1)
+	}
 	return res.value, res.err
 }
 
@@ -300,7 +341,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 	case <-done:
 	}
 	m.stopOnce.Do(func() {
-		close(m.runnable)
+		m.runMu.Lock()
+		m.stopping = true
+		m.runMu.Unlock()
+		m.runCond.Broadcast()
 		m.workerWG.Wait()
 		close(m.janitorC)
 	})

@@ -244,6 +244,58 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 	drainNow(t, m)
 }
 
+// TestDestroyRecreateAtCapNoDeadlock is the regression test for the
+// worker-pool deadlock: a destroyed session stays scheduled until its
+// queued operations finish, so destroy-then-recreate at the session cap
+// briefly yields more scheduled sessions than MaxSessions. With the old
+// fixed-capacity runnable channel the lone worker blocked forever on the
+// re-enqueue send; the run queue must absorb the excess.
+func TestDestroyRecreateAtCapNoDeadlock(t *testing.T) {
+	m := New(Config{Workers: 1, MaxSessions: 1, QueueDepth: 4})
+	defer drainNow(t, m)
+
+	a, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, release := blockSession(t, m, a)
+	<-running
+
+	// Queue a second operation so a stays scheduled after Destroy.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := m.Run(a, 1)
+		queued <- err
+	}()
+	waitQueue(t, m, a, 1)
+	if err := m.Destroy(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatalf("recreate at cap: %v", err)
+	}
+
+	// Two sessions are now scheduled (the destroyed a and the new b) with
+	// MaxSessions = 1. Release the worker and require both to finish.
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := m.Run(b, 1)
+		submitted <- err
+	}()
+	release()
+	for name, c := range map[string]chan error{"queued op on destroyed session": queued, "op on recreated session": submitted} {
+		select {
+		case err := <-c:
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s deadlocked", name)
+		}
+	}
+}
+
 func TestIdleEvictionAndRevival(t *testing.T) {
 	clock := struct {
 		sync.Mutex
@@ -282,7 +334,21 @@ func TestIdleEvictionAndRevival(t *testing.T) {
 		t.Fatalf("session not parked: %+v", infos[0])
 	}
 
-	// The next operation revives the machine with its state intact.
+	// ReadState reports the parked-ness it observed, then revives.
+	st, err := m.ReadState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Parked {
+		t.Error("ReadState.Parked = false for a parked session")
+	}
+	if st, err = m.ReadState(id); err != nil {
+		t.Fatal(err)
+	} else if st.Parked {
+		t.Error("ReadState.Parked = true after revival")
+	}
+
+	// The revived machine carries its state; runs continue from cycle 500.
 	r, err := m.Run(id, 500)
 	if err != nil {
 		t.Fatal(err)

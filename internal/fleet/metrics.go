@@ -71,7 +71,7 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 			Label: `{op="` + k.String() + `"}`, Value: m.counters.ops[k].Load(),
 		})
 	}
-	sn.Add("dorado_fleet_ops_total", "Completed session operations, by kind.", "counter", opSamples...)
+	sn.Add("dorado_fleet_ops_total", "Successfully completed session operations, by kind.", "counter", opSamples...)
 	sn.Add("dorado_fleet_rejected_total", "Rejected operations, by reason.", "counter",
 		obs.Sample{Label: `{reason="overloaded"}`, Value: m.counters.rejectedLoad.Load()},
 		obs.Sample{Label: `{reason="draining"}`, Value: m.counters.rejectedDrain.Load()})

@@ -235,8 +235,14 @@ func (s *Server) getSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) putSnapshot(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("snapshot exceeds %d bytes", maxSnapshotBody)})
+			return
+		}
 		badRequest(w, err)
 		return
 	}

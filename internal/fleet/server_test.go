@@ -182,6 +182,36 @@ func TestServerMicrocodeAndSnapshot(t *testing.T) {
 	}
 }
 
+// zeroes is an endless stream of zero bytes for oversized-upload tests.
+type zeroes struct{}
+
+func (zeroes) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestServerSnapshotTooLarge(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer drainNow(t, m)
+	srv := NewServer(m)
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An upload one byte over the cap is an explicit 413, not a confusing
+	// restore failure on a silently truncated body.
+	req := httptest.NewRequest("PUT", "/v1/sessions/"+id+"/snapshot",
+		io.LimitReader(zeroes{}, maxSnapshotBody+1))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized snapshot: status %d, body %s", rec.Code, rec.Body)
+	}
+}
+
 func TestServerValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	if code := call(t, "POST", ts.URL+"/v1/sessions",

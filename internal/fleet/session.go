@@ -270,7 +270,8 @@ func (m *Manager) BootSource(id, source string) error {
 type State struct {
 	ID       string `json:"id"`
 	Language string `json:"language"`
-	// Parked reports that the session is currently evicted (snapshot-only).
+	// Parked reports that the session was evicted (snapshot-only) when the
+	// read was submitted; the read itself revives it.
 	Parked bool `json:"parked"`
 	// Queue is the number of operations pending behind this read.
 	Queue    int    `json:"queue"`
@@ -284,9 +285,15 @@ type State struct {
 }
 
 // ReadState runs a serialized read of the session's machine state. Note
-// that the read revives a parked session; use Sessions for a listing that
-// leaves parked sessions parked.
+// that the read revives a parked session (State.Parked reports whether it
+// had to); use Sessions for a listing that leaves parked sessions parked.
 func (m *Manager) ReadState(id string) (State, error) {
+	wasParked := false
+	if s, ok := m.lookup(id); ok {
+		s.mu.Lock()
+		wasParked = s.sys == nil && s.parked != nil
+		s.mu.Unlock()
+	}
 	v, err := m.submit(id, opState, func(sys *system) (any, error) {
 		s, _ := m.lookup(id)
 		st := State{
@@ -308,7 +315,9 @@ func (m *Manager) ReadState(id string) (State, error) {
 	if err != nil {
 		return State{}, err
 	}
-	return v.(State), nil
+	st := v.(State)
+	st.Parked = wasParked
+	return st, nil
 }
 
 // Snapshot serializes the session's complete machine state (the versioned
