@@ -21,18 +21,30 @@
 //	-idle-evict DUR       park sessions idle this long, 0 disables
 //	                      (default 5m)
 //	-drain-timeout DUR    shutdown grace period (default 30s)
+//	-log-level LEVEL      structured-log verbosity: debug, info, warn,
+//	                      error, or off (default info; debug adds one
+//	                      record per fleet operation with its queue-wait
+//	                      and service-time split)
 //
 // The API (see internal/fleet.Server for the route list):
 //
-//	curl -X POST localhost:7480/v1/sessions -d '{"language":"mesa"}'
+//	curl -X POST localhost:7480/v1/sessions -d '{"language":"mesa","metrics":true}'
 //	curl -X POST localhost:7480/v1/sessions/s1/boot -d '{"source":"return 6*7;"}'
 //	curl -X POST localhost:7480/v1/sessions/s1/run -d '{"cycles":100000}'
 //	curl localhost:7480/v1/sessions/s1
+//	curl localhost:7480/v1/sessions/s1/trace          # Chrome trace_event JSON
+//	curl localhost:7480/v1/sessions/s1/obs            # wakeup/latency summary
+//	curl -N localhost:7480/v1/sessions/s1/events      # live SSE stats stream
 //	curl localhost:7480/metrics
 //
 // Observability rides on the same listener: /metrics is the Prometheus
-// scrape target (fleet counters plus per-session cycle counters),
-// /debug/vars is expvar, /debug/pprof is the usual profiler surface.
+// scrape target (fleet counters, per-operation queue-wait and service-time
+// histograms, per-session cycle counters), /healthz reports session counts
+// by state, /debug/vars is expvar, /debug/pprof is the usual profiler
+// surface. Sessions created with "metrics":true additionally serve the
+// per-session trace, obs, and events endpoints above. Logs are structured
+// (log/slog, text format, one line per HTTP request at info; one line per
+// fleet operation at debug) with request ids correlating the two.
 package main
 
 import (
@@ -40,17 +52,40 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"dorado/internal/fleet"
 	"dorado/internal/obs"
 )
+
+// parseLogLevel maps the -log-level flag onto a slog handler; "off"
+// returns nil, which disables both the access log and the operation log.
+func parseLogLevel(s string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(s) {
+	case "off", "none":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", s)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7480", "listen address")
@@ -59,13 +94,19 @@ func main() {
 	queue := flag.Int("queue", 8, "per-session operation queue depth")
 	idle := flag.Duration("idle-evict", 5*time.Minute, "park sessions idle this long (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error, off")
 	flag.Parse()
 
+	logger, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
 	mgr := fleet.New(fleet.Config{
 		Workers:     *workers,
 		MaxSessions: *maxSessions,
 		QueueDepth:  *queue,
 		IdleAfter:   *idle,
+		Logger:      logger,
 	})
 	srv := fleet.NewServer(mgr)
 	srv.DrainTimeout = *drainTimeout

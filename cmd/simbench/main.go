@@ -21,9 +21,15 @@
 // With -fleet the report additionally measures fleet scaling: aggregate
 // cycles/sec with 1→N sessions simulated concurrently on the
 // internal/fleet worker pool (GOMAXPROCS workers), the multi-tenant
-// throughput cmd/doradod serves. Without -fleet, an existing fleet section
-// in the baseline file is carried over unchanged, so single-machine guard
-// runs do not erase the recorded scaling curve.
+// throughput cmd/doradod serves. Each session count is measured twice —
+// plain, and with every session carrying an observability recorder
+// (Spec.Metrics) — and the instrumented rate lands in the point's
+// metrics_cycles_per_sec, which the guard's fleet-metrics-on budget
+// bounds. Points also record GOMAXPROCS, and simbench warns when it is
+// smaller than the session count (such a point measures queueing, not
+// scaling). Without -fleet, an existing fleet section in the baseline
+// file is carried over unchanged, so single-machine guard runs do not
+// erase the recorded scaling curve.
 //
 //	simbench                         print the report, write BENCH_SIM.json
 //	simbench -cycles 5000000         longer runs (steadier numbers)
@@ -36,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dorado/internal/bench"
 	"dorado/internal/fleet"
@@ -50,6 +57,7 @@ func main() {
 	attempts := flag.Int("attempts", 3, "with -guard: full re-measurements before a failure is final")
 	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "with -guard: metrics-off allowed fractional regression")
 	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "with -guard: metrics-on allowed fractional overhead")
+	fleetOn := flag.Float64("fleet-on", bench.DefaultGuardThresholds.FleetMetricsOn, "with -guard: instrumented-fleet allowed fractional overhead")
 	doFleet := flag.Bool("fleet", false, "also measure fleet scaling (aggregate cycles/sec, 1→N sessions)")
 	fleetMax := flag.Int("fleet-sessions", 8, "with -fleet: largest session count (doubling from 1)")
 	fleetCycles := flag.Uint64("fleet-cycles", 250_000, "with -fleet: cycles per run operation")
@@ -69,7 +77,7 @@ func main() {
 	}
 
 	var baseline *bench.HostReport
-	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on}
+	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on, FleetMetricsOn: *fleetOn}
 	if *guard {
 		var err error
 		baseline, err = bench.ReadHostReportFile(*baselinePath)
@@ -111,19 +119,40 @@ func main() {
 			for n := 1; n <= *fleetMax; n *= 2 {
 				sizes = append(sizes, n)
 			}
-			points, err := fleet.MeasureScaling(fleet.ScalingOptions{
+			if procs := runtime.GOMAXPROCS(0); procs < *fleetMax {
+				fmt.Fprintf(os.Stderr,
+					"simbench: warning: GOMAXPROCS=%d < %d sessions; large fleet points measure queueing, not scaling\n",
+					procs, *fleetMax)
+			}
+			opt := fleet.ScalingOptions{
 				Sessions:      sizes,
 				CyclesPerOp:   *fleetCycles,
 				OpsPerSession: *fleetOps,
-			})
+			}
+			points, err := fleet.MeasureScaling(opt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "simbench: fleet: %v\n", err)
 				os.Exit(1)
 			}
+			opt.Metrics = true
+			instr, err := fleet.MeasureScaling(opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: fleet (metrics): %v\n", err)
+				os.Exit(1)
+			}
+			for i := range points {
+				if i < len(instr) && instr[i].Sessions == points[i].Sessions {
+					points[i].MetricsCyclesPerSec = instr[i].CyclesPerSec
+				}
+			}
 			rep.Fleet = points
-			fmt.Printf("\n%-10s %8s %14s %10s\n", "fleet", "workers", "cycles/sec", "scaling")
+			fmt.Printf("\n%-10s %8s %14s %10s %12s\n", "fleet", "workers", "cycles/sec", "scaling", "metrics-on")
 			for _, p := range points {
-				fmt.Printf("%-10d %8d %14.0f %9.2fx\n", p.Sessions, p.Workers, p.CyclesPerSec, p.Scaling)
+				over := "n/a"
+				if p.MetricsCyclesPerSec > 0 {
+					over = fmt.Sprintf("%.1f%%", 100*(p.CyclesPerSec/p.MetricsCyclesPerSec-1))
+				}
+				fmt.Printf("%-10d %8d %14.0f %9.2fx %12s\n", p.Sessions, p.Workers, p.CyclesPerSec, p.Scaling, over)
 			}
 		} else if *out != "" {
 			// Keep the recorded scaling curve when this run did not
@@ -145,8 +174,8 @@ func main() {
 		}
 
 		checks, ok := bench.Guard(baseline, &rep, th)
-		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%%\n",
-			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn)
+		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%% fleet-on %.0f%%\n",
+			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn, 100*th.FleetMetricsOn)
 		for _, c := range checks {
 			fmt.Println(c)
 		}

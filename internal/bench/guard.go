@@ -10,7 +10,10 @@ import "fmt"
 //     per cycle — must stay within GuardThresholds.MetricsOff of the
 //     baseline;
 //   - metrics-on: the instrumented path must stay within
-//     GuardThresholds.MetricsOn of the same run's predecoded path.
+//     GuardThresholds.MetricsOn of the same run's predecoded path;
+//   - fleet-metrics-on: an instrumented fleet (every session created with
+//     Spec.Metrics) must stay within GuardThresholds.FleetMetricsOn of the
+//     same run's uninstrumented fleet at each session count.
 //
 // CI hosts differ from the host that recorded the baseline, so the
 // metrics-off check compares the *predecode speedup* (predecoded over
@@ -23,12 +26,13 @@ import "fmt"
 
 // GuardThresholds are allowed fractional slowdowns (0.03 = 3%).
 type GuardThresholds struct {
-	MetricsOff float64 // predecode-speedup regression vs baseline
-	MetricsOn  float64 // instrumented vs predecoded, current run
+	MetricsOff     float64 // predecode-speedup regression vs baseline
+	MetricsOn      float64 // instrumented vs predecoded, current run
+	FleetMetricsOn float64 // instrumented fleet vs uninstrumented, current run
 }
 
 // DefaultGuardThresholds are the budgets the CI job enforces.
-var DefaultGuardThresholds = GuardThresholds{MetricsOff: 0.03, MetricsOn: 0.15}
+var DefaultGuardThresholds = GuardThresholds{MetricsOff: 0.03, MetricsOn: 0.15, FleetMetricsOn: 0.15}
 
 // GuardCheck is one pass/fail comparison.
 type GuardCheck struct {
@@ -83,6 +87,23 @@ func Guard(baseline, current *HostReport, th GuardThresholds) ([]GuardCheck, boo
 			checks = append(checks, c)
 			ok = ok && c.OK
 		}
+	}
+	// fleet-metrics-on: instrumented fleet throughput vs this run's
+	// uninstrumented fleet, per session count. Skipped for points measured
+	// without the instrumented variant (or reports with no fleet section) —
+	// simbench only populates MetricsCyclesPerSec when -fleet ran.
+	for _, p := range current.Fleet {
+		if p.MetricsCyclesPerSec <= 0 || p.CyclesPerSec <= 0 {
+			continue
+		}
+		rel := p.MetricsCyclesPerSec / p.CyclesPerSec
+		limit := 1 - th.FleetMetricsOn
+		c := GuardCheck{
+			Workload: fmt.Sprintf("fleet-%d", p.Sessions), Check: "metrics-on",
+			Baseline: 1, Current: rel, Limit: limit, OK: rel >= limit,
+		}
+		checks = append(checks, c)
+		ok = ok && c.OK
 	}
 	return checks, ok
 }

@@ -160,12 +160,21 @@ func MeasureHost(w HostWorkload, path string, budget uint64) (HostResult, error)
 // simbench -fleet). Scaling is CyclesPerSec over the one-session point's
 // CyclesPerSec — the multi-tenancy speedup the fleet service exists for.
 type FleetPoint struct {
-	Sessions     int     `json:"sessions"`
-	Workers      int     `json:"workers"`
+	Sessions int `json:"sessions"`
+	Workers  int `json:"workers"`
+	// Gomaxprocs is the host parallelism available when the point was
+	// measured; a point with Gomaxprocs < Sessions measured queueing, not
+	// scaling (simbench warns when recording one).
+	Gomaxprocs   int     `json:"gomaxprocs,omitempty"`
 	SimCycles    uint64  `json:"sim_cycles"`
 	HostSeconds  float64 `json:"host_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	Scaling      float64 `json:"scaling_vs_one"`
+	// MetricsCyclesPerSec is the aggregate throughput of the same
+	// configuration with observability recorders attached (Spec.Metrics);
+	// zero when the instrumented variant was not measured. The bench
+	// guard's FleetMetricsOn budget bounds CyclesPerSec over this.
+	MetricsCyclesPerSec float64 `json:"metrics_cycles_per_sec,omitempty"`
 }
 
 // HostReport is the BENCH_SIM.json document: every path across every

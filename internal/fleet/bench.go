@@ -21,7 +21,7 @@ loop:   alu=a+1 a=t lc=t goto loop
 
 // ScalingOptions parameterizes MeasureScaling. The zero value measures
 // 1, 2, 4, and 8 sessions, 250k cycles per operation, 8 operations per
-// session.
+// session, without metrics recorders.
 type ScalingOptions struct {
 	// Sessions are the fleet sizes to measure, in order; the first is the
 	// scaling baseline.
@@ -31,6 +31,10 @@ type ScalingOptions struct {
 	// OpsPerSession is how many run operations each session's driver
 	// submits inside the timed region.
 	OpsPerSession int
+	// Metrics creates the sessions with observability recorders
+	// (Spec.Metrics) — the instrumented-fleet configuration the bench
+	// guard's FleetMetricsOn budget polices.
+	Metrics bool
 }
 
 func (o ScalingOptions) withDefaults() ScalingOptions {
@@ -76,17 +80,18 @@ func measureFleet(n int, opt ScalingOptions) (bench.FleetPoint, error) {
 	m := New(Config{Workers: runtime.GOMAXPROCS(0), MaxSessions: n, QueueDepth: 2})
 	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
 
+	ctx := context.Background()
 	ids := make([]string, n)
 	for i := range ids {
-		id, err := m.Create(Spec{})
+		id, err := m.Create(Spec{Metrics: opt.Metrics})
 		if err != nil {
 			return bench.FleetPoint{}, err
 		}
-		if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+		if _, err := m.LoadMicrocode(ctx, id, SpinMicrocode, "start"); err != nil {
 			return bench.FleetPoint{}, err
 		}
 		// Warm the machine (caches, predecode, host branch predictor).
-		if _, err := m.Run(id, opt.CyclesPerOp/4); err != nil {
+		if _, err := m.Run(ctx, id, opt.CyclesPerOp/4); err != nil {
 			return bench.FleetPoint{}, err
 		}
 		ids[i] = id
@@ -105,7 +110,7 @@ func measureFleet(n int, opt ScalingOptions) (bench.FleetPoint, error) {
 			defer wg.Done()
 			var ran uint64
 			for i := 0; i < opt.OpsPerSession; i++ {
-				r, err := m.Run(id, opt.CyclesPerOp)
+				r, err := m.Run(ctx, id, opt.CyclesPerOp)
 				if err != nil {
 					mu.Lock()
 					if firstE == nil {
@@ -130,6 +135,7 @@ func measureFleet(n int, opt ScalingOptions) (bench.FleetPoint, error) {
 	return bench.FleetPoint{
 		Sessions:     n,
 		Workers:      m.Workers(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
 		SimCycles:    total,
 		HostSeconds:  sec,
 		CyclesPerSec: float64(total) / sec,

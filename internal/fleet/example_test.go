@@ -1,0 +1,85 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dorado/internal/fleet"
+)
+
+// ExampleManager_ObsSummary creates an instrumented session, runs it, and
+// reads the condensed observability summary — what GET
+// /v1/sessions/{id}/obs serves.
+func ExampleManager_ObsSummary() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{Metrics: true})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, id, 10_000); err != nil {
+		panic(err)
+	}
+	res, err := m.ObsSummary(ctx, id)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ID, res.Cycle, res.Obs.TimelineInterval > 0)
+	// Output: s1 10000 true
+}
+
+// ExampleManager_TraceJSON exports a session's Chrome trace_event
+// document — what GET /v1/sessions/{id}/trace serves; load it at
+// chrome://tracing or ui.perfetto.dev.
+func ExampleManager_TraceJSON() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{Metrics: true})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, id, 5_000); err != nil {
+		panic(err)
+	}
+	data, err := m.TraceJSON(ctx, id)
+	if err != nil {
+		panic(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(doc.TraceEvents) > 0)
+	// Output: true
+}
+
+// ExampleManager_Health reads the O(1) liveness summary — what GET
+// /healthz serves: session counts by residency from cached atomics, never
+// a lock.
+func ExampleManager_Health() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	if _, err := m.Create(fleet.Spec{}); err != nil {
+		panic(err)
+	}
+	if _, err := m.Create(fleet.Spec{Language: "mesa"}); err != nil {
+		panic(err)
+	}
+	h := m.Health()
+	fmt.Println(h.Status, h.Sessions.Active, h.Sessions.Parked)
+	// Output: ok 2 0
+}

@@ -35,13 +35,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Sentinel errors returned by Manager operations. Match with errors.Is;
-// the HTTP server maps them onto status codes (429, 503, 404).
+// the HTTP server maps them onto status codes (429, 503, 404, 409).
 var (
 	// ErrOverloaded reports that a session's operation queue is full. The
 	// caller should back off and retry; cmd/doradod returns 429.
@@ -53,6 +55,9 @@ var (
 	ErrNotFound = errors.New("fleet: no such session")
 	// ErrTooManySessions reports that Config.MaxSessions are already live.
 	ErrTooManySessions = errors.New("fleet: session limit reached")
+	// ErrNoMetrics reports a trace or obs read on a session created
+	// without Spec.Metrics; cmd/doradod returns 409.
+	ErrNoMetrics = errors.New("fleet: session has no metrics recorder")
 )
 
 // Config sizes a Manager. The zero value picks usable defaults.
@@ -72,6 +77,12 @@ type Config struct {
 	// SweepEvery is the janitor period. Default IdleAfter/4 (min 1s) when
 	// eviction is enabled.
 	SweepEvery time.Duration
+	// Logger, when set, receives one structured debug record per completed
+	// operation (session, op kind, queue-wait and service-time in µs, and
+	// the request id when the submitting context carries one — see
+	// RequestID). Nil disables operation logging; the latency histograms
+	// are always recorded.
+	Logger *slog.Logger
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -126,7 +137,20 @@ type Manager struct {
 	stopOnce sync.Once
 	janitorC chan struct{} // closed to stop the janitor
 
+	// drainC is closed the moment Drain begins — before the wait for
+	// in-flight operations — so long-lived observers (the SSE event
+	// streams) shut down promptly instead of holding shutdown hostage.
+	drainC    chan struct{}
+	drainOnce sync.Once
+
+	// nLive / nParked cache session residency so Health and liveness
+	// probes read two atomics instead of walking the session table under
+	// locks. Updated at every create/park/revive/destroy transition.
+	nLive   atomic.Int64
+	nParked atomic.Int64
+
 	counters counters
+	lat      *opHistograms
 }
 
 // New builds a Manager and starts its workers (and, when eviction is
@@ -137,6 +161,8 @@ func New(cfg Config) *Manager {
 		cfg:      cfg,
 		sessions: map[string]*Session{},
 		janitorC: make(chan struct{}),
+		drainC:   make(chan struct{}),
+		lat:      newOpHistograms(),
 	}
 	m.runCond = sync.NewCond(&m.runMu)
 	m.workerWG.Add(cfg.Workers)
@@ -205,14 +231,32 @@ func (m *Manager) worker() {
 		s.mu.Unlock()
 
 		var res opResult
-		if reviveErr != nil {
+		res.queue = time.Since(op.enqueued)
+		ran := false
+		switch {
+		case reviveErr != nil:
 			res.err = reviveErr
-		} else {
+		case op.ctx.Err() != nil:
+			// The submitter gave up while the operation sat in the queue;
+			// skip the body rather than burn service time nobody reads.
+			res.err = op.ctx.Err()
+		default:
+			start := time.Now()
 			res.value, res.err = op.fn(sys)
+			res.service = time.Since(start)
+			ran = true
 		}
 		if res.err == nil && sys != nil {
 			s.noteStats(sys)
 		}
+		// Account the operation here, not in submit: a canceled submitter
+		// has already returned, and success/latency bookkeeping must not
+		// depend on anyone reading the result.
+		m.lat.observe(op.kind, res.queue, res.service, ran)
+		if res.err == nil {
+			m.counters.ops[op.kind].Add(1)
+		}
+		m.logOp(s.id, op, res)
 		op.done <- res
 
 		s.mu.Lock()
@@ -230,9 +274,32 @@ func (m *Manager) worker() {
 	}
 }
 
+// logOp emits the per-operation structured record (see Config.Logger).
+func (m *Manager) logOp(id string, op *op, res opResult) {
+	if m.cfg.Logger == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("session", id),
+		slog.String("op", op.kind.String()),
+		slog.Int64("queue_us", res.queue.Microseconds()),
+		slog.Int64("service_us", res.service.Microseconds()),
+	}
+	if req := RequestID(op.ctx); req != "" {
+		attrs = append(attrs, slog.String("req", req))
+	}
+	if res.err != nil {
+		attrs = append(attrs, slog.String("err", res.err.Error()))
+	}
+	m.cfg.Logger.LogAttrs(op.ctx, slog.LevelDebug, "fleet op", attrs...)
+}
+
 // submit queues fn on the session and waits for its result. It enforces,
-// in order: drain state, session existence, and queue bound.
-func (m *Manager) submit(id string, kind opKind, fn func(sys *system) (any, error)) (any, error) {
+// in order: drain state, session existence, and queue bound. ctx scopes
+// the wait: if it is canceled before a worker runs the operation, the
+// body is skipped and submit returns ctx's error; it also carries the
+// request id the operation log records (see RequestID).
+func (m *Manager) submit(ctx context.Context, id string, kind opKind, fn func(sys *system) (any, error)) (any, error) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -250,7 +317,7 @@ func (m *Manager) submit(id string, kind opKind, fn func(sys *system) (any, erro
 	m.opsWG.Add(1)
 	m.mu.Unlock()
 
-	o := &op{fn: fn, done: make(chan opResult, 1)}
+	o := &op{ctx: ctx, kind: kind, fn: fn, done: make(chan opResult, 1), enqueued: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -274,11 +341,15 @@ func (m *Manager) submit(id string, kind opKind, fn func(sys *system) (any, erro
 		m.enqueue(s)
 	}
 
-	res := <-o.done
-	if res.err == nil {
-		m.counters.ops[kind].Add(1)
+	// done is buffered, so a departed caller never blocks the worker; the
+	// worker also sees the canceled ctx and skips the body if it has not
+	// started yet.
+	select {
+	case res := <-o.done:
+		return res.value, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return res.value, res.err
 }
 
 // janitor periodically parks idle sessions.
@@ -312,7 +383,7 @@ func (m *Manager) Sweep() int {
 
 	parked := 0
 	for _, s := range list {
-		if s.park(cutoff) {
+		if s.park(m, cutoff) {
 			m.counters.evicted.Add(1)
 			parked++
 		}
@@ -329,6 +400,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
 	m.mu.Unlock()
+	// Wake long-lived observers (SSE streams) first: they are not
+	// operations, so the opsWG wait below neither sees nor needs them, but
+	// the HTTP server's shutdown does — a stream that lingered would hold
+	// the listener open past the drain.
+	m.drainOnce.Do(func() { close(m.drainC) })
 
 	done := make(chan struct{})
 	go func() {
@@ -357,3 +433,8 @@ func (m *Manager) Draining() bool {
 	defer m.mu.Unlock()
 	return m.draining
 }
+
+// DrainSignal returns a channel closed the moment Drain begins. Long-
+// lived observers (the SSE event streams) select on it so a graceful
+// shutdown terminates them promptly.
+func (m *Manager) DrainSignal() <-chan struct{} { return m.drainC }

@@ -14,6 +14,9 @@ import (
 	"dorado/internal/obs"
 )
 
+// tctx is the background context tests thread through Manager operations.
+var tctx = context.Background()
+
 // smallSpec keeps test machines light: 32 KB of storage instead of 2 MB.
 func smallSpec() Spec {
 	return Spec{Machine: dorado.Config{Memory: memory.Config{StorageWords: 1 << 14}}}
@@ -39,21 +42,21 @@ func TestCreateLoadRunReadState(t *testing.T) {
 	if id != "s1" {
 		t.Fatalf("first session id = %q", id)
 	}
-	res, err := m.LoadMicrocode(id, SpinMicrocode, "start")
+	res, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Placement == "" {
 		t.Error("empty placement report")
 	}
-	r, err := m.Run(id, 1000)
+	r, err := m.Run(tctx, id, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Ran != 1000 || r.Cycle != 1000 || r.Halted {
 		t.Fatalf("run = %+v", r)
 	}
-	st, err := m.ReadState(id)
+	st, err := m.ReadState(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,24 +77,24 @@ func TestMesaSessionBootSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.BootSource(id, "return 6*7;"); err != nil {
+	if err := m.BootSource(tctx, id, "return 6*7;"); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Run(id, 1_000_000)
+	r, err := m.Run(tctx, id, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r.Halted {
 		t.Fatal("program did not halt")
 	}
-	st, err := m.ReadState(id)
+	st, err := m.ReadState(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(st.Stack) != 1 || st.Stack[0] != 42 {
 		t.Fatalf("stack = %v", st.Stack)
 	}
-	if err := m.BootSource(id, "syntax error ("); err == nil {
+	if err := m.BootSource(tctx, id, "syntax error ("); err == nil {
 		t.Fatal("bad source accepted")
 	}
 }
@@ -104,37 +107,37 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(id, 1000); err != nil {
+	if _, err := m.Run(tctx, id, 1000); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := m.Snapshot(id)
+	snap, err := m.Snapshot(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(id, 1000); err != nil {
+	if _, err := m.Run(tctx, id, 1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Restore(id, snap); err != nil {
+	if err := m.Restore(tctx, id, snap); err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.ReadState(id)
+	st, err := m.ReadState(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Cycle != 1000 {
 		t.Fatalf("restored cycle = %d, want 1000", st.Cycle)
 	}
-	again, err := m.Snapshot(id)
+	again, err := m.Snapshot(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(snap, again) {
 		t.Fatal("snapshot→restore→snapshot is not byte-identical")
 	}
-	if err := m.Restore(id, []byte("junk")); err == nil {
+	if err := m.Restore(tctx, id, []byte("junk")); err == nil {
 		t.Fatal("garbage snapshot accepted")
 	}
 }
@@ -148,7 +151,7 @@ func blockSession(t *testing.T, m *Manager, id string) (running <-chan struct{},
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, err := m.submit(id, opRun, func(*system) (any, error) {
+		_, err := m.submit(tctx, id, opRun, func(*system) (any, error) {
 			close(started)
 			<-gate
 			return RunResult{}, nil
@@ -175,11 +178,11 @@ func TestBackpressureOverload(t *testing.T) {
 	// be rejected.
 	queued := make(chan error, 1)
 	go func() {
-		_, err := m.Run(id, 1)
+		_, err := m.Run(tctx, id, 1)
 		queued <- err
 	}()
 	waitQueue(t, m, id, 1)
-	if _, err := m.Run(id, 1); !errors.Is(err, ErrOverloaded) {
+	if _, err := m.Run(tctx, id, 1); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overload error = %v", err)
 	}
 	release()
@@ -231,7 +234,7 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 	}
 
 	// Admission is already closed.
-	if _, err := m.Run(id, 1); !errors.Is(err, ErrDraining) {
+	if _, err := m.Run(tctx, id, 1); !errors.Is(err, ErrDraining) {
 		t.Fatalf("run while draining = %v", err)
 	}
 	if _, err := m.Create(smallSpec()); !errors.Is(err, ErrDraining) {
@@ -264,7 +267,7 @@ func TestDestroyRecreateAtCapNoDeadlock(t *testing.T) {
 	// Queue a second operation so a stays scheduled after Destroy.
 	queued := make(chan error, 1)
 	go func() {
-		_, err := m.Run(a, 1)
+		_, err := m.Run(tctx, a, 1)
 		queued <- err
 	}()
 	waitQueue(t, m, a, 1)
@@ -280,7 +283,7 @@ func TestDestroyRecreateAtCapNoDeadlock(t *testing.T) {
 	// MaxSessions = 1. Release the worker and require both to finish.
 	submitted := make(chan error, 1)
 	go func() {
-		_, err := m.Run(b, 1)
+		_, err := m.Run(tctx, b, 1)
 		submitted <- err
 	}()
 	release()
@@ -313,10 +316,10 @@ func TestIdleEvictionAndRevival(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(id, 500); err != nil {
+	if _, err := m.Run(tctx, id, 500); err != nil {
 		t.Fatal(err)
 	}
 
@@ -335,21 +338,21 @@ func TestIdleEvictionAndRevival(t *testing.T) {
 	}
 
 	// ReadState reports the parked-ness it observed, then revives.
-	st, err := m.ReadState(id)
+	st, err := m.ReadState(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !st.Parked {
 		t.Error("ReadState.Parked = false for a parked session")
 	}
-	if st, err = m.ReadState(id); err != nil {
+	if st, err = m.ReadState(tctx, id); err != nil {
 		t.Fatal(err)
 	} else if st.Parked {
 		t.Error("ReadState.Parked = true after revival")
 	}
 
 	// The revived machine carries its state; runs continue from cycle 500.
-	r, err := m.Run(id, 500)
+	r, err := m.Run(tctx, id, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +382,7 @@ func TestDestroyAndLimits(t *testing.T) {
 	if err := m.Destroy(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(a, 1); !errors.Is(err, ErrNotFound) {
+	if _, err := m.Run(tctx, a, 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("run destroyed = %v", err)
 	}
 	if err := m.Destroy(a); !errors.Is(err, ErrNotFound) {
@@ -388,7 +391,7 @@ func TestDestroyAndLimits(t *testing.T) {
 	if _, err := m.Create(smallSpec()); err != nil {
 		t.Fatalf("create after destroy: %v", err)
 	}
-	if _, err := m.Run("nope", 1); !errors.Is(err, ErrNotFound) {
+	if _, err := m.Run(tctx, "nope", 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown id = %v", err)
 	}
 }
@@ -401,10 +404,10 @@ func TestMetricsSnapshotFamilies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(id, 2048); err != nil {
+	if _, err := m.Run(tctx, id, 2048); err != nil {
 		t.Fatal(err)
 	}
 

@@ -86,10 +86,48 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 	sn.Add("dorado_fleet_cycles_total", "Simulated cycles across all sessions.", "counter",
 		obs.Sample{Value: m.counters.cycles.Load()})
 
+	sn.AddHistogramVec("dorado_fleet_op_queue_us",
+		"Operation queue wait (submit accepted to worker pickup), microseconds, by kind.",
+		snapshotVec(&m.lat.queue)...)
+	sn.AddHistogramVec("dorado_fleet_op_service_us",
+		"Operation service time (body execution), microseconds, by kind.",
+		snapshotVec(&m.lat.service)...)
+
 	sn.Add("dorado_fleet_session_cycles_total", "Machine cycle counter per session.", "counter", cyc...)
 	sn.Add("dorado_fleet_session_instructions_total", "Executed microinstructions per session.", "counter", exec...)
 	sn.Add("dorado_fleet_session_holds_total", "Held cycles per session.", "counter", holds...)
 	return sn
+}
+
+// Health is the cheap liveness view served by GET /healthz: session counts
+// by residency plus the drain flag. Assembled from cached atomics only —
+// no session locks, no table walk — so probes stay O(1) however busy the
+// fleet is.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Draining bool   `json:"draining,omitempty"`
+	Sessions struct {
+		Active int64 `json:"active"`
+		Parked int64 `json:"parked"`
+		Total  int64 `json:"total"`
+	} `json:"sessions"`
+}
+
+// Health reports the manager's liveness summary. It reads three atomics
+// and one channel, so it is safe to call at any probe frequency.
+func (m *Manager) Health() Health {
+	var h Health
+	h.Status = "ok"
+	select {
+	case <-m.drainC:
+		h.Status = "draining"
+		h.Draining = true
+	default:
+	}
+	h.Sessions.Active = m.nLive.Load()
+	h.Sessions.Parked = m.nParked.Load()
+	h.Sessions.Total = h.Sessions.Active + h.Sessions.Parked
+	return h
 }
 
 func b2u(v bool) uint64 {

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dorado"
@@ -17,7 +20,9 @@ import (
 // Server is the HTTP/JSON face of a Manager — the handler cmd/doradod
 // serves. Every session operation maps to one route; fleet errors map to
 // status codes (ErrOverloaded → 429, ErrDraining → 503, ErrNotFound → 404,
-// bad input → 400).
+// ErrNoMetrics → 409, bad input → 400). Every request gets a request id
+// ("r1", "r2", ...) threaded through its context, so the access log and
+// the manager's per-operation log correlate (see RequestID).
 //
 // Routes (all JSON unless noted):
 //
@@ -30,15 +35,58 @@ import (
 //	POST   /v1/sessions/{id}/run        {"cycles": N}
 //	GET    /v1/sessions/{id}/snapshot   machine snapshot (octet-stream)
 //	PUT    /v1/sessions/{id}/snapshot   restore a snapshot (octet-stream)
+//	GET    /v1/sessions/{id}/trace      Chrome trace_event export (metrics sessions)
+//	GET    /v1/sessions/{id}/obs        observability summary (metrics sessions)
+//	GET    /v1/sessions/{id}/events     live stats stream (Server-Sent Events)
 //	POST   /v1/drain                  drain the manager (graceful shutdown)
-//	GET    /healthz                   liveness ("ok", or 503 while draining)
+//	GET    /healthz                   liveness JSON (503 while draining)
 //	GET    /metrics                   Prometheus text exposition
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
 	// DrainTimeout bounds the /v1/drain request (default 30s).
 	DrainTimeout time.Duration
+	// Logger, when set, receives one structured record per request (request
+	// id, method, path, status, duration). NewServer seeds it from the
+	// manager's Config.Logger; nil disables access logging.
+	Logger *slog.Logger
+
+	reqSeq atomic.Uint64
 }
+
+// ctxKey is unexported so only this package can store request ids.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the request id the server middleware stored in ctx, or
+// "" when ctx carries none (direct Manager calls, tests). The manager's
+// per-operation log attaches it so one slow HTTP request can be followed
+// through submit, queue wait, and execution.
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter records the status code for the access log. Unwrap exposes
+// the underlying writer so http.NewResponseController reaches Flush — the
+// SSE stream depends on it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // maxSnapshotBody bounds restore uploads; a full machine snapshot is a few
 // hundred KiB, so 64 MiB is generous without being a memory hazard.
@@ -46,7 +94,7 @@ const maxSnapshotBody = 64 << 20
 
 // NewServer wraps a Manager in its HTTP API.
 func NewServer(m *Manager) *Server {
-	s := &Server{mgr: m, mux: http.NewServeMux(), DrainTimeout: 30 * time.Second}
+	s := &Server{mgr: m, mux: http.NewServeMux(), DrainTimeout: 30 * time.Second, Logger: m.cfg.Logger}
 	s.mux.HandleFunc("POST /v1/sessions", s.createSession)
 	s.mux.HandleFunc("GET /v1/sessions", s.listSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.readState)
@@ -56,6 +104,9 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.runCycles)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.getSnapshot)
 	s.mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.putSnapshot)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.traceJSON)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/obs", s.obsSummary)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("POST /v1/drain", s.drain)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	obs.RegisterMetrics(s.mux, m.MetricsSnapshot)
@@ -64,10 +115,31 @@ func NewServer(m *Manager) *Server {
 
 // Mux exposes the underlying mux so callers (cmd/doradod) can mount
 // additional routes — the expvar/pprof debug endpoints — beside the API.
+// Handlers reached through the mux directly bypass the request-id and
+// access-log middleware; serve through the Server to get both.
 func (s *Server) Mux() *http.ServeMux { return s.mux }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it assigns the request id, serves
+// through the mux, and emits the access-log record.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	if s.Logger != nil {
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.String("req", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Int64("us", time.Since(start).Microseconds()))
+	}
+}
 
 // httpError renders a fleet error as JSON with the mapped status code.
 func httpError(w http.ResponseWriter, err error) {
@@ -81,6 +153,8 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrTooManySessions):
 		code = http.StatusInsufficientStorage
+	case errors.Is(err, ErrNoMetrics):
+		code = http.StatusConflict
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -145,7 +219,7 @@ func (s *Server) listSessions(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) readState(w http.ResponseWriter, r *http.Request) {
-	st, err := s.mgr.ReadState(r.PathValue("id"))
+	st, err := s.mgr.ReadState(r.Context(), r.PathValue("id"))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -173,7 +247,7 @@ func (s *Server) loadMicrocode(w http.ResponseWriter, r *http.Request) {
 	if req.Start == "" {
 		req.Start = "start"
 	}
-	res, err := s.mgr.LoadMicrocode(r.PathValue("id"), req.Text, req.Start)
+	res, err := s.mgr.LoadMicrocode(r.Context(), r.PathValue("id"), req.Text, req.Start)
 	if err != nil {
 		if isFleetErr(err) {
 			httpError(w, err)
@@ -193,7 +267,7 @@ func (s *Server) bootSource(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	if err := s.mgr.BootSource(r.PathValue("id"), req.Source); err != nil {
+	if err := s.mgr.BootSource(r.Context(), r.PathValue("id"), req.Source); err != nil {
 		if isFleetErr(err) {
 			httpError(w, err)
 		} else {
@@ -216,7 +290,7 @@ func (s *Server) runCycles(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, errors.New("cycles must be positive"))
 		return
 	}
-	res, err := s.mgr.Run(r.PathValue("id"), req.Cycles)
+	res, err := s.mgr.Run(r.Context(), r.PathValue("id"), req.Cycles)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -225,7 +299,7 @@ func (s *Server) runCycles(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getSnapshot(w http.ResponseWriter, r *http.Request) {
-	data, err := s.mgr.Snapshot(r.PathValue("id"))
+	data, err := s.mgr.Snapshot(r.Context(), r.PathValue("id"))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -246,7 +320,7 @@ func (s *Server) putSnapshot(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	if err := s.mgr.Restore(r.PathValue("id"), data); err != nil {
+	if err := s.mgr.Restore(r.Context(), r.PathValue("id"), data); err != nil {
 		if isFleetErr(err) {
 			httpError(w, err)
 		} else {
@@ -267,17 +341,38 @@ func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"drained": true})
 }
 
-func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	if s.mgr.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+func (s *Server) traceJSON(w http.ResponseWriter, r *http.Request) {
+	data, err := s.mgr.TraceJSON(r.Context(), r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
 		return
 	}
-	w.Write([]byte("ok\n")) //nolint:errcheck // client disconnects only
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) obsSummary(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.ObsSummary(r.Context(), r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.mgr.Health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // isFleetErr reports whether err is one of the manager's sentinels (whose
 // status mapping should win over the generic 400 for user input).
 func isFleetErr(err error) bool {
 	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) ||
-		errors.Is(err, ErrNotFound) || errors.Is(err, ErrTooManySessions)
+		errors.Is(err, ErrNotFound) || errors.Is(err, ErrTooManySessions) ||
+		errors.Is(err, ErrNoMetrics)
 }

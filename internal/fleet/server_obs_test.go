@@ -1,0 +1,354 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dorado"
+	"dorado/internal/memory"
+)
+
+// createMetricsSession creates a session with an observability recorder
+// attached over the HTTP API.
+func createMetricsSession(t *testing.T, base string) string {
+	t.Helper()
+	var res struct {
+		ID string `json:"id"`
+	}
+	if code := call(t, "POST", base+"/v1/sessions",
+		map[string]any{"metrics": true}, &res); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	return res.ID
+}
+
+// loadAndRun loads the spin workload and runs cycles over the API.
+func loadAndRun(t *testing.T, base, id string, cycles uint64) {
+	t.Helper()
+	if code := call(t, "POST", base+"/v1/sessions/"+id+"/microcode",
+		map[string]string{"text": SpinMicrocode}, nil); code != http.StatusOK {
+		t.Fatalf("microcode: status %d", code)
+	}
+	if code := call(t, "POST", base+"/v1/sessions/"+id+"/run",
+		map[string]uint64{"cycles": cycles}, nil); code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+}
+
+func TestServerTraceAndObs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createMetricsSession(t, ts.URL)
+	loadAndRun(t, ts.URL, id, 5000)
+
+	// /trace returns Chrome trace_event JSON.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("trace: status %d, decode %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content-type = %q", ct)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// /obs returns the condensed summary with the machine's cycle counter.
+	var obsRes ObsResult
+	if code := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/obs", nil, &obsRes); code != http.StatusOK {
+		t.Fatalf("obs: status %d", code)
+	}
+	if obsRes.ID != id || obsRes.Cycle != 5000 || obsRes.Revived {
+		t.Fatalf("obs = %+v", obsRes)
+	}
+	if obsRes.Obs.TimelineInterval == 0 {
+		t.Error("obs summary has no timeline interval")
+	}
+
+	// A session without a recorder refuses with 409.
+	plain := createSession(t, ts.URL, "")
+	for _, path := range []string{"/trace", "/obs"} {
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		if code := call(t, "GET", ts.URL+"/v1/sessions/"+plain+path, nil, &errBody); code != http.StatusConflict {
+			t.Errorf("%s on plain session: status %d", path, code)
+		}
+		if !strings.Contains(errBody.Error, "no metrics") {
+			t.Errorf("%s error = %q", path, errBody.Error)
+		}
+	}
+
+	// Unknown sessions 404 on every observability route.
+	for _, path := range []string{"/trace", "/obs", "/events"} {
+		if code := call(t, "GET", ts.URL+"/v1/sessions/nope"+path, nil, nil); code != http.StatusNotFound {
+			t.Errorf("%s on unknown session: status %d", path, code)
+		}
+	}
+}
+
+// TestServerTraceParkedSession exports a trace from a parked session: the
+// request revives the machine, and the resulting document is valid Chrome
+// trace JSON covering the span since revival.
+func TestServerTraceParkedSession(t *testing.T) {
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time {
+		clock.Lock()
+		defer clock.Unlock()
+		return clock.t
+	}
+	m, ts := newTestServer(t, Config{Workers: 1, IdleAfter: time.Minute, SweepEvery: time.Hour, now: now})
+
+	id, err := m.Create(Spec{
+		Metrics: true,
+		Machine: dorado.Config{Memory: memory.Config{StorageWords: 1 << 14}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadAndRun(t, ts.URL, id, 3000)
+
+	clock.Lock()
+	clock.t = clock.t.Add(2 * time.Minute)
+	clock.Unlock()
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep parked %d sessions, want 1", n)
+	}
+	if h := m.Health(); h.Sessions.Parked != 1 || h.Sessions.Active != 0 {
+		t.Fatalf("health after park = %+v", h)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("parked trace: status %d, decode %v", resp.StatusCode, err)
+	}
+	// The revived recorder is fresh, so the document has only metadata
+	// events — but it must still be a well-formed trace.
+	if len(trace.TraceEvents) == 0 {
+		t.Error("parked trace has no events at all")
+	}
+	if h := m.Health(); h.Sessions.Active != 1 || h.Sessions.Parked != 0 {
+		t.Fatalf("health after revival = %+v", h)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses one event from the stream (blocking until it arrives).
+func readSSE(t *testing.T, r *bufio.Reader) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && ev.name != "":
+			return ev, true
+		}
+	}
+}
+
+func TestServerEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, "")
+	loadAndRun(t, ts.URL, id, 2000)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/events?interval_ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	ev, ok := readSSE(t, br)
+	if !ok || ev.name != "stats" {
+		t.Fatalf("first event = %+v, ok %v", ev, ok)
+	}
+	var stats Event
+	if err := json.Unmarshal([]byte(ev.data), &stats); err != nil {
+		t.Fatalf("stats data %q: %v", ev.data, err)
+	}
+	if stats.ID != id || stats.Cycle != 2000 || stats.Parked {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Destroying the session terminates the stream with a bye event.
+	if code := call(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusOK {
+		t.Fatalf("destroy: status %d", code)
+	}
+	for {
+		ev, ok := readSSE(t, br)
+		if !ok {
+			t.Fatal("stream ended without a bye event")
+		}
+		if ev.name == "bye" {
+			if !strings.Contains(ev.data, "destroyed") {
+				t.Fatalf("bye data = %q", ev.data)
+			}
+			break
+		}
+	}
+
+	// A bad interval is a 400, not a silent default.
+	if code := call(t, "GET", ts.URL+"/v1/sessions/"+createSession(t, ts.URL, "")+"/events?interval_ms=nope",
+		nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad interval: status %d", code)
+	}
+}
+
+// TestServerEventsDrain is the drain regression test: an in-flight
+// /events stream must terminate promptly (with a "drain" bye) when the
+// manager drains, rather than holding the connection — and the drain
+// request itself must not wait on the stream.
+func TestServerEventsDrain(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := createSession(t, ts.URL, "")
+
+	// Long interval: without the drain signal the next event would be 10
+	// seconds out, so a prompt bye can only come from DrainSignal.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/events?interval_ms=10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if ev, ok := readSSE(t, br); !ok || ev.name != "stats" {
+		t.Fatalf("first event = %+v, ok %v", ev, ok)
+	}
+
+	drained := make(chan int, 1)
+	go func() {
+		drained <- call(t, "POST", ts.URL+"/v1/drain", nil, nil)
+	}()
+
+	byeC := make(chan sseEvent, 1)
+	go func() {
+		for {
+			ev, ok := readSSE(t, br)
+			if !ok {
+				return
+			}
+			if ev.name == "bye" {
+				byeC <- ev
+				return
+			}
+		}
+	}()
+	select {
+	case ev := <-byeC:
+		if !strings.Contains(ev.data, "drain") {
+			t.Fatalf("bye data = %q", ev.data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no bye event after drain")
+	}
+	select {
+	case code := <-drained:
+		if code != http.StatusOK {
+			t.Fatalf("drain: status %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain blocked by the event stream")
+	}
+}
+
+func TestServerHealthzCounts(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1})
+	var h Health
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.Status != "ok" || h.Sessions.Total != 0 {
+		t.Fatalf("empty health = %+v", h)
+	}
+	a := createSession(t, ts.URL, "")
+	createSession(t, ts.URL, "")
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if h.Sessions.Active != 2 || h.Sessions.Parked != 0 || h.Sessions.Total != 2 {
+		t.Fatalf("health after creates = %+v", h)
+	}
+	if err := m.Destroy(a); err != nil {
+		t.Fatal(err)
+	}
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if h.Sessions.Active != 1 || h.Sessions.Total != 1 {
+		t.Fatalf("health after destroy = %+v", h)
+	}
+}
+
+// TestServerOpLatencyMetrics checks the per-operation queue-wait and
+// service-time histogram vectors reach the Prometheus exposition with op
+// labels.
+func TestServerOpLatencyMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := createSession(t, ts.URL, "")
+	loadAndRun(t, ts.URL, id, 1000)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v status %d", err, resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE dorado_fleet_op_queue_us histogram",
+		"# TYPE dorado_fleet_op_service_us histogram",
+		`dorado_fleet_op_queue_us_bucket{op="run",le="+Inf"} 1`,
+		`dorado_fleet_op_service_us_count{op="run"} 1`,
+		`dorado_fleet_op_service_us_count{op="microcode"} 1`,
+		`dorado_fleet_op_queue_us_count{op="snapshot"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

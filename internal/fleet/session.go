@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +11,7 @@ import (
 
 	"dorado"
 	"dorado/internal/masm"
+	"dorado/internal/obs"
 )
 
 // system aliases the facade's System so operation bodies read naturally.
@@ -26,8 +29,16 @@ type Spec struct {
 	Machine dorado.Config
 	// Metrics attaches a cycle-level observability recorder to the
 	// session's machine (dorado.WithMetrics); it costs a few percent of
-	// throughput and enables the per-session wakeup/latency histograms.
+	// throughput and enables the per-session wakeup/latency histograms,
+	// the Chrome-trace export (GET /v1/sessions/{id}/trace), and the obs
+	// summary (GET /v1/sessions/{id}/obs).
 	Metrics bool
+	// MetricsConfig sizes the recorder when Metrics is set: span and
+	// timeline buffer bounds and the utilization sampling interval. The
+	// zero value picks the obs defaults. Note that parking a session
+	// serializes only machine state: a revived session runs with a fresh
+	// recorder, so trace data covers the span since revival.
+	MetricsConfig obs.Config
 }
 
 func (sp Spec) build() (*dorado.System, error) {
@@ -40,24 +51,33 @@ func (sp Spec) build() (*dorado.System, error) {
 		opts = append(opts, dorado.WithLanguage(lang))
 	}
 	if sp.Metrics {
-		opts = append(opts, dorado.WithMetrics(dorado.NewMetrics()))
+		opts = append(opts, dorado.WithMetrics(dorado.NewMetricsWith(sp.MetricsConfig)))
 	}
 	return dorado.New(opts...)
 }
 
 // op is one queued unit of work; done is buffered so a worker never blocks
-// on a departed caller.
+// on a departed caller. ctx is the submitter's context: the worker skips
+// the body if it is already canceled at pickup, and the operation log
+// reads its request id. enqueued stamps admission for the queue-wait
+// histogram.
 type op struct {
-	fn   func(sys *system) (any, error)
-	done chan opResult
+	ctx      context.Context
+	kind     opKind
+	fn       func(sys *system) (any, error)
+	done     chan opResult
+	enqueued time.Time
 }
 
 type opResult struct {
-	value any
-	err   error
+	value   any
+	err     error
+	queue   time.Duration // admission → worker pickup
+	service time.Duration // fn execution (zero when the body was skipped)
 }
 
-// opKind indexes the manager's per-operation counters.
+// opKind indexes the manager's per-operation counters and latency
+// histograms.
 type opKind int
 
 // Operation kinds, in metrics-export order.
@@ -68,11 +88,13 @@ const (
 	opState
 	opSnapshot
 	opRestore
+	opTrace
+	opObs
 	numOpKinds
 )
 
 func (k opKind) String() string {
-	return [...]string{"run", "microcode", "boot", "state", "snapshot", "restore"}[k]
+	return [...]string{"run", "microcode", "boot", "state", "snapshot", "restore", "trace", "obs"}[k]
 }
 
 // Session is one simulated machine owned by a Manager. All fields behind
@@ -96,15 +118,19 @@ type Session struct {
 	stats sessionStats
 }
 
-// sessionStats caches machine counters so scrapes read atomics instead of
-// racing the hot loop. The owning worker refreshes it after every
-// operation.
+// sessionStats caches machine counters so scrapes and event streams read
+// atomics instead of racing the hot loop. The owning worker refreshes it
+// after every operation; parked flips at park/revive under the session
+// lock but is stored atomically so lock-free readers (SSE, healthz) see
+// a coherent value.
 type sessionStats struct {
-	cycles   atomic.Uint64
-	executed atomic.Uint64
-	holds    atomic.Uint64
-	halted   atomic.Bool
-	ops      atomic.Uint64
+	cycles     atomic.Uint64
+	executed   atomic.Uint64
+	holds      atomic.Uint64
+	halted     atomic.Bool
+	ops        atomic.Uint64
+	parked     atomic.Bool
+	taskCycles [obs.MaxTasks]atomic.Uint64
 }
 
 // ID returns the session's identifier ("s1", "s2", ...).
@@ -118,13 +144,16 @@ func (s *Session) noteStats(sys *dorado.System) {
 	s.stats.executed.Store(st.Executed)
 	s.stats.holds.Store(st.Holds)
 	s.stats.halted.Store(sys.Machine.Halted())
+	for t := 0; t < obs.MaxTasks && t < len(st.TaskCycles); t++ {
+		s.stats.taskCycles[t].Store(st.TaskCycles[t])
+	}
 	s.stats.ops.Add(1)
 }
 
 // park snapshots and releases the machine if the session has been idle
 // since before cutoff. Safe against the workers: a scheduled session (one
 // a worker owns or will own) is never parked.
-func (s *Session) park(cutoff time.Time) bool {
+func (s *Session) park(m *Manager, cutoff time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.scheduled || len(s.pending) > 0 || s.sys == nil || !s.lastUsed.Before(cutoff) {
@@ -132,6 +161,9 @@ func (s *Session) park(cutoff time.Time) bool {
 	}
 	s.parked = s.sys.Machine.Snapshot()
 	s.sys = nil
+	s.stats.parked.Store(true)
+	m.nLive.Add(-1)
+	m.nParked.Add(1)
 	return true
 }
 
@@ -149,6 +181,9 @@ func (s *Session) reviveLocked(m *Manager) {
 	}
 	s.sys = sys
 	s.parked = nil
+	s.stats.parked.Store(false)
+	m.nParked.Add(-1)
+	m.nLive.Add(1)
 	m.counters.revived.Add(1)
 }
 
@@ -179,6 +214,7 @@ func (m *Manager) Create(spec Spec) (string, error) {
 	}
 	m.sessions[s.id] = s
 	m.mu.Unlock()
+	m.nLive.Add(1)
 	m.counters.created.Add(1)
 	return s.id, nil
 }
@@ -195,7 +231,13 @@ func (m *Manager) Destroy(id string) error {
 	}
 	s.mu.Lock()
 	s.closed = true
+	wasParked := s.sys == nil && s.parked != nil
 	s.mu.Unlock()
+	if wasParked {
+		m.nParked.Add(-1)
+	} else {
+		m.nLive.Add(-1)
+	}
 	m.counters.destroyed.Add(1)
 	return nil
 }
@@ -212,8 +254,8 @@ type RunResult struct {
 }
 
 // Run advances the session's machine by up to cycles cycles.
-func (m *Manager) Run(id string, cycles uint64) (RunResult, error) {
-	v, err := m.submit(id, opRun, func(sys *system) (any, error) {
+func (m *Manager) Run(ctx context.Context, id string, cycles uint64) (RunResult, error) {
+	v, err := m.submit(ctx, id, opRun, func(sys *system) (any, error) {
 		before := sys.Machine.Cycle()
 		sys.Machine.Run(cycles)
 		ran := sys.Machine.Cycle() - before
@@ -237,8 +279,8 @@ type LoadResult struct {
 // LoadMicrocode assembles microassembly text (the doradoasm format, see
 // masm.ParseText), loads the placed image into the session's microstore,
 // and starts task 0 at the named label.
-func (m *Manager) LoadMicrocode(id, text, start string) (LoadResult, error) {
-	v, err := m.submit(id, opMicrocode, func(sys *system) (any, error) {
+func (m *Manager) LoadMicrocode(ctx context.Context, id, text, start string) (LoadResult, error) {
+	v, err := m.submit(ctx, id, opMicrocode, func(sys *system) (any, error) {
 		prog, err := masm.AssembleText(text)
 		if err != nil {
 			return nil, err
@@ -259,8 +301,8 @@ func (m *Manager) LoadMicrocode(id, text, start string) (LoadResult, error) {
 
 // BootSource compiles source text for the session's language (Mesa, Lisp,
 // or Smalltalk) and boots it, exactly as dorado.(*System).BootSource.
-func (m *Manager) BootSource(id, source string) error {
-	_, err := m.submit(id, opBoot, func(sys *system) (any, error) {
+func (m *Manager) BootSource(ctx context.Context, id, source string) error {
+	_, err := m.submit(ctx, id, opBoot, func(sys *system) (any, error) {
 		return nil, sys.BootSource(source)
 	})
 	return err
@@ -287,14 +329,14 @@ type State struct {
 // ReadState runs a serialized read of the session's machine state. Note
 // that the read revives a parked session (State.Parked reports whether it
 // had to); use Sessions for a listing that leaves parked sessions parked.
-func (m *Manager) ReadState(id string) (State, error) {
+func (m *Manager) ReadState(ctx context.Context, id string) (State, error) {
 	wasParked := false
 	if s, ok := m.lookup(id); ok {
 		s.mu.Lock()
 		wasParked = s.sys == nil && s.parked != nil
 		s.mu.Unlock()
 	}
-	v, err := m.submit(id, opState, func(sys *system) (any, error) {
+	v, err := m.submit(ctx, id, opState, func(sys *system) (any, error) {
 		s, _ := m.lookup(id)
 		st := State{
 			ID:       id,
@@ -322,8 +364,8 @@ func (m *Manager) ReadState(id string) (State, error) {
 
 // Snapshot serializes the session's complete machine state (the versioned
 // internal/state document).
-func (m *Manager) Snapshot(id string) ([]byte, error) {
-	v, err := m.submit(id, opSnapshot, func(sys *system) (any, error) {
+func (m *Manager) Snapshot(ctx context.Context, id string) ([]byte, error) {
+	v, err := m.submit(ctx, id, opSnapshot, func(sys *system) (any, error) {
 		return sys.Machine.Snapshot(), nil
 	})
 	if err != nil {
@@ -334,11 +376,81 @@ func (m *Manager) Snapshot(id string) ([]byte, error) {
 
 // Restore replaces the session's machine state with a snapshot previously
 // taken from a session with the same Spec.
-func (m *Manager) Restore(id string, data []byte) error {
-	_, err := m.submit(id, opRestore, func(sys *system) (any, error) {
+func (m *Manager) Restore(ctx context.Context, id string, data []byte) error {
+	_, err := m.submit(ctx, id, opRestore, func(sys *system) (any, error) {
 		return nil, sys.Machine.Restore(data)
 	})
 	return err
+}
+
+// TraceJSON exports the session's cycle-level trace in the Chrome
+// trace_event format (load it at chrome://tracing or ui.perfetto.dev).
+// The session must have been created with Spec.Metrics; otherwise the
+// call fails with ErrNoMetrics. The export runs as a serialized
+// operation, so it is safe to request while other clients are running the
+// machine — it simply waits its turn in the session's queue — and it
+// revives a parked session (the trace then covers the span since
+// revival; parking serializes only machine state).
+func (m *Manager) TraceJSON(ctx context.Context, id string) ([]byte, error) {
+	v, err := m.submit(ctx, id, opTrace, func(sys *system) (any, error) {
+		if sys.Metrics == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNoMetrics, id)
+		}
+		sys.Metrics.Flush(sys.Machine.Cycle())
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, sys.Metrics); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// ObsResult is the response of an obs-summary operation: the condensed
+// JSON view of the session's recorder plus enough session context to read
+// it (where the machine's cycle counter stands, and whether the summary
+// covers only the span since a revival).
+type ObsResult struct {
+	ID    string `json:"id"`
+	Cycle uint64 `json:"cycle"`
+	// Revived reports that the session was parked when the summary was
+	// requested: the recorder was recreated at revival, so the counters
+	// cover only the span since then.
+	Revived bool        `json:"revived,omitempty"`
+	Obs     obs.Summary `json:"obs"`
+}
+
+// ObsSummary condenses the session's observability recorder — wakeup
+// counters, hold-latency and wakeup-to-run histograms, the utilization
+// timeline rolled up per task — into a JSON-ready Summary. Requires
+// Spec.Metrics, like TraceJSON.
+func (m *Manager) ObsSummary(ctx context.Context, id string) (ObsResult, error) {
+	wasParked := false
+	if s, ok := m.lookup(id); ok {
+		s.mu.Lock()
+		wasParked = s.sys == nil && s.parked != nil
+		s.mu.Unlock()
+	}
+	v, err := m.submit(ctx, id, opObs, func(sys *system) (any, error) {
+		if sys.Metrics == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNoMetrics, id)
+		}
+		sys.Metrics.Flush(sys.Machine.Cycle())
+		return ObsResult{
+			ID:    id,
+			Cycle: sys.Machine.Cycle(),
+			Obs:   obs.Summarize(sys.Metrics),
+		}, nil
+	})
+	if err != nil {
+		return ObsResult{}, err
+	}
+	r := v.(ObsResult)
+	r.Revived = wasParked
+	return r, nil
 }
 
 func (m *Manager) lookup(id string) (*Session, bool) {

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dorado/internal/obs"
+)
+
+// This file is the live half of the fleet's observability: a Server-Sent
+// Events stream (GET /v1/sessions/{id}/events) pushing periodic snapshots
+// of a session's counters while it runs. The stream reads only the
+// session's cached atomic stats — never the machine, never a session lock
+// around the simulation — so any number of watchers cost the hot loop
+// nothing. The flip side: the counters refresh when a worker finishes an
+// operation, so a stream shows progress at operation granularity (one
+// long /run updates once, at its end).
+//
+// A stream ends when the client disconnects, the session is destroyed
+// ("bye" event, reason "destroyed"), or the manager starts draining
+// ("bye", reason "drain"). The drain case matters operationally: Drain
+// closes the manager's DrainSignal before waiting for in-flight
+// operations, so streams release their connections immediately instead of
+// holding http.Server.Shutdown open.
+
+// Event stream cadence: the default snapshot interval and the bounds the
+// ?interval_ms query parameter is clamped to.
+const (
+	defaultEventInterval = 500 * time.Millisecond
+	minEventInterval     = 50 * time.Millisecond
+	maxEventInterval     = 10 * time.Second
+)
+
+// Event is one SSE stats snapshot ("event: stats"). Counters come from
+// the session's scrape cache, refreshed after each completed operation.
+type Event struct {
+	ID string `json:"id"`
+	// Cycle, Executed, Holds, and Halted mirror the machine's counters as
+	// of the last completed operation.
+	Cycle    uint64 `json:"cycle"`
+	Executed uint64 `json:"executed"`
+	Holds    uint64 `json:"holds"`
+	Halted   bool   `json:"halted"`
+	// Parked reports that the session is currently evicted to a snapshot.
+	Parked bool `json:"parked"`
+	// Ops counts operations completed on the session since creation.
+	Ops uint64 `json:"ops"`
+	// Tasks is per-task busy cycles (nonzero tasks only) — the live
+	// utilization breakdown.
+	Tasks []TaskBusy `json:"tasks,omitempty"`
+}
+
+// TaskBusy is one task's busy-cycle count in an Event.
+type TaskBusy struct {
+	Task   int    `json:"task"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// sessionEvent assembles an Event from the session's atomic stats cache.
+func sessionEvent(s *Session) Event {
+	ev := Event{
+		ID:       s.id,
+		Cycle:    s.stats.cycles.Load(),
+		Executed: s.stats.executed.Load(),
+		Holds:    s.stats.holds.Load(),
+		Halted:   s.stats.halted.Load(),
+		Parked:   s.stats.parked.Load(),
+		Ops:      s.stats.ops.Load(),
+	}
+	for t := 0; t < obs.MaxTasks; t++ {
+		if c := s.stats.taskCycles[t].Load(); c != 0 {
+			ev.Tasks = append(ev.Tasks, TaskBusy{Task: t, Cycles: c})
+		}
+	}
+	return ev
+}
+
+// streamEvents serves GET /v1/sessions/{id}/events.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.lookup(id)
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, id))
+		return
+	}
+	interval := defaultEventInterval
+	if q := r.URL.Query().Get("interval_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms <= 0 {
+			badRequest(w, fmt.Errorf("interval_ms must be a positive integer, got %q", q))
+			return
+		}
+		interval = min(max(time.Duration(ms)*time.Millisecond, minEventInterval), maxEventInterval)
+	}
+
+	// Flush must reach the real writer through the access-log wrapper;
+	// statusWriter.Unwrap makes the controller's walk succeed.
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, alive := s.mgr.lookup(id); !alive {
+			writeBye(w, rc, "destroyed")
+			return
+		}
+		data, err := json.Marshal(sessionEvent(sess))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: stats\ndata: %s\n\n", data); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.mgr.DrainSignal():
+			writeBye(w, rc, "drain")
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// writeBye sends the terminal SSE event; errors are moot, the stream is
+// ending either way.
+func writeBye(w http.ResponseWriter, rc *http.ResponseController, reason string) {
+	fmt.Fprintf(w, "event: bye\ndata: {\"reason\":%q}\n\n", reason) //nolint:errcheck
+	rc.Flush()                                                      //nolint:errcheck
+}

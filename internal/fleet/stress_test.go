@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -73,13 +75,13 @@ func TestStressConcurrentSessions(t *testing.T) {
 				t.Errorf("create: %v", err)
 				return
 			}
-			if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+			if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 				t.Errorf("%s: load: %v", id, err)
 				return
 			}
 			var model uint64 // expected machine cycle counter
 			for it := 0; it < iterations; it++ {
-				r, err := m.Run(id, 2000)
+				r, err := m.Run(tctx, id, 2000)
 				if err != nil {
 					t.Errorf("%s: run: %v", id, err)
 					return
@@ -89,20 +91,20 @@ func TestStressConcurrentSessions(t *testing.T) {
 					t.Errorf("%s: cycle %d, want %d", id, r.Cycle, model)
 					return
 				}
-				snap, err := m.Snapshot(id)
+				snap, err := m.Snapshot(tctx, id)
 				if err != nil {
 					t.Errorf("%s: snapshot: %v", id, err)
 					return
 				}
-				if _, err := m.Run(id, 1000); err != nil {
+				if _, err := m.Run(tctx, id, 1000); err != nil {
 					t.Errorf("%s: run past snapshot: %v", id, err)
 					return
 				}
-				if err := m.Restore(id, snap); err != nil {
+				if err := m.Restore(tctx, id, snap); err != nil {
 					t.Errorf("%s: restore: %v", id, err)
 					return
 				}
-				st, err := m.ReadState(id)
+				st, err := m.ReadState(tctx, id)
 				if err != nil {
 					t.Errorf("%s: state: %v", id, err)
 					return
@@ -131,7 +133,7 @@ func TestStressConcurrentSessions(t *testing.T) {
 	final := uint64(iterations * 2000)
 	for i := 1; i <= sessions; i++ {
 		id := fmt.Sprintf("s%d", i)
-		r, err := m.Run(id, 100)
+		r, err := m.Run(tctx, id, 100)
 		if err != nil {
 			t.Fatalf("%s: post-sweep run: %v", id, err)
 		}
@@ -155,7 +157,7 @@ func TestStressOverloadStorm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -169,7 +171,7 @@ func TestStressOverloadStorm(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for n := 0; n < 20; n++ {
-				_, err := m.Run(id, 100)
+				_, err := m.Run(tctx, id, 100)
 				mu.Lock()
 				switch {
 				case err == nil:
@@ -187,7 +189,7 @@ func TestStressOverloadStorm(t *testing.T) {
 	if ok == 0 {
 		t.Error("no operation ever succeeded")
 	}
-	st, err := m.ReadState(id)
+	st, err := m.ReadState(tctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +213,7 @@ func TestDrainUnderLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.LoadMicrocode(id, SpinMicrocode, "start"); err != nil {
+		if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = id
@@ -224,7 +226,7 @@ func TestDrainUnderLoad(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			for n := 0; n < 50; n++ {
-				_, err := m.Run(id, 500)
+				_, err := m.Run(tctx, id, 500)
 				switch {
 				case err == nil:
 					accepted.add(1)
@@ -251,6 +253,126 @@ func TestDrainUnderLoad(t *testing.T) {
 	if accepted.load() == 0 {
 		t.Error("drain beat every driver; no operation ran")
 	}
+}
+
+// TestStressTraceExportDuringRun races the observability surface against
+// the operation surface on metrics sessions: while drivers run cycles and
+// snapshot/restore, other goroutines continuously export Chrome traces,
+// read obs summaries, stream SSE events over HTTP, and scrape Prometheus
+// metrics. Everything must serialize cleanly (the race detector is the
+// judge), and a final drain must terminate the still-open event streams
+// promptly.
+func TestStressTraceExportDuringRun(t *testing.T) {
+	const nSessions = 4
+	m := New(Config{Workers: 4, MaxSessions: nSessions, QueueDepth: 8})
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	ids := make([]string, nSessions)
+	for i := range ids {
+		id, err := m.Create(Spec{
+			Metrics: true,
+			Machine: smallSpec().Machine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(3)
+		go func(id string) { // driver: run + snapshot/restore churn
+			defer wg.Done()
+			for it := 0; it < 8; it++ {
+				if _, err := m.Run(tctx, id, 2000); err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("%s: run: %v", id, err)
+					}
+					return
+				}
+				snap, err := m.Snapshot(tctx, id)
+				if err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("%s: snapshot: %v", id, err)
+					}
+					return
+				}
+				if err := m.Restore(tctx, id, snap); err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("%s: restore: %v", id, err)
+					}
+					return
+				}
+			}
+		}(id)
+		go func(id string) { // exporter: traces and summaries mid-run
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, err := m.TraceJSON(tctx, id)
+				if err == nil && len(data) == 0 {
+					t.Errorf("%s: empty trace", id)
+					return
+				}
+				if err == nil {
+					_, err = m.ObsSummary(tctx, id)
+				}
+				if err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("%s: export: %v", id, err)
+					}
+					return
+				}
+			}
+		}(id)
+		go func(id string) { // watcher: SSE stream until drain says bye
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/sessions/" + id + "/events?interval_ms=50")
+			if err != nil {
+				t.Errorf("%s: events: %v", id, err)
+				return
+			}
+			defer resp.Body.Close()
+			// Read until the stream ends; the drain below must close it.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := resp.Body.Read(buf); err != nil {
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Add(1)
+	go func() { // scraper: Prometheus export races everything above
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.MetricsSnapshot()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Let the churn overlap, then drain with the SSE streams still open:
+	// the drain signal must end them, and every accepted operation must
+	// complete.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	drainNow(t, m)
+	wg.Wait()
 }
 
 // atomic64 is a tiny counter wrapper to keep the test bodies readable.

@@ -15,14 +15,23 @@ type Sample struct {
 }
 
 // Metric is one exposition family: a counter/gauge with samples, or a
-// histogram.
+// histogram (plain, or a labeled vector like {op="run"}).
 type Metric struct {
 	Name string
 	Help string
 	Type string // "counter", "gauge", or "histogram"
 
 	Samples []Sample           // counter/gauge
-	Hist    *HistogramSnapshot // histogram
+	Hist    *HistogramSnapshot // plain histogram
+	Hists   []LabeledHistogram // histogram vector (one family, many label sets)
+}
+
+// LabeledHistogram is one member of a histogram vector: the rendered
+// label pair ("op=\"run\"", no braces — it is merged with the le label)
+// and the bucket data.
+type LabeledHistogram struct {
+	Label string
+	Hist  HistogramSnapshot
 }
 
 // Snapshot is an ordered set of metric families — the document
@@ -43,6 +52,13 @@ func (s *Snapshot) AddHistogram(name, help string, h HistogramSnapshot) {
 	s.Metrics = append(s.Metrics, Metric{Name: name, Help: help, Type: "histogram", Hist: &h})
 }
 
+// AddHistogramVec appends one histogram family with several label sets —
+// a single # TYPE header, one bucket series per member (the Prometheus
+// shape for dorado_fleet_op_*_us{op="run",le="…"}).
+func (s *Snapshot) AddHistogramVec(name, help string, hists ...LabeledHistogram) {
+	s.Metrics = append(s.Metrics, Metric{Name: name, Help: help, Type: "histogram", Hists: hists})
+}
+
 // TaskLabel renders the standard task label clause.
 func TaskLabel(task int) string { return `{task="` + strconv.Itoa(task) + `"}` }
 
@@ -59,9 +75,16 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
 			return err
 		}
-		if m.Type == "histogram" && m.Hist != nil {
-			if err := writeHist(w, m.Name, m.Hist); err != nil {
-				return err
+		if m.Type == "histogram" {
+			if m.Hist != nil {
+				if err := writeHist(w, m.Name, "", m.Hist); err != nil {
+					return err
+				}
+			}
+			for i := range m.Hists {
+				if err := writeHist(w, m.Name, m.Hists[i].Label, &m.Hists[i].Hist); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -74,19 +97,27 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	return nil
 }
 
-func writeHist(w io.Writer, name string, h *HistogramSnapshot) error {
+// writeHist renders one histogram's bucket series. label is either "" or
+// a rendered pair like `op="run"`, merged ahead of the le label (and onto
+// the _sum/_count lines).
+func writeHist(w io.Writer, name, label string, h *HistogramSnapshot) error {
+	lePrefix, tail := "", ""
+	if label != "" {
+		lePrefix = label + ","
+		tail = "{" + label + "}"
+	}
 	var cum uint64
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, lePrefix, b, cum); err != nil {
 			return err
 		}
 	}
 	cum += h.Counts[len(h.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, lePrefix, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Total); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, tail, h.Sum, name, tail, h.Total); err != nil {
 		return err
 	}
 	return nil
