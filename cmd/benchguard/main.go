@@ -1,8 +1,9 @@
-// Benchguard enforces the observability layer's performance budget by
-// comparing two simbench reports: the metrics-off hot loop must hold the
-// committed baseline's predecode speedup to within 3%, and the metrics-on
-// (instrumented) path must stay within 15% of the same run's predecoded
-// throughput. A failed check exits nonzero.
+// Benchguard enforces the performance budgets by comparing two simbench
+// reports: the metrics-off hot loop must hold the committed baseline's
+// predecode speedup to within 3%, the metrics-on (instrumented) path must
+// stay within 20% of the same run's predecoded throughput, and the
+// superblock-translated path must beat the same run's predecoded path by
+// 1.5x on at least two workloads. A failed check exits nonzero.
 //
 // Both reports must come from the same simbench executable: function
 // placement differs between binaries, which alone shifts the hot loop's
@@ -30,6 +31,8 @@ func main() {
 	currentPath := flag.String("current", "", "current report JSON (required)")
 	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "metrics-off allowed fractional regression")
 	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "metrics-on allowed fractional overhead")
+	transMin := flag.Float64("translated-min", bench.DefaultGuardThresholds.TranslatedMin, "required translated-over-predecoded speedup (0 disables)")
+	transN := flag.Int("translated-workloads", bench.DefaultGuardThresholds.TranslatedWorkloads, "workloads that must reach -translated-min")
 	flag.Parse()
 
 	if *currentPath == "" {
@@ -47,7 +50,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on}
+	th := bench.GuardThresholds{
+		MetricsOff: *off, MetricsOn: *on,
+		TranslatedMin: *transMin, TranslatedWorkloads: *transN,
+	}
 	checks, ok := bench.Guard(baseline, current, th)
 	fmt.Printf("benchguard: baseline %s (%s %s/%s), thresholds off %.0f%% on %.0f%%\n",
 		*baselinePath, baseline.GoVersion, baseline.GOOS, baseline.GOARCH,

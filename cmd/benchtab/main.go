@@ -7,6 +7,10 @@
 //
 //	benchtab            run everything
 //	benchtab E3 E7      run selected experiments
+//	benchtab -host BENCH_SIM.json
+//	                    also render the host-throughput report as a
+//	                    workload × execution-path table (predecoded,
+//	                    reference, instrumented, translated)
 //	benchtab -json      emit the tables as JSON instead of text
 //	benchtab -json -o tables.json
 //	                    write the JSON to a file (atomically: a killed run
@@ -26,7 +30,16 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit experiment tables as JSON")
 	out := flag.String("o", "", "with -json: write to this file instead of stdout")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while experiments run")
+	host := flag.String("host", "", "also render this simbench report (e.g. BENCH_SIM.json) as a workload × path table")
 	flag.Parse()
+	if *host != "" {
+		rep, err := bench.ReadHostReportFile(*host)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.HostTable())
+	}
 	if *httpAddr != "" {
 		srv, err := obs.ServeDebug(*httpAddr, nil)
 		if err != nil {

@@ -6,8 +6,10 @@
 //
 // Usage:
 //
-//	fuzzdiff [-start N] [-seeds N] [-cycles N] [-k N] [-insts N]
+//	fuzzdiff [-start N] [-seeds N] [-cycles N] [-k N] [-insts N] [-translated]
 //
+// With -translated the fast side runs the superblock translator instead of
+// the plain predecoded loop, hunting translator bugs with the same oracle.
 // Exit status 1 if any seed diverged.
 package main
 
@@ -26,6 +28,7 @@ func main() {
 	cycles := flag.Uint64("cycles", 20000, "simulated cycles per seed")
 	k := flag.Uint64("k", 512, "checkpoint interval in cycles")
 	insts := flag.Int("insts", 24, "generated instructions per program")
+	translated := flag.Bool("translated", false, "fast side uses superblock translation instead of the predecoded loop")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while fuzzing")
 	flag.Parse()
 	if *httpAddr != "" {
@@ -45,6 +48,7 @@ func main() {
 			Instructions:    *insts,
 			Cycles:          *cycles,
 			CheckpointEvery: *k,
+			Translated:      *translated,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzzdiff: seed %d: %v\n", seed, err)

@@ -1,11 +1,16 @@
 // Simbench measures host performance: how many simulated Dorado cycles per
 // second the simulator sustains on the machine running it, across the §7
 // workload families (emulator mix, disk, fast I/O, BitBlt). Each workload
-// runs three times — on the predecoded hot loop, on the reference
-// interpreter (per-cycle decode, the pre-optimization baseline), and on
-// the hot loop with an observability recorder attached — and the report
-// records all three plus the predecode speedup and the metrics-on
-// overhead.
+// runs four times — on the predecoded hot loop, on the reference
+// interpreter (per-cycle decode, the pre-optimization baseline), on the
+// hot loop with an observability recorder attached, and on the superblock
+// translator (hot microcode traces fused into Go closures) — and the
+// report records all four plus the predecode speedup, the metrics-on
+// overhead, and the translated speedup.
+//
+// With -path only the named path is measured (e.g. -path=translated for a
+// quick look at the translator alone); ratios need paired measurements, so
+// single-path runs print raw throughput only and write no report.
 //
 // With -guard the report is additionally checked against the committed
 // BENCH_SIM.json baseline (cmd/benchguard's thresholds), re-measuring on
@@ -34,6 +39,7 @@
 //	simbench                         print the report, write BENCH_SIM.json
 //	simbench -cycles 5000000         longer runs (steadier numbers)
 //	simbench -o path.json            write elsewhere ("" skips the file)
+//	simbench -path translated        measure one path only, report to stdout
 //	simbench -guard -o current.json  CI mode: measure, then enforce thresholds
 //	simbench -fleet                  also measure 1→8-session fleet scaling
 package main
@@ -58,6 +64,9 @@ func main() {
 	off := flag.Float64("off", bench.DefaultGuardThresholds.MetricsOff, "with -guard: metrics-off allowed fractional regression")
 	on := flag.Float64("on", bench.DefaultGuardThresholds.MetricsOn, "with -guard: metrics-on allowed fractional overhead")
 	fleetOn := flag.Float64("fleet-on", bench.DefaultGuardThresholds.FleetMetricsOn, "with -guard: instrumented-fleet allowed fractional overhead")
+	transMin := flag.Float64("translated-min", bench.DefaultGuardThresholds.TranslatedMin, "with -guard: required translated-over-predecoded speedup")
+	transN := flag.Int("translated-workloads", bench.DefaultGuardThresholds.TranslatedWorkloads, "with -guard: workloads that must reach -translated-min")
+	onePath := flag.String("path", "", "measure only this path (predecoded, reference, instrumented, translated); no ratios, no report file")
 	doFleet := flag.Bool("fleet", false, "also measure fleet scaling (aggregate cycles/sec, 1→N sessions)")
 	fleetMax := flag.Int("fleet-sessions", 8, "with -fleet: largest session count (doubling from 1)")
 	fleetCycles := flag.Uint64("fleet-cycles", 250_000, "with -fleet: cycles per run operation")
@@ -76,8 +85,41 @@ func main() {
 		*out = ""
 	}
 
+	if *onePath != "" {
+		if *guard {
+			fmt.Fprintln(os.Stderr, "simbench: -path measures one side of every ratio; it cannot be combined with -guard")
+			os.Exit(1)
+		}
+		switch *onePath {
+		case bench.PathPredecoded, bench.PathReference, bench.PathInstrumented, bench.PathTranslated:
+		default:
+			fmt.Fprintf(os.Stderr, "simbench: unknown path %q\n", *onePath)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %-12s %14s %10s %12s\n", "workload", "path", "cycles/sec", "ns/cycle", "allocs/cycle")
+		for _, w := range bench.HostWorkloads() {
+			var best bench.HostResult
+			for i := 0; i < *reps; i++ {
+				r, err := bench.MeasureHost(w, *onePath, *cycles)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "simbench: %s: %v\n", w.ID, err)
+					os.Exit(1)
+				}
+				if r.CyclesPerSec > best.CyclesPerSec {
+					best = r
+				}
+			}
+			fmt.Printf("%-10s %-12s %14.0f %10.1f %12.4f\n",
+				best.Workload, best.Path, best.CyclesPerSec, best.NsPerCycle, best.AllocsPerCycle)
+		}
+		return
+	}
+
 	var baseline *bench.HostReport
-	th := bench.GuardThresholds{MetricsOff: *off, MetricsOn: *on, FleetMetricsOn: *fleetOn}
+	th := bench.GuardThresholds{
+		MetricsOff: *off, MetricsOn: *on, FleetMetricsOn: *fleetOn,
+		TranslatedMin: *transMin, TranslatedWorkloads: *transN,
+	}
 	if *guard {
 		var err error
 		baseline, err = bench.ReadHostReportFile(*baselinePath)
@@ -110,8 +152,8 @@ func main() {
 		}
 		fmt.Println()
 		for _, w := range bench.HostWorkloads() {
-			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%\n",
-				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1))
+			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%   translated %.2fx\n",
+				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1), rep.Translation[w.ID])
 		}
 
 		if *doFleet {
@@ -174,8 +216,9 @@ func main() {
 		}
 
 		checks, ok := bench.Guard(baseline, &rep, th)
-		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%% fleet-on %.0f%%\n",
-			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn, 100*th.FleetMetricsOn)
+		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%% fleet-on %.0f%% translated %.1fx on %d+ workloads\n",
+			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn, 100*th.FleetMetricsOn,
+			th.TranslatedMin, th.TranslatedWorkloads)
 		for _, c := range checks {
 			fmt.Println(c)
 		}

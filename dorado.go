@@ -69,6 +69,11 @@ type (
 	Asm = emulator.Asm
 	// BitBltParams describes one raster operation.
 	BitBltParams = bitblt.Params
+	// Translation configures the superblock translator (see
+	// WithTranslation). The zero value leaves translation off.
+	Translation = core.Translation
+	// TranslationStats counts translator activity (Machine.TranslationStats).
+	TranslationStats = core.TranslationStats
 	// Tracer receives one event per simulated cycle (see WithTracer).
 	Tracer = core.Tracer
 	// TraceEvent is one cycle's trace record.

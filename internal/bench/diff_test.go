@@ -9,57 +9,83 @@ import (
 	"dorado/internal/emulator"
 )
 
-// This file is the workload-level half of the predecode differential test:
-// each §7 experiment family (Mesa emulator, disk, fast I/O, slow I/O,
-// BitBlt) runs once on the predecoded fast path and once on the reference
-// interpreter (Config.Reference, the seed's decode-every-cycle behavior),
-// and the two machines must agree cycle-for-cycle: identical Stats,
-// identical final registers, identical memory. The instruction-level pairs
-// live in internal/core/predecode_test.go.
+// This file is the workload-level half of the interpreter differential
+// test: each §7 experiment family (Mesa emulator, disk, fast I/O, slow I/O,
+// BitBlt) runs once on each execution path — predecoded fast path,
+// reference interpreter (Config.Reference, the seed's decode-every-cycle
+// behavior), and superblock-translated (Config.Translation) — and all
+// machines must agree cycle-for-cycle: identical Stats, identical final
+// registers, identical memory. The instruction-level pairs live in
+// internal/core/predecode_test.go and internal/core/translate_test.go.
 
-// diffPair runs build twice (fast path, then reference interpreter) and
-// checks the two machines ended in the same state.
+// diffTranslation is the translation config the differential workloads run
+// under: a low hot threshold so even the short runs spend most of their
+// cycles inside fused superblocks.
+var diffTranslation = core.Translation{Enable: true, HotThreshold: 8}
+
+// diffPair runs build once per execution path (predecoded, reference
+// interpreter, superblock-translated) and checks all machines ended in the
+// same state. The predecoded machine is the comparison pivot; mismatches
+// name the offending path.
 func diffPair(t *testing.T, name string, build func(cfg core.Config) (*core.Machine, error), memLo, memHi uint32) {
 	t.Helper()
 	fast, err := build(core.Config{})
 	if err != nil {
 		t.Fatalf("%s: fast build: %v", name, err)
 	}
-	ref, err := build(core.Config{Reference: true})
-	if err != nil {
-		t.Fatalf("%s: reference build: %v", name, err)
+	others := []struct {
+		path string
+		cfg  core.Config
+	}{
+		{"reference", core.Config{Reference: true}},
+		{"translated", core.Config{Translation: diffTranslation}},
 	}
-	if fast.Cycle() != ref.Cycle() {
-		t.Errorf("%s: cycle count diverged: fast %d, reference %d", name, fast.Cycle(), ref.Cycle())
-	}
-	if fast.Halted() != ref.Halted() || fast.HaltPC() != ref.HaltPC() {
-		t.Errorf("%s: halt state diverged: fast (%v,%v), reference (%v,%v)",
-			name, fast.Halted(), fast.HaltPC(), ref.Halted(), ref.HaltPC())
-	}
-	if fs, rs := fast.Stats(), ref.Stats(); !reflect.DeepEqual(fs, rs) {
-		t.Errorf("%s: stats diverged:\nfast: %+v\nref:  %+v", name, fs, rs)
-	}
-	if fast.CurTask() != ref.CurTask() || fast.CurPC() != ref.CurPC() {
-		t.Errorf("%s: control diverged: fast (task %d, pc %v), reference (task %d, pc %v)",
-			name, fast.CurTask(), fast.CurPC(), ref.CurTask(), ref.CurPC())
-	}
-	for i := 0; i < 256; i++ {
-		if fast.RM(i) != ref.RM(i) {
-			t.Errorf("%s: RM[%d] diverged: fast %#04x, reference %#04x", name, i, fast.RM(i), ref.RM(i))
+	for _, o := range others {
+		ref, err := build(o.cfg)
+		if err != nil {
+			t.Fatalf("%s: %s build: %v", name, o.path, err)
 		}
-		if fast.Stack(i) != ref.Stack(i) {
-			t.Errorf("%s: stack[%d] diverged: fast %#04x, reference %#04x", name, i, fast.Stack(i), ref.Stack(i))
+		if o.path == "translated" {
+			// The translator must at least have engaged. FusedCycles can
+			// legitimately be zero (slow-io's loopback wakes its task every
+			// cycle, so the entry guard never opens) but a run that built no
+			// blocks at all would make this differential vacuous.
+			if ts := ref.TranslationStats(); ts.BlocksBuilt == 0 {
+				t.Errorf("%s: translated run built no superblocks (stats %+v)", name, ts)
+			}
 		}
-	}
-	for task := 0; task < 16; task++ {
-		if fast.T(task) != ref.T(task) || fast.TPC(task) != ref.TPC(task) {
-			t.Errorf("%s: task %d diverged: fast (T %#04x, TPC %v), reference (T %#04x, TPC %v)",
-				name, task, fast.T(task), fast.TPC(task), ref.T(task), ref.TPC(task))
+		if fast.Cycle() != ref.Cycle() {
+			t.Errorf("%s: cycle count diverged: fast %d, %s %d", name, fast.Cycle(), o.path, ref.Cycle())
 		}
-	}
-	for a := memLo; a < memHi; a++ {
-		if fv, rv := fast.Mem().Peek(a), ref.Mem().Peek(a); fv != rv {
-			t.Errorf("%s: memory %#x diverged: fast %#04x, reference %#04x", name, a, fv, rv)
+		if fast.Halted() != ref.Halted() || fast.HaltPC() != ref.HaltPC() {
+			t.Errorf("%s: halt state diverged: fast (%v,%v), %s (%v,%v)",
+				name, fast.Halted(), fast.HaltPC(), o.path, ref.Halted(), ref.HaltPC())
+		}
+		if fs, rs := fast.Stats(), ref.Stats(); !reflect.DeepEqual(fs, rs) {
+			t.Errorf("%s: stats diverged:\nfast: %+v\n%-4s: %+v", name, fs, o.path, rs)
+		}
+		if fast.CurTask() != ref.CurTask() || fast.CurPC() != ref.CurPC() {
+			t.Errorf("%s: control diverged: fast (task %d, pc %v), %s (task %d, pc %v)",
+				name, fast.CurTask(), fast.CurPC(), o.path, ref.CurTask(), ref.CurPC())
+		}
+		for i := 0; i < 256; i++ {
+			if fast.RM(i) != ref.RM(i) {
+				t.Errorf("%s: RM[%d] diverged: fast %#04x, %s %#04x", name, i, fast.RM(i), o.path, ref.RM(i))
+			}
+			if fast.Stack(i) != ref.Stack(i) {
+				t.Errorf("%s: stack[%d] diverged: fast %#04x, %s %#04x", name, i, fast.Stack(i), o.path, ref.Stack(i))
+			}
+		}
+		for task := 0; task < 16; task++ {
+			if fast.T(task) != ref.T(task) || fast.TPC(task) != ref.TPC(task) {
+				t.Errorf("%s: task %d diverged: fast (T %#04x, TPC %v), %s (T %#04x, TPC %v)",
+					name, task, fast.T(task), fast.TPC(task), o.path, ref.T(task), ref.TPC(task))
+			}
+		}
+		for a := memLo; a < memHi; a++ {
+			if fv, rv := fast.Mem().Peek(a), ref.Mem().Peek(a); fv != rv {
+				t.Errorf("%s: memory %#x diverged: fast %#04x, %s %#04x", name, a, fv, o.path, rv)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"dorado/internal/bitblt"
@@ -26,6 +27,7 @@ const (
 	PathPredecoded   = "predecoded"   // the default hot loop
 	PathReference    = "reference"    // per-cycle decode (seed behavior)
 	PathInstrumented = "instrumented" // hot loop + obs.Recorder attached
+	PathTranslated   = "translated"   // superblock translation (core.Translation)
 )
 
 // HostWorkload is one host-throughput scenario. Build constructs a machine
@@ -115,7 +117,10 @@ type HostResult struct {
 // MeasureHost times one workload on one path for roughly budget simulated
 // cycles, reporting host throughput and allocation rate.
 func MeasureHost(w HostWorkload, path string, budget uint64) (HostResult, error) {
-	run, m, err := w.Build(core.Config{Reference: path == PathReference})
+	run, m, err := w.Build(core.Config{
+		Reference:   path == PathReference,
+		Translation: core.Translation{Enable: path == PathTranslated},
+	})
 	if err != nil {
 		return HostResult{}, err
 	}
@@ -191,7 +196,11 @@ type HostReport struct {
 	Results      []HostResult       `json:"results"`
 	Speedup      map[string]float64 `json:"speedup"`
 	Overhead     map[string]float64 `json:"overhead,omitempty"`
-	Fleet        []FleetPoint       `json:"fleet,omitempty"`
+	// Translation is the per-workload superblock-translation speedup
+	// (translated over predecoded cycles/sec, same run). Reports written
+	// before the translated path existed lack it.
+	Translation map[string]float64 `json:"translation,omitempty"`
+	Fleet       []FleetPoint       `json:"fleet,omitempty"`
 }
 
 // Result returns the measurement for (workload, path), or nil.
@@ -204,13 +213,48 @@ func (r *HostReport) Result(workload, path string) *HostResult {
 	return nil
 }
 
-// RunHostReport measures every workload on all three paths, best of reps
+// HostTable renders a report as a workload × path table (one column per
+// execution path, in Mcycles/sec) with the derived ratios, the layout
+// benchtab -host prints. Paths absent from the report (older files) render
+// as "-", so a pre-translation BENCH_SIM.json still formats cleanly.
+func (r *HostReport) HostTable() string {
+	var b strings.Builder
+	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated}
+	fmt.Fprintf(&b, "host throughput, Mcycles/sec (%s %s/%s, %d cycles per run)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.CyclesPerRun)
+	fmt.Fprintf(&b, "%-10s", "workload")
+	for _, p := range paths {
+		fmt.Fprintf(&b, " %12s", p)
+	}
+	fmt.Fprintf(&b, " %9s %9s %11s\n", "speedup", "metrics", "translated")
+	for _, w := range HostWorkloads() {
+		fmt.Fprintf(&b, "%-10s", w.ID)
+		for _, p := range paths {
+			if res := r.Result(w.ID, p); res != nil {
+				fmt.Fprintf(&b, " %12.1f", res.CyclesPerSec/1e6)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		ratio := func(m map[string]float64, id string) string {
+			if v, ok := m[id]; ok && v > 0 {
+				return fmt.Sprintf("%.2fx", v)
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, " %9s %9s %11s\n",
+			ratio(r.Speedup, w.ID), ratio(r.Overhead, w.ID), ratio(r.Translation, w.ID))
+	}
+	return b.String()
+}
+
+// RunHostReport measures every workload on all four paths, best of reps
 // runs each. Host throughput on shared machines jitters downward
 // (scheduler preemption, frequency scaling), so each path's result is the
 // best of reps measurements — the steadier estimator of what the
 // simulator can sustain — and the reps are interleaved across paths so a
-// contention episode degrades all three paths alike instead of silently
-// skewing one side of a ratio the bench guard checks.
+// contention episode degrades all paths alike instead of silently skewing
+// one side of a ratio the bench guard checks.
 func RunHostReport(budget uint64, reps int) (HostReport, error) {
 	if reps < 1 {
 		reps = 1
@@ -222,8 +266,9 @@ func RunHostReport(budget uint64, reps int) (HostReport, error) {
 		CyclesPerRun: budget,
 		Speedup:      map[string]float64{},
 		Overhead:     map[string]float64{},
+		Translation:  map[string]float64{},
 	}
-	paths := []string{PathPredecoded, PathReference, PathInstrumented}
+	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated}
 	for _, w := range HostWorkloads() {
 		best := map[string]HostResult{}
 		for i := 0; i < reps; i++ {
@@ -237,10 +282,11 @@ func RunHostReport(budget uint64, reps int) (HostReport, error) {
 				}
 			}
 		}
-		fast, ref, inst := best[PathPredecoded], best[PathReference], best[PathInstrumented]
-		rep.Results = append(rep.Results, fast, ref, inst)
+		fast, ref, inst, trans := best[PathPredecoded], best[PathReference], best[PathInstrumented], best[PathTranslated]
+		rep.Results = append(rep.Results, fast, ref, inst, trans)
 		rep.Speedup[w.ID] = fast.CyclesPerSec / ref.CyclesPerSec
 		rep.Overhead[w.ID] = fast.CyclesPerSec / inst.CyclesPerSec
+		rep.Translation[w.ID] = trans.CyclesPerSec / fast.CyclesPerSec
 	}
 	return rep, nil
 }

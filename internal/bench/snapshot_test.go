@@ -16,19 +16,28 @@ import (
 // compute the same machine; these tests prove a machine is the same machine
 // after a save/restore round trip through the serialized format.
 
+// snapshotPaths are the execution paths the checkpointing suite covers.
+// Snapshots are path-independent (derived caches — predecode, superblocks,
+// hotness counters — are never serialized), so every path must produce and
+// accept the same bytes.
+var snapshotPaths = []struct {
+	name string
+	cfg  core.Config
+}{
+	{"predecoded", core.Config{}},
+	{"reference", core.Config{Reference: true}},
+	{"translated", core.Config{Translation: core.Translation{Enable: true, HotThreshold: 8}}},
+}
+
 // TestSplitRunEquivalence: running N cycles straight must equal running k
 // cycles, snapshotting, restoring into a freshly built machine, and running
-// the remaining N−k — for every workload, several split points, both paths.
+// the remaining N−k — for every workload, several split points, every path.
 func TestSplitRunEquivalence(t *testing.T) {
 	const total = 8000
 	for _, w := range Workloads() {
-		for _, reference := range []bool{false, true} {
-			path := "predecoded"
-			if reference {
-				path = "reference"
-			}
-			t.Run(fmt.Sprintf("%s/%s", w.ID, path), func(t *testing.T) {
-				cfg := core.Config{Reference: reference}
+		for _, p := range snapshotPaths {
+			t.Run(fmt.Sprintf("%s/%s", w.ID, p.name), func(t *testing.T) {
+				cfg := p.cfg
 				straight, err := w.Build(cfg)
 				if err != nil {
 					t.Fatal(err)
@@ -75,40 +84,41 @@ var goldenHashes = map[string]string{
 }
 
 // TestGoldenSnapshots checks the content hash of each workload's snapshot
-// at a fixed cycle count, and that restoring that snapshot re-serializes
-// byte-identically (the round-trip property at workload scale).
+// at a fixed cycle count — on every execution path, which must all hash the
+// same — and that restoring that snapshot re-serializes byte-identically
+// (the round-trip property at workload scale).
 func TestGoldenSnapshots(t *testing.T) {
 	const cycles = 5000
 	for _, w := range Workloads() {
 		t.Run(w.ID, func(t *testing.T) {
-			m, err := w.Build(core.Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			m.RunCycles(cycles)
-			snap := m.Snapshot()
-			h := sha256.Sum256(snap)
-			got := hex.EncodeToString(h[:])
-
 			want, ok := goldenHashes[w.ID]
 			if !ok || want == "" {
-				t.Fatalf("no golden hash for %q; current hash is %s", w.ID, got)
+				t.Fatalf("no golden hash for %q", w.ID)
 			}
-			if got != want {
-				t.Errorf("snapshot hash changed after %d cycles:\n got %s\nwant %s\n"+
-					"(expected only when the state format or machine behavior deliberately changes)",
-					cycles, got, want)
-			}
+			for _, p := range snapshotPaths {
+				m, err := w.Build(p.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.RunCycles(cycles)
+				snap := m.Snapshot()
+				h := sha256.Sum256(snap)
+				if got := hex.EncodeToString(h[:]); got != want {
+					t.Errorf("%s: snapshot hash changed after %d cycles:\n got %s\nwant %s\n"+
+						"(expected only when the state format or machine behavior deliberately changes)",
+						p.name, cycles, got, want)
+				}
 
-			fresh, err := w.Build(core.Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := fresh.Restore(snap); err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(fresh.Snapshot(), snap) {
-				t.Error("restore → snapshot is not byte-identical")
+				fresh, err := w.Build(p.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fresh.Snapshot(), snap) {
+					t.Errorf("%s: restore → snapshot is not byte-identical", p.name)
+				}
 			}
 		})
 	}

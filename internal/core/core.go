@@ -95,6 +95,13 @@ type Config struct {
 	// differential tests diff the two, and cmd/simbench uses it as the
 	// host-performance baseline. Simulation semantics are unaffected.
 	Reference bool
+	// Translation enables the superblock translator (translate.go): hot
+	// straight-line microcode runs execute as fused Go closures instead of
+	// per-cycle dispatch. Like Reference it selects how cycles are computed,
+	// not what they compute, and is excluded from snapshots. It requires the
+	// as-built machine: New rejects Translation combined with Reference or
+	// with any Options ablation.
+	Translation Translation
 }
 
 // taskState groups the task-specific registers (§5.3).
@@ -135,6 +142,9 @@ type Machine struct {
 	devs   [NumTasks]device.Device // by task number
 	byAddr [NumTasks]device.Device // by IOADDRESS (low 4 bits)
 	att    []attachedDev           // attached devices in task order (hot loop)
+	// anyIdler: at least one attached device implements device.Idler, so
+	// the translated path can try the quiet-horizon device-scan hoist.
+	anyIdler bool
 
 	// Control section (§6.2).
 	tasks    [NumTasks]taskState
@@ -160,6 +170,7 @@ type Machine struct {
 
 	tracer Tracer
 	rec    *obs.Recorder // attached metrics recorder, or nil (the fast path)
+	trans  *translator   // superblock translator, or nil (predecoded path)
 
 	halted bool
 	haltPC microcode.Addr
@@ -198,11 +209,22 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Translation.Enable {
+		if cfg.Reference {
+			return nil, fmt.Errorf("core: Translation requires the predecoded path, not Reference")
+		}
+		if cfg.Options != (Options{}) {
+			return nil, fmt.Errorf("core: Translation supports only the as-built machine (Options must be zero)")
+		}
+	}
 	m := &Machine{
 		cfg:   cfg,
 		mem:   mem,
 		ifu:   ifu.New(mem, cfg.IFU),
 		alufm: microcode.DefaultALUFM(),
+	}
+	if cfg.Translation.Enable {
+		m.trans = &translator{cfg: cfg.Translation.withDefaults()}
 	}
 	// Unloaded microstore halts immediately.
 	for i := range m.im {
@@ -222,21 +244,34 @@ func (m *Machine) Mem() *memory.System { return m.mem }
 func (m *Machine) IFU() *ifu.Unit { return m.ifu }
 
 // Load installs a microstore image (e.g. masm.Program.Words) and rebuilds
-// the predecode cache.
+// the predecode cache. Reloading an identical image is a no-op — the
+// derived caches (predecode, superblocks) stay warm, which matters to
+// callers that re-Load the same program per work item (BitBlt runs one
+// Setup per blit).
 func (m *Machine) Load(im *[microcode.StoreSize]microcode.Word) {
+	if m.im == *im {
+		return
+	}
 	m.im = *im
 	m.predecodeAll()
+	m.trans.reset()
 }
 
 // SetIM writes one microstore word. This is the invalidation point of the
 // predecode layer: the written word is re-decoded immediately, so a
 // subsequent fetch of a executes the new instruction on both the fast and
 // the reference path. Loaders and the console must route single-word
-// microstore writes through here (bulk images go through Load).
+// microstore writes through here (bulk images go through Load). The
+// superblock caches are flushed whole — any block may have fused the old
+// word — and rebuild from fresh profiles.
 func (m *Machine) SetIM(a microcode.Addr, w microcode.Word) {
 	a &= microcode.AddrMask
+	if m.im[a] == w {
+		return // rewriting the same word invalidates nothing
+	}
 	m.im[a] = w
 	m.dim[a] = decodeWord(w)
+	m.trans.reset()
 }
 
 // IM reads one microstore word.
@@ -248,6 +283,10 @@ type attachedDev struct {
 	dev  device.Device
 	task int
 	bit  uint16
+	// idler is dev's optional quiet-horizon view (device.Idler), resolved
+	// once at Attach so the translated path's hot loop never type-asserts;
+	// nil when the device does not implement it.
+	idler device.Idler
 }
 
 // Attach registers a device on its task number; its IOADDRESS is the task
@@ -265,9 +304,14 @@ func (m *Machine) Attach(d device.Device) error {
 	// Rebuild the compact device list in task order, so Tick and wakeup
 	// sampling visit controllers exactly as the 16-slot scan did.
 	m.att = m.att[:0]
+	m.anyIdler = false
 	for task := 1; task < NumTasks; task++ {
 		if dev := m.devs[task]; dev != nil {
-			m.att = append(m.att, attachedDev{dev: dev, task: task, bit: 1 << task})
+			idler, _ := dev.(device.Idler)
+			if idler != nil {
+				m.anyIdler = true
+			}
+			m.att = append(m.att, attachedDev{dev: dev, task: task, bit: 1 << task, idler: idler})
 		}
 	}
 	return nil

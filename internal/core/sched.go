@@ -29,9 +29,15 @@ func (m *Machine) Step() {
 func (m *Machine) Run(maxCycles uint64) bool {
 	limit := m.cycle + maxCycles
 	if m.tracer != nil {
+		// A tracer wants one event per cycle, which only the generic loop
+		// emits — translation (if configured) idles while it is attached.
 		for !m.halted && m.cycle < limit {
 			m.step(true)
 		}
+		return m.halted
+	}
+	if m.trans != nil {
+		m.runTranslated(limit)
 		return m.halted
 	}
 	for !m.halted && m.cycle < limit {

@@ -265,7 +265,12 @@ func (m *Machine) Restore(data []byte) error {
 	}
 	// The restore-invalidates-predecode rule: dim is derived from im and is
 	// never serialized, so it must be rebuilt here, exactly as Load does.
+	// Superblock caches are derived state too: flushing them guarantees a
+	// snapshot taken mid-block rehydrates onto the generic cycle loop and
+	// re-translates from fresh profiles — restore is deterministic whether
+	// or not the snapshotting machine had translation on.
 	m.predecodeAll()
+	m.trans.reset()
 
 	if err := m.mem.LoadState(d); err != nil {
 		return err

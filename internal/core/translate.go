@@ -1,0 +1,1006 @@
+package core
+
+import (
+	"math/bits"
+
+	"dorado/internal/microcode"
+)
+
+// This file is the superblock translator: the third execution path
+// (reference → predecoded → translated). A lightweight profiler counts how
+// often each microword executes on the generic loop; when a word crosses
+// Translation.HotThreshold, the translator walks the predecoded successor
+// chain from it and fuses the straight-line run into a superblock — a
+// single Go closure that executes the whole run without per-cycle
+// NextControl dispatch. Successor addresses, subroutine-linkage values, and
+// per-instruction specializations are resolved once, at translation time;
+// the block loops then execute fused cycles with the scheduler work either
+// hoisted to block entry (runBlockFast, the quiescent task-0 case) or
+// reduced to the exact per-cycle minimum step performs (runBlock, the
+// device-machine case).
+//
+// The fallback contract (DESIGN.md §12): any event the fused path cannot
+// retire exactly — a Hold, a pending higher-priority task, a device wakeup
+// that could preempt, an IFUJUMP or other dynamic NextControl past the
+// block's terminator, FF Halt, or an exhausted cycle budget — returns
+// control to the existing cycle loop, which re-executes from the current
+// (task, PC) with unmodified semantics. Translation is therefore an
+// optimization of *how* a cycle is computed, never of *which* cycles
+// happen: a translated machine is cycle-for-cycle, snapshot-for-snapshot
+// identical to the predecoded and reference interpreters, which the
+// differential tests and internal/fuzzdiff enforce.
+
+// Translation configures the superblock translator. The zero value
+// disables it; Enable with zero tuning fields picks the defaults. The
+// translator requires the as-built machine (no Options ablations, not
+// Reference) — core.New rejects other combinations.
+type Translation struct {
+	// Enable turns the translated execution path on.
+	Enable bool
+	// HotThreshold is how many times a microword must execute on the
+	// generic loop before a superblock is built at its address (default 64).
+	HotThreshold uint32
+	// MaxBlock bounds the number of microinstructions fused into one
+	// superblock (default 48).
+	MaxBlock int
+}
+
+func (t Translation) withDefaults() Translation {
+	if t.HotThreshold == 0 {
+		t.HotThreshold = 64
+	}
+	if t.MaxBlock <= 0 {
+		t.MaxBlock = 48
+	}
+	return t
+}
+
+// TranslationStats counts translator activity. The counters are
+// diagnostics, not machine state: they are not serialized into snapshots
+// and accumulate across invalidations.
+type TranslationStats struct {
+	// BlocksBuilt is the number of superblocks ever constructed.
+	BlocksBuilt uint64
+	// Instructions is the total number of microinstructions fused into
+	// those blocks.
+	Instructions uint64
+	// Entries counts block executions (entries into a fused closure).
+	Entries uint64
+	// FusedCycles counts machine cycles retired inside superblocks — the
+	// coverage the translator actually achieves (compare Machine.Cycle).
+	FusedCycles uint64
+	// QuietCycles counts fused cycles that skipped the per-cycle device
+	// scan under a device.Idler quiet-horizon promise.
+	QuietCycles uint64
+	// Invalidations counts whole-cache flushes (microstore writes, Load,
+	// Restore).
+	Invalidations uint64
+}
+
+// instExit is a fused instruction's report to the block loop.
+type instExit uint8
+
+const (
+	// instOK: the instruction executed and curPC advanced to its static
+	// successor; the block continues.
+	instOK instExit = iota
+	// instEnd: the block's terminator executed (its successor may be
+	// dynamic — branch, return, dispatch, IFU jump); curPC is set and the
+	// block is done.
+	instEnd
+	// instHeld: the instruction held (§5.7) — no state changed beyond the
+	// hold counters and curPC is unchanged; the generic loop retries it.
+	instHeld
+	// instLoop: a fused BRANCH terminator resolved to the block's own start
+	// (curPC is set to it); the block loop restarts at its first
+	// instruction without leaving the fused path.
+	instLoop
+)
+
+// instFn executes one fused microinstruction. The machine's curPC equals
+// the instruction's address on entry; on instOK/instEnd the fn has advanced
+// it. Fused instructions never Block-release the processor: words with the
+// Block bit force the containing block task0Only (where Block is the stack
+// modifier, §6.3.1), so the release path stays exclusive to step.
+type instFn func(m *Machine, now uint64) instExit
+
+// superblock is one fused straight-line run of decoded microwords.
+type superblock struct {
+	start microcode.Addr
+	code  []instFn
+	// task0Only marks blocks containing stack-modifier (Block-bit) words:
+	// under task 0 the bit selects a stack operation, under any other task
+	// it releases the processor, so such blocks only run as task 0.
+	task0Only bool
+	// devSafe: no instruction in the block has an FF that can mutate a
+	// device (Input, Output, DevCtl, IOAttenAck), so a device.Idler quiet
+	// promise taken at block entry cannot be violated from inside the block
+	// and runBlock may skip the per-cycle device scan until the horizon.
+	devSafe bool
+	// ifuSafe: no instruction can start the IFU (FF IFUReset), so when the
+	// IFU is stopped at block entry it stays stopped and its per-cycle Tick
+	// (a no-op on a stopped unit) is skipped.
+	ifuSafe bool
+}
+
+// translator is the per-machine translation state: profile counters and
+// the block cache, both derived from the microstore and rebuilt on demand —
+// never serialized (the snapshot stays path-agnostic).
+type translator struct {
+	cfg Translation
+	// counts profiles generic-loop executions per microstore address.
+	counts [microcode.StoreSize]uint32
+	// blocks caches one superblock per start address (nil: none yet).
+	blocks [microcode.StoreSize]*superblock
+	// noBlock marks addresses where translation was attempted and declined
+	// (run too short), so the generic loop stops re-trying them.
+	noBlock [microcode.StoreSize]bool
+	stats   TranslationStats
+}
+
+// reset flushes the profile and block caches. Called on any microstore
+// write (SetIM, Load) and on Restore, so a snapshot taken mid-block always
+// rehydrates onto the cycle loop deterministically.
+func (t *translator) reset() {
+	if t == nil {
+		return
+	}
+	t.counts = [microcode.StoreSize]uint32{}
+	t.blocks = [microcode.StoreSize]*superblock{}
+	t.noBlock = [microcode.StoreSize]bool{}
+	t.stats.Invalidations++
+}
+
+// TranslationStats returns the translator's activity counters (zero when
+// translation is disabled).
+func (m *Machine) TranslationStats() TranslationStats {
+	if m.trans == nil {
+		return TranslationStats{}
+	}
+	return m.trans.stats
+}
+
+// runTranslated is Run's hot loop when translation is enabled (and no
+// tracer is attached — a tracer needs one event per cycle, which only the
+// generic loop produces). Cold addresses execute on the generic step while
+// the profiler counts them; hot addresses execute through their superblock.
+func (m *Machine) runTranslated(limit uint64) {
+	t := m.trans
+	for !m.halted && m.cycle < limit {
+		pc := m.curPC
+		if b := t.blocks[pc]; b != nil {
+			// Entry guard: a pending task switch (BESTNEXTTASK above the
+			// running task) must happen on the generic loop, a task0Only
+			// block only runs as task 0, and owed stall cycles burn
+			// generically.
+			if m.bestNext <= m.curTask && (!b.task0Only || m.curTask == 0) && m.stalls == 0 {
+				t.stats.Entries++
+				if len(m.att) == 0 && m.rec == nil && m.ready == 0 &&
+					m.curTask == 0 && m.bestNext == 0 {
+					m.runBlockFast(b, limit)
+				} else {
+					m.runBlock(b, limit)
+				}
+				continue
+			}
+		} else if !t.noBlock[pc] {
+			c := t.counts[pc] + 1
+			t.counts[pc] = c
+			if c >= t.cfg.HotThreshold {
+				if nb := m.translate(pc); nb != nil {
+					t.blocks[pc] = nb
+					continue
+				}
+				t.noBlock[pc] = true
+			}
+		}
+		m.step(false)
+	}
+}
+
+// runBlockFast executes fused cycles on a quiescent single-task machine:
+// no devices attached, no recorder, READY empty, task 0 running, and no
+// better task pending (the caller checked all five). Under those
+// preconditions step's wakeup latch is the constant line for task 0,
+// arbitration always re-selects task 0, and the NEXT-bus notify has no
+// listener — so the whole scheduler epilogue is hoisted out and each cycle
+// is: budget/quiescence check, IFU tick, fused instruction, cycle count.
+// The READY check re-establishes the preconditions every cycle: an FF
+// ReadyB or a memory-fault wakeup lands in READY mid-cycle and is seen at
+// the top of the next one, exactly when step's wakeup latch would first
+// see it (the arbitration it feeds happens one cycle later still, and
+// m.bestNext is left at 0 — the value step would have computed from the
+// preceding cycle's empty latch).
+func (m *Machine) runBlockFast(b *superblock, limit uint64) {
+	n := uint64(0)
+	code := b.code
+	// A stopped IFU stays stopped (nothing in the block can Reset it, see
+	// ifuSafe), so its no-op Tick is hoisted out of the cycle loop.
+	tickIFU := !b.ifuSafe || m.ifu.Running()
+	for i := 0; i < len(code); {
+		if m.cycle >= limit || m.ready != 0 {
+			break
+		}
+		now := m.cycle
+		if tickIFU {
+			m.ifu.Tick(now)
+		}
+		exit := code[i](m, now)
+		// Service granted to task 0 every cycle it runs: step clears the
+		// winner's READY flipflop in its epilogue, so an FF ReadyB naming
+		// task 0 must vanish here exactly as it would there. Other bits
+		// survive into READY and trip the quiescence check above.
+		m.ready &^= 1
+		m.cycle++
+		n++
+		if m.halted {
+			break
+		}
+		switch exit {
+		case instOK:
+			i++
+		case instLoop:
+			// Loop-back branch taken to the block's own start: restart the
+			// fused run; the quiescence check above still runs every cycle.
+			i = 0
+		case instHeld:
+			// §5.7 no-op-jump-to-self — the retired cycle changed no state
+			// and curPC is unchanged, so retry the same fused instruction
+			// next cycle; memory timing and the IFU advance with now.
+		default:
+			goto out // instEnd: terminator done, curPC points past the block
+		}
+	}
+out:
+	m.trans.stats.FusedCycles += n
+}
+
+// runBlock executes fused cycles on a machine with live controllers, a
+// recorder, or a non-zero task: each cycle performs exactly step's
+// per-cycle scheduler work — device ticks, the WAKEUP latch, the READY
+// clear and NEXT-bus notify, arbitration into BESTNEXTTASK, and the
+// recorder hook — with only the instruction fetch/decode/dispatch replaced
+// by the fused closure. The entry guard in runTranslated plus the per-cycle
+// BESTNEXTTASK check guarantee the running task keeps the processor for
+// every fused cycle, so the task-switch half of step's epilogue can never
+// be needed; the moment a higher-priority task is pending the block returns
+// before executing the cycle and the generic loop runs it.
+func (m *Machine) runBlock(b *superblock, limit uint64) {
+	n := uint64(0)
+	code := b.code
+	// Loop invariants: no fused instruction switches tasks, attaches
+	// devices, or swaps the recorder, so the running task (and its READY
+	// bit and NEXT-bus listener) are hoisted out of the cycle loop.
+	att := m.att
+	rec := m.rec
+	cur := m.curTask
+	readyBit := uint16(1) << cur
+	nextDev := m.devs[cur]
+	// Quiet horizon (device.Idler): when every attached controller promises
+	// it is between events, the per-cycle Tick/Wakeup scan is skipped until
+	// the earliest promised cycle. Sound only while nothing in the block can
+	// poke a device (b.devSafe); a device without the Idler view pins the
+	// horizon to "scan every cycle".
+	horizon := b.devSafe && m.anyIdler
+	quiet := uint64(0) // first cycle requiring a device scan
+	tickIFU := !b.ifuSafe || m.ifu.Running()
+	for i := 0; i < len(code); {
+		if m.cycle >= limit || m.bestNext > cur {
+			break
+		}
+		now := m.cycle
+		lines := uint16(1) | m.ready
+		scan := !horizon || now >= quiet
+		if scan {
+			for j := range att {
+				att[j].dev.Tick(now)
+			}
+		} else {
+			m.trans.stats.QuietCycles++
+		}
+		if tickIFU {
+			m.ifu.Tick(now)
+		}
+		if scan {
+			for j := range att {
+				if att[j].dev.Wakeup() {
+					lines |= att[j].bit
+				}
+			}
+			if horizon {
+				quiet = ^uint64(0)
+				for j := range att {
+					q := uint64(0)
+					if att[j].idler != nil {
+						q = att[j].idler.IdleUntil(now)
+					}
+					if q < quiet {
+						quiet = q
+					}
+				}
+				if quiet <= now {
+					quiet = now + 1
+				}
+			}
+		}
+		exit := code[i](m, now)
+		// Service granted to the running task, as step's epilogue does
+		// (translation excludes the ExplicitNotify ablation).
+		m.ready &^= readyBit
+		if nextDev != nil {
+			nextDev.NotifyNext(now)
+		}
+		m.bestNext = 15 - bits.LeadingZeros16(lines)
+		if rec != nil && rec.NeedsCycle(now, cur, exit == instHeld, lines) {
+			rec.Cycle(now, cur, exit == instHeld, lines, &m.stats.TaskCycles)
+		}
+		m.cycle++
+		n++
+		if m.halted {
+			break
+		}
+		switch exit {
+		case instOK:
+			i++
+		case instLoop:
+			i = 0 // loop-back branch taken to the block's own start
+		case instHeld:
+			// Retry the same fused instruction; the top-of-cycle
+			// BESTNEXTTASK check hands a preempting wakeup to the generic
+			// loop exactly one arbitration later, as step would.
+		default:
+			goto out // instEnd
+		}
+	}
+out:
+	m.trans.stats.FusedCycles += n
+}
+
+// translate fuses the straight-line run beginning at start into a
+// superblock, or returns nil when the run is too short to be worth one.
+// The run extends through statically-addressed NextControls (GOTO, CALL,
+// LGOTO, LCALL) and closes with one dynamically-addressed terminator
+// (BRANCH, RETURN, IFUJUMP, DISP8, DISP256) when present; it stops early
+// at a reserved NextControl (left for the generic loop to diagnose), at
+// MaxBlock, or when the chain revisits an interior address. A run that
+// closes back on start is a statically-proven loop: it is unrolled —
+// whole iterations replicated up to MaxBlock — so tight one- and
+// two-word spin loops (the §7 I/O-benchmark emulator background, and the
+// inner loops of block transfers) amortize block entry over many cycles.
+func (m *Machine) translate(start microcode.Addr) *superblock {
+	t := m.trans
+	b := &superblock{start: start, devSafe: true, ifuSafe: true}
+	addrs := make([]microcode.Addr, 0, t.cfg.MaxBlock)
+	addrs = append(addrs, start)
+	pc := start
+	iterLen := 0 // instructions per unrolled iteration, once known
+	for len(b.code) < t.cfg.MaxBlock {
+		d := &m.dim[pc]
+		if d.block {
+			b.task0Only = true
+		}
+		switch d.ffop {
+		case microcode.FFInput, microcode.FFOutput, microcode.FFDevCtl, microcode.FFIOAttenAck:
+			b.devSafe = false
+		case microcode.FFIFUReset:
+			b.ifuSafe = false
+		}
+		switch d.op.Kind {
+		case microcode.NextGoto, microcode.NextCall,
+			microcode.NextLongGoto, microcode.NextLongCall:
+			next, link := staticNext(pc, d)
+			b.code = append(b.code, fuseInst(d, next, link))
+			if next == start {
+				// Closed loop: unroll further whole iterations.
+				if iterLen == 0 {
+					iterLen = len(b.code)
+				}
+				if len(b.code)+iterLen > t.cfg.MaxBlock {
+					goto done
+				}
+				pc = next
+				continue
+			}
+			if iterLen == 0 {
+				// First pass: stop at an interior revisit. While unrolling
+				// (iterLen set) the chain is already proven to cycle through
+				// start, so interior addresses repeat by construction.
+				if blockContains(addrs, next) {
+					goto done
+				}
+				addrs = append(addrs, next)
+			}
+			pc = next
+		case microcode.NextBranch, microcode.NextReturn, microcode.NextIFUJump,
+			microcode.NextDispatch8, microcode.NextDispatch256:
+			b.code = append(b.code, fuseTerm(start, pc, d))
+			goto done
+		default:
+			// Reserved NextControl: end the block before it; executing it on
+			// the generic loop panics exactly as the other paths do.
+			goto done
+		}
+	}
+done:
+	if len(b.code) < 2 {
+		return nil
+	}
+	t.stats.BlocksBuilt++
+	t.stats.Instructions += uint64(len(b.code))
+	return b
+}
+
+// blockContains reports whether a is already part of the run (blocks are
+// short, so a linear scan at translation time beats a map).
+func blockContains(addrs []microcode.Addr, a microcode.Addr) bool {
+	for _, x := range addrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// staticNext resolves a statically-addressed NextControl at translation
+// time: the successor address and, for the CALL kinds, the LINK value —
+// both exactly as nextAddr computes them per cycle (§6.2.2).
+func staticNext(pc microcode.Addr, d *decoded) (next, link microcode.Addr) {
+	link = (pc + 1) & microcode.AddrMask
+	switch d.op.Kind {
+	case microcode.NextGoto, microcode.NextCall:
+		next = pc&^microcode.Addr(microcode.WordMask) | microcode.Addr(d.op.W)
+	case microcode.NextLongGoto, microcode.NextLongCall:
+		next = microcode.MakeAddr(d.ff, d.op.W)
+	}
+	return next, link
+}
+
+// fuseInst compiles one statically-successored microword: a specialized
+// closure when the word fits a template, the exec-backed generic closure
+// otherwise.
+func fuseInst(d *decoded, next, link microcode.Addr) instFn {
+	isCall := d.op.Kind == microcode.NextCall || d.op.Kind == microcode.NextLongCall
+	if fn := fuseALU(d, next, link, isCall); fn != nil {
+		return fn
+	}
+	if fn := fuseWide(d, next, link, isCall); fn != nil {
+		return fn
+	}
+	return fuseExec(d, next, link, isCall)
+}
+
+// fuseExec is the generic fused form: execute through exec (identical
+// semantics by construction — hold detection, memory issue, FF, stores),
+// then advance to the pre-resolved successor instead of re-deriving it.
+func fuseExec(d *decoded, next, link microcode.Addr, isCall bool) instFn {
+	// exec computes the successor and linkage itself via nextAddr; next and
+	// link exist so the translator has one closure shape per word. They are
+	// asserted equal in the package tests.
+	_ = link
+	_ = isCall
+	return func(m *Machine, now uint64) instExit {
+		held, _, _ := m.exec(d, now)
+		if held {
+			return instHeld
+		}
+		m.curPC = next
+		return instOK
+	}
+}
+
+// fuseTerm compiles the block's dynamically-successored terminator: a
+// specialized closure for the two-way BRANCH (both targets are page-relative
+// constants, §6.2.2), exec in full for the rest (RETURN, IFUJUMP, dispatch —
+// linkage reads, IFU dispatch side effects, dispatch address arithmetic).
+func fuseTerm(start, pc microcode.Addr, d *decoded) instFn {
+	if d.op.Kind == microcode.NextBranch {
+		if fn := fuseBranch(start, pc, d); fn != nil {
+			return fn
+		}
+	}
+	return func(m *Machine, now uint64) instExit {
+		held, _, nextPC := m.exec(d, now)
+		if held {
+			return instHeld
+		}
+		m.curPC = nextPC
+		return instEnd
+	}
+}
+
+// Operand-source kinds for the specialized templates.
+const (
+	srcConst = iota
+	srcRM
+	srcT
+	srcQ
+	srcMD
+)
+
+// fuseALU compiles the register/stack ALU template: no hold sources, no
+// memory reference, no FF operation, register or constant operands, result
+// to T/RM/stack. This is the §6.3 data-section fast case — the bulk of
+// emulator opcode bodies and BitBlt setup code — with every per-cycle
+// decode branch of exec resolved at translation time. Returns nil when the
+// word does not fit the template.
+func fuseALU(d *decoded, next, link microcode.Addr, isCall bool) instFn {
+	if d.usesMD || d.usesIFUData || d.ifuJump || d.startsMem ||
+		d.ffop != microcode.FFNop || d.ffRMDest >= 0 || d.ffMemBase >= 0 {
+		return nil
+	}
+	var aKind int
+	switch d.aSel {
+	case microcode.ASelRM:
+		aKind = srcRM
+	case microcode.ASelT:
+		aKind = srcT
+	default:
+		return nil
+	}
+	bKind := srcConst
+	bConst := d.constB
+	if !d.isConstB {
+		switch d.bSel {
+		case microcode.BSelRM:
+			bKind = srcRM
+		case microcode.BSelT:
+			bKind = srcT
+		case microcode.BSelQ:
+			bKind = srcQ
+		default:
+			return nil
+		}
+	}
+	raddr := d.raddr
+	aluIdx := d.aluOp
+	loadsT, loadsRM := d.loadsT, d.loadsRM
+	if d.block {
+		// Stack-modifier variant (§6.3.3): the containing block is
+		// task0Only, so the stack unconditionally replaces RM.
+		delta := int(d.stackDelta)
+		return func(m *Machine, now uint64) instExit {
+			m.stats.TaskCycles[0]++
+			ts := &m.tasks[0]
+			rmVal := m.stack[m.stackPtr]
+			word := int(m.stackPtr) & (StackWords - 1)
+			nw := word + delta
+			if nw < 0 || nw >= StackWords {
+				ts.stackErr = true
+			}
+			stNewPtr := m.stackPtr&^uint8(StackWords-1) | uint8(nw&(StackWords-1))
+			aVal := rmVal
+			if aKind == srcT {
+				aVal = ts.t
+			}
+			var bVal uint16
+			switch bKind {
+			case srcConst:
+				bVal = bConst
+			case srcRM:
+				bVal = rmVal
+			case srcT:
+				bVal = ts.t
+			case srcQ:
+				bVal = m.q
+			}
+			ctl := m.alufm[aluIdx]
+			res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
+			ts.zero = res == 0
+			ts.neg = res&0x8000 != 0
+			ts.carry = carry
+			ts.ovf = ovf
+			if ctl.Fn.IsArith() {
+				ts.savedCarry = carry
+			}
+			if loadsT {
+				ts.t = res
+			}
+			if loadsRM {
+				m.stack[stNewPtr] = res
+			}
+			m.stackPtr = stNewPtr
+			if isCall {
+				ts.link = link
+			}
+			m.stats.Executed++
+			m.stats.TaskExecuted[0]++
+			m.curPC = next
+			return instOK
+		}
+	}
+	return func(m *Machine, now uint64) instExit {
+		cur := m.curTask
+		m.stats.TaskCycles[cur]++
+		ts := &m.tasks[cur]
+		rIndex := m.rbase<<4 | raddr
+		var aVal uint16
+		if aKind == srcT {
+			aVal = ts.t
+		} else {
+			aVal = m.rm[rIndex]
+		}
+		var bVal uint16
+		switch bKind {
+		case srcConst:
+			bVal = bConst
+		case srcRM:
+			bVal = m.rm[rIndex]
+		case srcT:
+			bVal = ts.t
+		case srcQ:
+			bVal = m.q
+		}
+		ctl := m.alufm[aluIdx]
+		res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
+		ts.zero = res == 0
+		ts.neg = res&0x8000 != 0
+		ts.carry = carry
+		ts.ovf = ovf
+		if ctl.Fn.IsArith() {
+			ts.savedCarry = carry
+		}
+		if loadsT {
+			ts.t = res
+		}
+		if loadsRM {
+			m.rm[rIndex] = res
+		}
+		if isCall {
+			ts.link = link
+		}
+		m.stats.Executed++
+		m.stats.TaskExecuted[cur]++
+		m.curPC = next
+		return instOK
+	}
+}
+
+// fuseWide compiles the memory/MD template: the inner-loop shape of block
+// transfers (§7's BitBlt) and emulator frame access — Fetch/Store words
+// with a same-instruction FF MEMBASE constant, MD operands, FF RM-write
+// redirection, and FF COUNT constants. Hold detection (MD readiness, cache
+// admission with the pre-applied base, §5.7) is kept per cycle because it
+// must be, but every decode branch — operand routing, the FF dispatch, the
+// destination index — is resolved at translation time. The admitted FF
+// subset never overrides RESULT, so the ALU result is the stored value.
+// Returns nil when the word does not fit.
+func fuseWide(d *decoded, next, link microcode.Addr, isCall bool) instFn {
+	if d.usesIFUData || d.ifuJump || d.block {
+		return nil
+	}
+	countConst := -1
+	switch {
+	case d.ffop == microcode.FFNop, d.ffMemBase >= 0, d.ffRMDest >= 0:
+	case d.ffop >= microcode.FFCountBase && d.ffop < microcode.FFCountBase+16:
+		countConst = int(d.ffop - microcode.FFCountBase)
+	default:
+		return nil
+	}
+	var aKind int
+	switch d.aSel {
+	case microcode.ASelRM, microcode.ASelFetch, microcode.ASelStore:
+		aKind = srcRM // MEMADDRESS is a copy of A: aVal is the RM word
+	case microcode.ASelT:
+		aKind = srcT
+	case microcode.ASelMD:
+		aKind = srcMD
+	default:
+		return nil
+	}
+	bKind := srcConst
+	bConst := d.constB
+	if !d.isConstB {
+		switch d.bSel {
+		case microcode.BSelRM:
+			bKind = srcRM
+		case microcode.BSelT:
+			bKind = srcT
+		case microcode.BSelQ:
+			bKind = srcQ
+		case microcode.BSelMD:
+			bKind = srcMD
+		default:
+			return nil
+		}
+	}
+	usesMD := d.usesMD
+	startsMem, isStore := d.startsMem, d.isStore
+	mbConst := int(d.ffMemBase)
+	raddr := d.raddr
+	wRaddr := raddr
+	if d.ffRMDest >= 0 {
+		wRaddr = uint8(d.ffRMDest)
+	}
+	aluIdx := d.aluOp
+	loadsT, loadsRM := d.loadsT, d.loadsRM
+	return func(m *Machine, now uint64) instExit {
+		cur := m.curTask
+		m.stats.TaskCycles[cur]++
+		// Hold phase, in exec's order: MD readiness, then memory admission
+		// with the same-instruction MEMBASE constant pre-applied exactly as
+		// the issue below will use it. No state changes on a hold.
+		if usesMD && !m.mdReady(now) {
+			m.stats.HoldMD++
+			m.stats.Holds++
+			return instHeld
+		}
+		rIndex := m.rbase<<4 | raddr
+		if startsMem {
+			mb := m.membase
+			if mbConst >= 0 {
+				mb = uint8(mbConst)
+			}
+			va := m.mem.VA(mb, m.rm[rIndex])
+			ok := false
+			if isStore {
+				ok = m.mem.CanWrite(va, now)
+			} else {
+				ok = m.mem.CanRead(cur, va, now)
+			}
+			if !ok {
+				m.stats.HoldMem++
+				m.stats.Holds++
+				return instHeld
+			}
+		}
+		ts := &m.tasks[cur]
+		var aVal uint16
+		switch aKind {
+		case srcT:
+			aVal = ts.t
+		case srcMD:
+			aVal = m.mem.MD(cur, now)
+		default:
+			aVal = m.rm[rIndex]
+		}
+		var bVal uint16
+		switch bKind {
+		case srcConst:
+			bVal = bConst
+		case srcRM:
+			bVal = m.rm[rIndex]
+		case srcT:
+			bVal = ts.t
+		case srcQ:
+			bVal = m.q
+		case srcMD:
+			bVal = m.mem.MD(cur, now)
+		}
+		ctl := m.alufm[aluIdx]
+		res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
+		ts.zero = res == 0
+		ts.neg = res&0x8000 != 0
+		ts.carry = carry
+		ts.ovf = ovf
+		if ctl.Fn.IsArith() {
+			ts.savedCarry = carry
+		}
+		// FF effects for the admitted subset (execFF order: before the
+		// memory issue, so a MEMBASE constant governs this reference).
+		if mbConst >= 0 {
+			m.membase = uint8(mbConst)
+		}
+		if countConst >= 0 {
+			m.count = uint16(countConst)
+		}
+		if startsMem {
+			va := m.mem.VA(m.membase, aVal)
+			if isStore {
+				if !m.mem.StartWrite(cur, va, bVal, now) {
+					panic("core: StartWrite refused after CanWrite")
+				}
+			} else {
+				if !m.mem.StartRead(cur, va, now) {
+					panic("core: StartRead refused after CanRead")
+				}
+			}
+		}
+		if loadsT {
+			ts.t = res
+		}
+		if loadsRM {
+			m.rm[m.rbase<<4|wRaddr] = res
+		}
+		if isCall {
+			ts.link = link
+		}
+		m.stats.Executed++
+		m.stats.TaskExecuted[cur]++
+		m.curPC = next
+		return instOK
+	}
+}
+
+// fuseBranch compiles a two-way BRANCH terminator whose data section fits
+// the wide template: both successors are page-relative constants resolved
+// here (untaken, and untaken with the condition ORed into the low bit,
+// §5.5), so the word that closes a block-transfer inner loop — store, count
+// decrement, loop-back — runs fused like the rest of the loop instead of
+// through exec. The body mirrors fuseWide exactly; the condition kinds
+// admitted are the ALU flags, COUNT≠0 (with its decrement side effect), the
+// stack-error latch (cleared by the test), and MB. Returns nil when the
+// word does not fit. A successor equal to the block's own start (the
+// count-controlled loop-back that closes §7 BitBlt's inner loop) reports
+// instLoop so the block loop restarts without re-entering through
+// runTranslated.
+func fuseBranch(start, pc microcode.Addr, d *decoded) instFn {
+	if d.usesIFUData || d.ifuJump || d.block {
+		return nil
+	}
+	cond := d.op.Cond
+	switch cond {
+	case microcode.CondALUZero, microcode.CondALUNeg, microcode.CondCarry,
+		microcode.CondCountNZ, microcode.CondOverflow, microcode.CondStackError,
+		microcode.CondMB:
+	default:
+		return nil
+	}
+	countConst := -1
+	switch {
+	case d.ffop == microcode.FFNop, d.ffMemBase >= 0, d.ffRMDest >= 0:
+	case d.ffop >= microcode.FFCountBase && d.ffop < microcode.FFCountBase+16:
+		countConst = int(d.ffop - microcode.FFCountBase)
+	default:
+		return nil
+	}
+	var aKind int
+	switch d.aSel {
+	case microcode.ASelRM, microcode.ASelFetch, microcode.ASelStore:
+		aKind = srcRM
+	case microcode.ASelT:
+		aKind = srcT
+	case microcode.ASelMD:
+		aKind = srcMD
+	default:
+		return nil
+	}
+	bKind := srcConst
+	bConst := d.constB
+	if !d.isConstB {
+		switch d.bSel {
+		case microcode.BSelRM:
+			bKind = srcRM
+		case microcode.BSelT:
+			bKind = srcT
+		case microcode.BSelQ:
+			bKind = srcQ
+		case microcode.BSelMD:
+			bKind = srcMD
+		default:
+			return nil
+		}
+	}
+	usesMD := d.usesMD
+	startsMem, isStore := d.startsMem, d.isStore
+	mbConst := int(d.ffMemBase)
+	raddr := d.raddr
+	wRaddr := raddr
+	if d.ffRMDest >= 0 {
+		wRaddr = uint8(d.ffRMDest)
+	}
+	aluIdx := d.aluOp
+	loadsT, loadsRM := d.loadsT, d.loadsRM
+	untaken := pc&^microcode.Addr(microcode.WordMask) | microcode.Addr(d.op.W)
+	taken := untaken | 1
+	takenExit, untakenExit := instEnd, instEnd
+	if taken == start {
+		takenExit = instLoop
+	}
+	if untaken == start {
+		untakenExit = instLoop
+	}
+	return func(m *Machine, now uint64) instExit {
+		cur := m.curTask
+		m.stats.TaskCycles[cur]++
+		if usesMD && !m.mdReady(now) {
+			m.stats.HoldMD++
+			m.stats.Holds++
+			return instHeld
+		}
+		rIndex := m.rbase<<4 | raddr
+		if startsMem {
+			mb := m.membase
+			if mbConst >= 0 {
+				mb = uint8(mbConst)
+			}
+			va := m.mem.VA(mb, m.rm[rIndex])
+			ok := false
+			if isStore {
+				ok = m.mem.CanWrite(va, now)
+			} else {
+				ok = m.mem.CanRead(cur, va, now)
+			}
+			if !ok {
+				m.stats.HoldMem++
+				m.stats.Holds++
+				return instHeld
+			}
+		}
+		ts := &m.tasks[cur]
+		var aVal uint16
+		switch aKind {
+		case srcT:
+			aVal = ts.t
+		case srcMD:
+			aVal = m.mem.MD(cur, now)
+		default:
+			aVal = m.rm[rIndex]
+		}
+		var bVal uint16
+		switch bKind {
+		case srcConst:
+			bVal = bConst
+		case srcRM:
+			bVal = m.rm[rIndex]
+		case srcT:
+			bVal = ts.t
+		case srcQ:
+			bVal = m.q
+		case srcMD:
+			bVal = m.mem.MD(cur, now)
+		}
+		ctl := m.alufm[aluIdx]
+		res, carry, ovf := aluOp(ctl, aVal, bVal, ts.savedCarry)
+		ts.zero = res == 0
+		ts.neg = res&0x8000 != 0
+		ts.carry = carry
+		ts.ovf = ovf
+		if ctl.Fn.IsArith() {
+			ts.savedCarry = carry
+		}
+		if mbConst >= 0 {
+			m.membase = uint8(mbConst)
+		}
+		if countConst >= 0 {
+			m.count = uint16(countConst)
+		}
+		if startsMem {
+			va := m.mem.VA(m.membase, aVal)
+			if isStore {
+				if !m.mem.StartWrite(cur, va, bVal, now) {
+					panic("core: StartWrite refused after CanWrite")
+				}
+			} else {
+				if !m.mem.StartRead(cur, va, now) {
+					panic("core: StartRead refused after CanRead")
+				}
+			}
+		}
+		if loadsT {
+			ts.t = res
+		}
+		if loadsRM {
+			m.rm[m.rbase<<4|wRaddr] = res
+		}
+		// Branch condition (evalCond semantics for the admitted kinds).
+		take := false
+		switch cond {
+		case microcode.CondALUZero:
+			take = ts.zero
+		case microcode.CondALUNeg:
+			take = ts.neg
+		case microcode.CondCarry:
+			take = ts.carry
+		case microcode.CondCountNZ:
+			if m.count != 0 {
+				m.count--
+				take = true
+			}
+		case microcode.CondOverflow:
+			take = ts.ovf
+		case microcode.CondStackError:
+			take = ts.stackErr
+			ts.stackErr = false
+		case microcode.CondMB:
+			take = ts.mb
+		}
+		m.stats.Executed++
+		m.stats.TaskExecuted[cur]++
+		if take {
+			m.curPC = taken
+			return takenExit
+		}
+		m.curPC = untaken
+		return untakenExit
+	}
+}

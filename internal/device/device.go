@@ -55,6 +55,22 @@ type Device interface {
 	LoadState(d *state.Decoder)
 }
 
+// Idler is an optional Device extension for time-driven controllers. The
+// scheduler calls IdleUntil(now) immediately after a Tick(now)/Wakeup()
+// scan; the device returns the first cycle q at which it must be consulted
+// again, promising that for every cycle t with now < t < q, Tick(t) would
+// change no state and Wakeup() would stay false. A device that cannot make
+// the promise (it is mid-transfer, or its wakeup line is up) returns now —
+// the scheduler then scans it every cycle, which is always correct.
+//
+// The superblock-translated execution path uses the promise to hoist the
+// per-cycle device scan out of fused loops while every attached controller
+// is between events; the generic cycle loop never relies on it, and a
+// device that does not implement Idler simply disables the optimization.
+type Idler interface {
+	IdleUntil(now uint64) uint64
+}
+
 // Nop is a Device with no behavior; embed it to implement only what a
 // device needs.
 type Nop struct{ TaskNum int }

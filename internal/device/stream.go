@@ -61,6 +61,16 @@ func (d *WordSource) Tick(now uint64) {
 // Wakeup implements Device: request service when a service unit is ready.
 func (d *WordSource) Wakeup() bool { return d.n >= d.WordsPerWakeup }
 
+// IdleUntil implements Idler: between word arrivals the device is inert —
+// Tick returns without touching state until dueAt, and the FIFO level (and
+// so the wakeup line) can only drop, via Input, never rise.
+func (d *WordSource) IdleUntil(now uint64) uint64 {
+	if !d.started || d.Wakeup() {
+		return now
+	}
+	return d.dueAt
+}
+
 // Input implements Device: microcode takes one word.
 func (d *WordSource) Input(now uint64) uint16 {
 	if d.n == 0 {
@@ -104,6 +114,16 @@ func (d *Loopback) Arm(on bool) { d.wake = on }
 
 // Wakeup implements Device.
 func (d *Loopback) Wakeup() bool { return d.wake }
+
+// IdleUntil implements Idler: the wakeup line only moves when the host
+// calls Arm, never from Tick, so an unarmed loopback is quiet forever and
+// an armed one must be scanned every cycle.
+func (d *Loopback) IdleUntil(now uint64) uint64 {
+	if d.wake {
+		return now
+	}
+	return ^uint64(0)
+}
 
 // Input implements Device: an endless counter pattern.
 func (d *Loopback) Input(now uint64) uint16 {
@@ -159,6 +179,14 @@ func (d *Pulse) Tick(now uint64) {
 
 // Wakeup implements Device.
 func (d *Pulse) Wakeup() bool { return d.wake }
+
+// IdleUntil implements Idler: quiet until the next scheduled pulse.
+func (d *Pulse) IdleUntil(now uint64) uint64 {
+	if !d.started || d.wake {
+		return now
+	}
+	return d.nextAt
+}
 
 // NotifyNext implements Device: service is imminent; record the latency and
 // drop the request (one service unit per pulse).

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dorado"
 )
 
 // TestStressConcurrentSessions drives 32 sessions through the full
@@ -144,6 +146,103 @@ func TestStressConcurrentSessions(t *testing.T) {
 	if got := m.counters.created.Load(); got != sessions {
 		t.Errorf("created = %d", got)
 	}
+}
+
+// TestStressTranslatedSessions is the run/snapshot/restore/park/revive
+// churn with superblock translation enabled on every session: the
+// translator's caches (hotness counters, fused blocks) are per-machine
+// derived state that Restore and revival must invalidate, and the race
+// detector watches the worker pool hand translated machines between
+// goroutines. Cycle accounting stays exact — translation must not change
+// what a run operation simulates, only how fast.
+func TestStressTranslatedSessions(t *testing.T) {
+	const (
+		sessions   = 8
+		iterations = 6
+	)
+	spec := smallSpec()
+	spec.Machine.Translation = dorado.Translation{Enable: true, HotThreshold: 8}
+	m := New(Config{
+		Workers:     4,
+		MaxSessions: sessions,
+		QueueDepth:  4,
+		IdleAfter:   time.Millisecond,
+		SweepEvery:  time.Hour,
+	})
+	defer drainNow(t, m)
+
+	stop := make(chan struct{})
+	var sweep sync.WaitGroup
+	sweep.Add(1)
+	go func() { // constant park pressure, so revival rebuilds translators mid-churn
+		defer sweep.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Sweep()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := m.Create(spec)
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+				t.Errorf("%s: load: %v", id, err)
+				return
+			}
+			var model uint64
+			for it := 0; it < iterations; it++ {
+				// Long enough to cross the hot threshold many times over:
+				// the spin loop is translated almost immediately.
+				r, err := m.Run(tctx, id, 3000)
+				if err != nil {
+					t.Errorf("%s: run: %v", id, err)
+					return
+				}
+				model += 3000
+				if r.Cycle != model {
+					t.Errorf("%s: cycle %d, want %d", id, r.Cycle, model)
+					return
+				}
+				snap, err := m.Snapshot(tctx, id)
+				if err != nil {
+					t.Errorf("%s: snapshot: %v", id, err)
+					return
+				}
+				if _, err := m.Run(tctx, id, 1000); err != nil {
+					t.Errorf("%s: run past snapshot: %v", id, err)
+					return
+				}
+				if err := m.Restore(tctx, id, snap); err != nil {
+					t.Errorf("%s: restore: %v", id, err)
+					return
+				}
+				st, err := m.ReadState(tctx, id)
+				if err != nil {
+					t.Errorf("%s: state: %v", id, err)
+					return
+				}
+				if st.Cycle != model {
+					t.Errorf("%s: restored cycle %d, want %d", id, st.Cycle, model)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sweep.Wait()
 }
 
 // TestStressOverloadStorm hammers one session from many submitters with a

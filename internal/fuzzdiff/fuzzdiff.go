@@ -1,6 +1,7 @@
 // Package fuzzdiff is the snapshot-anchored differential fuzzer: it
-// generates random-but-valid microprograms, runs them on both the
-// predecoded interpreter and the Config.Reference interpreter in lockstep,
+// generates random-but-valid microprograms, runs them on both a fast
+// interpreter path (predecoded, or superblock-translated with
+// Config.Translated) and the Config.Reference interpreter in lockstep,
 // and uses machine snapshots (internal/state) two ways:
 //
 //   - as the equality oracle: two machines in identical architectural
@@ -41,6 +42,14 @@ type Config struct {
 	// CheckpointEvery is K, the snapshot interval in cycles (default 512).
 	// Smaller K means cheaper bisection and more expensive scanning.
 	CheckpointEvery uint64
+	// Translated runs the fast side with superblock translation enabled
+	// (hot threshold 4, so fuzz-sized programs get hot almost immediately):
+	// the differential then checks translated-vs-reference instead of
+	// predecoded-vs-reference, hunting translator bugs with the same
+	// oracle. Bisection advances the fast side with RunCycles(1) rather
+	// than Step so single-cycle execution still flows through the
+	// translated dispatch loop.
+	Translated bool
 
 	// tamper, when set (package tests only), mutates the fast-path machine
 	// before the given cycle executes — a fault injector proving the
@@ -91,11 +100,11 @@ func Run(cfg Config) (*Divergence, error) {
 	if err != nil {
 		return nil, err
 	}
-	fast, err := buildMachine(prog, cfg.Seed, false)
+	fast, err := buildMachine(prog, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	ref, err := buildMachine(prog, cfg.Seed, true)
+	ref, err := buildMachine(prog, cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -133,19 +142,31 @@ func stepBoth(cfg Config, fast, ref *core.Machine, k uint64) {
 	}
 	for i := uint64(0); i < k && !fast.Halted(); i++ {
 		cfg.tamper(fast.Cycle(), fast)
-		fast.Step()
+		stepFast(cfg, fast)
 		ref.Step()
+	}
+}
+
+// stepFast advances the fast side one cycle. In Translated mode it uses
+// RunCycles(1) so the cycle executes through the translated dispatch loop
+// (profile, enter, fuse) instead of the plain interpreter Step — otherwise
+// bisection would silently fall back to the very path it is not testing.
+func stepFast(cfg Config, fast *core.Machine) {
+	if cfg.Translated {
+		fast.RunCycles(1)
+	} else {
+		fast.Step()
 	}
 }
 
 // bisect restores both interpreter paths from the last agreeing checkpoint
 // and single-steps them to the first cycle whose post-state differs.
 func bisect(cfg Config, prog *masm.Program, lastGood []byte) (*Divergence, error) {
-	fast, err := buildMachine(prog, cfg.Seed, false)
+	fast, err := buildMachine(prog, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	ref, err := buildMachine(prog, cfg.Seed, true)
+	ref, err := buildMachine(prog, cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +183,7 @@ func bisect(cfg Config, prog *masm.Program, lastGood []byte) (*Divergence, error
 		if cfg.tamper != nil {
 			cfg.tamper(cycle, fast)
 		}
-		fast.Step()
+		stepFast(cfg, fast)
 		ref.Step()
 		fsnap, rsnap := fast.Snapshot(), ref.Snapshot()
 		if !bytes.Equal(fsnap, rsnap) {
@@ -201,7 +222,11 @@ func firstDiff(a, b []byte) string {
 // repro renders a ready-to-paste regression test: minimal cycle budget (one
 // checkpoint past the diverging cycle), the same seed and program size.
 func repro(cfg Config, d *Divergence) string {
-	return fmt.Sprintf(`// Regression: predecoded and reference interpreters diverged.
+	fastPath := "predecoded"
+	if cfg.Translated {
+		fastPath = "translated"
+	}
+	return fmt.Sprintf(`// Regression: %s and reference interpreters diverged.
 //   seed=%d cycle=%d task=%d pc=%v
 //   word=%+v (raw %#011x)
 func TestFuzzDiffSeed%d(t *testing.T) {
@@ -210,6 +235,7 @@ func TestFuzzDiffSeed%d(t *testing.T) {
 		Instructions:    %d,
 		Cycles:          %d,
 		CheckpointEvery: %d,
+		Translated:      %t,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -218,8 +244,8 @@ func TestFuzzDiffSeed%d(t *testing.T) {
 		t.Fatalf("interpreter divergence: %%v", d)
 	}
 }
-`, d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Word.Encode(),
-		d.Seed, d.Seed, cfg.Instructions, d.Cycle+1, cfg.CheckpointEvery)
+`, fastPath, d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Word.Encode(),
+		d.Seed, d.Seed, cfg.Instructions, d.Cycle+1, cfg.CheckpointEvery, cfg.Translated)
 }
 
 // fuzzMemConfig keeps storage small so per-checkpoint snapshots stay cheap
@@ -231,17 +257,23 @@ var fuzzMemConfig = memory.Config{
 }
 
 // buildMachine assembles one side of the differential pair: identical
-// construction except for the Reference flag, exactly like the fixed
-// differential workloads in internal/bench.
-func buildMachine(prog *masm.Program, seed int64, reference bool) (*core.Machine, error) {
-	m, err := core.New(core.Config{Memory: fuzzMemConfig, Reference: reference})
+// construction except for the interpreter path (Reference on the oracle
+// side; predecoded or, in Translated mode, superblock-translated on the
+// fast side), exactly like the fixed differential workloads in
+// internal/bench.
+func buildMachine(prog *masm.Program, cfg Config, reference bool) (*core.Machine, error) {
+	mcfg := core.Config{Memory: fuzzMemConfig, Reference: reference}
+	if cfg.Translated && !reference {
+		mcfg.Translation = core.Translation{Enable: true, HotThreshold: 4}
+	}
+	m, err := core.New(mcfg)
 	if err != nil {
 		return nil, err
 	}
 	m.Load(&prog.Words)
 
 	// Seed architectural state from the same stream both sides share.
-	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	for i := 0; i < 64; i++ {
 		m.SetRM(i, uint16(rng.Uint32()))
 	}

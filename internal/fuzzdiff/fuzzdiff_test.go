@@ -22,6 +22,52 @@ func TestCleanSeeds(t *testing.T) {
 	}
 }
 
+// TestCleanSeedsTranslated is the same sweep with the fast side running
+// the superblock translator: zero divergences means the translator agrees
+// with the reference interpreter on programs nobody hand-wrote, including
+// device wakeups, holds, and task switches the generator produces.
+func TestCleanSeedsTranslated(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		d, err := Run(Config{Seed: seed, Cycles: 4000, CheckpointEvery: 256, Translated: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d != nil {
+			t.Errorf("seed %d: %v\n%s", seed, d, d.Repro)
+		}
+	}
+}
+
+// TestBisectLocalizesInjectedFaultTranslated proves bisection still works
+// when the fast side is the translator (advanced via RunCycles(1)).
+func TestBisectLocalizesInjectedFaultTranslated(t *testing.T) {
+	const faultCycle = 1234
+	cfg := Config{
+		Seed:            3,
+		Cycles:          4000,
+		CheckpointEvery: 512,
+		Translated:      true,
+		tamper: func(cycle uint64, fast *core.Machine) {
+			if cycle == faultCycle {
+				fast.SetRM(5, fast.RM(5)^0x8000)
+			}
+		},
+	}
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("injected fault was not detected")
+	}
+	if d.Cycle != faultCycle {
+		t.Fatalf("bisected to cycle %d, fault was injected at %d", d.Cycle, faultCycle)
+	}
+	if !strings.Contains(d.Repro, "Translated:      true") {
+		t.Errorf("repro does not carry the Translated flag:\n%s", d.Repro)
+	}
+}
+
 // TestGenerateDeterministic: the same seed must always produce the same
 // program, or printed repros would be worthless.
 func TestGenerateDeterministic(t *testing.T) {

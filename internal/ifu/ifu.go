@@ -161,6 +161,10 @@ func (u *Unit) Stats() Stats { return u.stats }
 // PC returns the byte offset of the next macroinstruction to dispatch.
 func (u *Unit) PC() uint32 { return u.headPC }
 
+// Running reports whether the IFU is fetching — a Reset has started it and
+// nothing has stopped it since. A stopped IFU's Tick is a no-op.
+func (u *Unit) Running() bool { return u.running }
+
 // Reset restarts the IFU at byte offset pc (the FF IFUReset operation; B
 // carries the 16-bit target). The buffer refills from scratch, modeling the
 // macro-jump penalty.

@@ -65,6 +65,48 @@ func TestNewOptionMatrix(t *testing.T) {
 	}
 }
 
+// WithTranslation must produce a system that translates hot microcode and
+// still computes the same answer as an untranslated one.
+func TestWithTranslation(t *testing.T) {
+	plain, err := New(WithLanguage(Mesa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := New(WithLanguage(Mesa), WithTranslation(Translation{Enable: true, HotThreshold: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []*System{plain, trans} {
+		asm := sys.Asm()
+		asm.OpB("LIB", 200)
+		asm.OpB("SL", 4)
+		asm.Label("loop")
+		asm.OpB("LL", 4)
+		asm.OpB("LIB", 1)
+		asm.Op("SUB")
+		asm.Op("DUP")
+		asm.OpB("SL", 4)
+		asm.OpL("JNZ", "loop")
+		asm.Op("HALT")
+		if err := sys.Boot(asm); err != nil {
+			t.Fatal(err)
+		}
+		if !sys.Run(2_000_000) {
+			t.Fatal("did not halt")
+		}
+	}
+	if p, q := plain.Machine.Cycle(), trans.Machine.Cycle(); p != q {
+		t.Errorf("cycle counts diverged: plain %d, translated %d", p, q)
+	}
+	ts := trans.Machine.TranslationStats()
+	if ts.BlocksBuilt == 0 || ts.FusedCycles == 0 {
+		t.Errorf("translation never engaged: %+v", ts)
+	}
+	if ps := plain.Machine.TranslationStats(); ps.BlocksBuilt != 0 {
+		t.Errorf("untranslated system built superblocks: %+v", ps)
+	}
+}
+
 func TestNewBareMachineRuns(t *testing.T) {
 	sys, err := New()
 	if err != nil {
