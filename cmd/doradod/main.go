@@ -26,9 +26,14 @@
 //	                      record per fleet operation with its queue-wait
 //	                      and service-time split)
 //
-// The API (see internal/fleet.Server for the route list):
+// The API (see internal/fleet.Server for the route list). Sessions can
+// mount I/O controllers at creation — pass "devices" with catalog names
+// (disk, ethernet, display, scanner, loopback, pulse; see docs/API.md
+// §7a) and the machine is built with them attached; devices survive
+// park/revive because they are part of the session's Spec:
 //
 //	curl -X POST localhost:7480/v1/sessions -d '{"language":"mesa","metrics":true}'
+//	curl -X POST localhost:7480/v1/sessions -d '{"devices":[{"name":"disk","start":"disk"}]}'
 //	curl -X POST localhost:7480/v1/sessions/s1/boot -d '{"source":"return 6*7;"}'
 //	curl -X POST localhost:7480/v1/sessions/s1/run -d '{"cycles":100000}'
 //	curl localhost:7480/v1/sessions/s1

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	fuzzdiff [-start N] [-seeds N] [-cycles N] [-k N] [-insts N] [-translated]
+//	fuzzdiff [-start N] [-seeds N] [-cycles N] [-k N] [-insts N] [-translated] [-fastio]
 //
 // With -translated the fast side runs the superblock translator instead of
-// the plain predecoded loop, hunting translator bugs with the same oracle.
+// the plain predecoded loop, hunting translator bugs with the same oracle;
+// -fastio attaches the display/scanner fast-I/O pair to both machines. For
+// sharded multi-profile campaigns use cmd/fuzzfarm instead.
 // Exit status 1 if any seed diverged.
 package main
 
@@ -29,6 +31,7 @@ func main() {
 	k := flag.Uint64("k", 512, "checkpoint interval in cycles")
 	insts := flag.Int("insts", 24, "generated instructions per program")
 	translated := flag.Bool("translated", false, "fast side uses superblock translation instead of the predecoded loop")
+	fastio := flag.Bool("fastio", false, "attach the fast-I/O display/scanner pair to both machines")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while fuzzing")
 	flag.Parse()
 	if *httpAddr != "" {
@@ -49,6 +52,7 @@ func main() {
 			Cycles:          *cycles,
 			CheckpointEvery: *k,
 			Translated:      *translated,
+			FastIO:          *fastio,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzzdiff: seed %d: %v\n", seed, err)

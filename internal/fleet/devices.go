@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"fmt"
+
+	"dorado"
+	"dorado/internal/device"
+)
+
+// ErrUnknownDevice reports a DeviceSpec whose Name is not in the catalog;
+// cmd/doradod returns 400.
+var ErrUnknownDevice = fmt.Errorf("fleet: unknown device")
+
+// DeviceSpec mounts one I/O controller on a session's machine — the §7
+// device configurations (display, disk, fast and slow I/O) as fleet
+// sessions, not just bare or emulator machines. The catalog:
+//
+//	disk      10 Mbit/s word source (a word every 27 cycles, 2 per wakeup)
+//	ethernet  ≈3 Mbit/s word source (a word every 89 cycles)
+//	display   fast-I/O output: 16-word blocks storage→device, video rate
+//	scanner   fast-I/O input: 16-word blocks device→storage
+//	loopback  always-ready slow I/O (peak IODATA rate), armed at attach
+//	pulse     periodic wakeup latency probe
+//
+// A session's devices are part of its Spec: reviving a parked session
+// reattaches the same controllers before the snapshot (which includes
+// their mutable state) is restored onto the machine.
+type DeviceSpec struct {
+	// Name selects the controller model from the catalog above.
+	Name string `json:"name"`
+	// Task is the controller's wakeup task (1–15; higher is more urgent).
+	// Zero picks the model's conventional task: disk 11, ethernet 10,
+	// display 13, scanner 12, loopback 9, pulse 14.
+	Task int `json:"task,omitempty"`
+	// Rate overrides the device's cycle rate: cycles per word for the word
+	// sources, cycles per block for display/scanner, the wakeup period for
+	// pulse. Zero picks the model's paper-rate default.
+	Rate int `json:"rate,omitempty"`
+	// Base is the storage VA that display/scanner block offsets are
+	// relative to (ignored by the other models).
+	Base uint32 `json:"base,omitempty"`
+	// Start optionally names a microcode label: every LoadMicrocode on the
+	// session sets this device task's TPC to that label after loading, so
+	// one request wires both the program and its service routines. Without
+	// it the task's TPC must be set by restoring a snapshot (a wakeup to a
+	// task with a zero TPC runs whatever is at microstore address 0).
+	Start string `json:"start,omitempty"`
+}
+
+// deviceDefaults maps each catalog name to its conventional task and rate.
+var deviceDefaults = map[string]struct{ task, rate int }{
+	"disk":     {11, 27},
+	"ethernet": {10, 89},
+	"display":  {13, 8},
+	"scanner":  {12, 8},
+	"loopback": {9, 0},
+	"pulse":    {14, 1000},
+}
+
+// normalize validates the spec and fills in catalog defaults. It is called
+// both at session creation (where its error becomes a 400) and before every
+// rebuild of a parked session.
+func (ds DeviceSpec) normalize() (DeviceSpec, error) {
+	def, ok := deviceDefaults[ds.Name]
+	if !ok {
+		return ds, fmt.Errorf("%w %q (catalog: disk, ethernet, display, scanner, loopback, pulse)", ErrUnknownDevice, ds.Name)
+	}
+	if ds.Task == 0 {
+		ds.Task = def.task
+	}
+	if ds.Task < 1 || ds.Task > 15 {
+		return ds, fmt.Errorf("fleet: device %q task %d out of range 1..15", ds.Name, ds.Task)
+	}
+	if ds.Rate == 0 {
+		ds.Rate = def.rate
+	}
+	return ds, nil
+}
+
+// attach builds the controller and mounts it on the machine: Attach plus
+// the IOADDRESS convention (task number) all bundled microcode uses.
+func (ds DeviceSpec) attach(m *dorado.Machine) error {
+	ds, err := ds.normalize()
+	if err != nil {
+		return err
+	}
+	var d dorado.Device
+	switch ds.Name {
+	case "disk", "ethernet":
+		d = device.NewWordSource(ds.Task, ds.Rate, 2)
+	case "display":
+		disp := device.NewDisplay(ds.Task, m.Mem(), ds.Rate, 4)
+		disp.SetBase(ds.Base)
+		d = disp
+	case "scanner":
+		sc := device.NewScanner(ds.Task, m.Mem(), ds.Rate, 4)
+		sc.SetBase(ds.Base)
+		d = sc
+	case "loopback":
+		lb := device.NewLoopback(ds.Task)
+		lb.Arm(true)
+		d = lb
+	case "pulse":
+		d = device.NewPulse(ds.Task, ds.Rate)
+	}
+	if err := m.Attach(d); err != nil {
+		return err
+	}
+	m.SetIOAddress(ds.Task, uint16(ds.Task))
+	return nil
+}
+
+// validateDevices normalizes every DeviceSpec and rejects duplicate tasks,
+// so session creation fails fast (400) instead of leaving a half-built
+// machine behind.
+func validateDevices(specs []DeviceSpec) error {
+	used := map[int]string{}
+	for _, ds := range specs {
+		n, err := ds.normalize()
+		if err != nil {
+			return err
+		}
+		if prev, ok := used[n.Task]; ok {
+			return fmt.Errorf("fleet: devices %q and %q both on task %d", prev, n.Name, n.Task)
+		}
+		used[n.Task] = n.Name
+	}
+	return nil
+}

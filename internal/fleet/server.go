@@ -26,7 +26,8 @@ import (
 //
 // Routes (all JSON unless noted):
 //
-//	POST   /v1/sessions               create a session {"language":"mesa","metrics":true}
+//	POST   /v1/sessions               create a session {"language":"mesa","metrics":true,
+//	                                  "devices":[{"name":"disk","start":"disk"}]} (see DeviceSpec)
 //	GET    /v1/sessions               list sessions
 //	GET    /v1/sessions/{id}          read architectural state
 //	DELETE /v1/sessions/{id}          destroy the session
@@ -195,8 +196,9 @@ func parseLanguage(name string) (dorado.Language, error) {
 
 func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Language string `json:"language"`
-		Metrics  bool   `json:"metrics"`
+		Language string       `json:"language"`
+		Metrics  bool         `json:"metrics"`
+		Devices  []DeviceSpec `json:"devices"`
 	}
 	if err := decodeJSON(r, &req); err != nil && err != io.EOF {
 		badRequest(w, err)
@@ -206,7 +208,11 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics})
+	if err := validateDevices(req.Devices); err != nil {
+		badRequest(w, err)
+		return
+	}
+	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics, Devices: req.Devices})
 	if err != nil {
 		httpError(w, err)
 		return

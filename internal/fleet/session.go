@@ -39,6 +39,11 @@ type Spec struct {
 	// serializes only machine state: a revived session runs with a fresh
 	// recorder, so trace data covers the span since revival.
 	MetricsConfig obs.Config
+	// Devices mounts I/O controllers on the session's machine (see
+	// DeviceSpec for the catalog). Devices are part of the Spec, so a
+	// revived session gets the same controllers back before its snapshot —
+	// which includes their mutable state — is restored.
+	Devices []DeviceSpec
 }
 
 func (sp Spec) build() (*dorado.System, error) {
@@ -53,7 +58,18 @@ func (sp Spec) build() (*dorado.System, error) {
 	if sp.Metrics {
 		opts = append(opts, dorado.WithMetrics(dorado.NewMetricsWith(sp.MetricsConfig)))
 	}
-	return dorado.New(opts...)
+	sys, err := dorado.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Devices attach after New: the fast-I/O controllers need the built
+	// machine's memory system, which no functional option can reach.
+	for _, ds := range sp.Devices {
+		if err := ds.attach(sys.Machine); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
 }
 
 // op is one queued unit of work; done is buffered so a worker never blocks
@@ -278,8 +294,14 @@ type LoadResult struct {
 
 // LoadMicrocode assembles microassembly text (the doradoasm format, see
 // masm.ParseText), loads the placed image into the session's microstore,
-// and starts task 0 at the named label.
+// and starts task 0 at the named label. Devices in the session's Spec that
+// name a Start label get their task's TPC pointed at it, so one request
+// wires the program and its service routines together.
 func (m *Manager) LoadMicrocode(ctx context.Context, id, text, start string) (LoadResult, error) {
+	var devices []DeviceSpec
+	if s, ok := m.lookup(id); ok {
+		devices = s.spec.Devices // immutable after Create; safe to read
+	}
 	v, err := m.submit(ctx, id, opMicrocode, func(sys *system) (any, error) {
 		prog, err := masm.AssembleText(text)
 		if err != nil {
@@ -289,8 +311,32 @@ func (m *Manager) LoadMicrocode(ctx context.Context, id, text, start string) (Lo
 		if err != nil {
 			return nil, err
 		}
+		// Resolve every device Start label before touching the machine, so
+		// a bad label leaves the previous program running.
+		type tpc struct {
+			task  int
+			entry uint16
+		}
+		var tpcs []tpc
+		for _, ds := range devices {
+			if ds.Start == "" {
+				continue
+			}
+			n, err := ds.normalize()
+			if err != nil {
+				return nil, err
+			}
+			de, err := prog.Entry(ds.Start)
+			if err != nil {
+				return nil, fmt.Errorf("device %q: %w", ds.Name, err)
+			}
+			tpcs = append(tpcs, tpc{n.Task, uint16(de)})
+		}
 		sys.Machine.Load(&prog.Words)
 		sys.Machine.Start(entry)
+		for _, t := range tpcs {
+			sys.Machine.SetTPC(t.task, dorado.Addr(t.entry))
+		}
 		return LoadResult{Entry: uint16(entry), Placement: prog.Stats.String()}, nil
 	})
 	if err != nil {
@@ -465,11 +511,13 @@ func (m *Manager) lookup(id string) (*Session, bool) {
 type Info struct {
 	ID       string `json:"id"`
 	Language string `json:"language"`
-	Parked   bool   `json:"parked"`
-	Queue    int    `json:"queue"`
-	Cycle    uint64 `json:"cycle"`
-	Halted   bool   `json:"halted"`
-	Ops      uint64 `json:"ops"`
+	// Devices lists the mounted controllers' catalog names, in Spec order.
+	Devices []string `json:"devices,omitempty"`
+	Parked  bool     `json:"parked"`
+	Queue   int      `json:"queue"`
+	Cycle   uint64   `json:"cycle"`
+	Halted  bool     `json:"halted"`
+	Ops     uint64   `json:"ops"`
 }
 
 // Sessions lists every session in creation order.
@@ -486,9 +534,14 @@ func (m *Manager) Sessions() []Info {
 		s.mu.Lock()
 		parked, queue := s.sys == nil, len(s.pending)
 		s.mu.Unlock()
+		var devs []string
+		for _, ds := range s.spec.Devices {
+			devs = append(devs, ds.Name)
+		}
 		out = append(out, Info{
 			ID:       s.id,
 			Language: s.spec.Language,
+			Devices:  devs,
 			Parked:   parked,
 			Queue:    queue,
 			Cycle:    s.stats.cycles.Load(),

@@ -50,12 +50,27 @@ type Config struct {
 	// than Step so single-cycle execution still flows through the
 	// translated dispatch loop.
 	Translated bool
+	// FastIO attaches the fast-I/O pair — a Display consuming 16-word
+	// blocks from storage and a Scanner producing them — to both machines,
+	// widening the differential to the §7 device-driven configurations:
+	// direct storage transfers, cache invalidations, and the extra wakeup
+	// traffic they cause. Both sides get identical devices, so the oracle
+	// is unchanged.
+	FastIO bool
 
-	// tamper, when set (package tests only), mutates the fast-path machine
-	// before the given cycle executes — a fault injector proving the
-	// harness detects and localizes divergence.
-	tamper func(cycle uint64, fast *core.Machine)
+	// Tamper, when set, mutates the fast-path machine before the given
+	// cycle executes — a fault injector proving a harness detects and
+	// localizes divergence. The fuzz-farm self-test seeds a bug through it
+	// to verify the farm finds, minimizes, and reports the divergence end
+	// to end; it costs single-stepped (unbatched) execution, so leave it
+	// nil outside fault-injection tests.
+	Tamper func(cycle uint64, fast *core.Machine)
 }
+
+// Normalized returns the Config with the documented defaults filled in —
+// what Run actually executes. Campaign tooling (internal/fuzzfarm) uses it
+// so minimized sizes and report echoes show real values, not zeros.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.Instructions <= 0 {
@@ -91,27 +106,53 @@ func (d *Divergence) String() string {
 		d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Detail)
 }
 
+// Result is the campaign-friendly outcome of one fuzz iteration: the seed,
+// how much work it represents, and the bisected divergence if the paths
+// disagreed. internal/fuzzfarm aggregates Results across sharded seed
+// ranges into its campaign report.
+type Result struct {
+	// Seed is Config.Seed, echoed so aggregators need not carry the Config.
+	Seed int64
+	// Cycles is the number of cycles actually simulated — Config.Cycles
+	// unless the machine halted early or a divergence cut the scan short.
+	Cycles uint64
+	// Halted reports that the program executed a Halt before the cycle
+	// budget ran out (on both paths, identically).
+	Halted bool
+	// Divergence is the bisected first disagreement, nil when the paths
+	// agreed for the whole run.
+	Divergence *Divergence
+}
+
 // Run executes one deterministic fuzz iteration and returns the bisected
 // divergence, or nil if the predecoded and reference interpreters agreed
 // for the whole run.
 func Run(cfg Config) (*Divergence, error) {
+	res, err := RunResult(cfg)
+	return res.Divergence, err
+}
+
+// RunResult is Run with the full per-iteration accounting (cycles
+// simulated, early halt) a fuzz campaign aggregates.
+func RunResult(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	res := Result{Seed: cfg.Seed}
 	prog, err := generate(cfg.Seed, cfg.Instructions)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	fast, err := buildMachine(prog, cfg, false)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	ref, err := buildMachine(prog, cfg, true)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 
 	lastGood := fast.Snapshot()
 	if !bytes.Equal(lastGood, ref.Snapshot()) {
-		return nil, fmt.Errorf("fuzzdiff: machines differ before cycle 0 (builder bug)")
+		return res, fmt.Errorf("fuzzdiff: machines differ before cycle 0 (builder bug)")
 	}
 
 	for fast.Cycle() < cfg.Cycles {
@@ -120,28 +161,31 @@ func Run(cfg Config) (*Divergence, error) {
 			k = left
 		}
 		stepBoth(cfg, fast, ref, k)
+		res.Cycles = fast.Cycle()
 		fsnap := fast.Snapshot()
 		if !bytes.Equal(fsnap, ref.Snapshot()) {
-			return bisect(cfg, prog, lastGood)
+			res.Divergence, err = bisect(cfg, prog, lastGood)
+			return res, err
 		}
 		lastGood = fsnap
 		if fast.Halted() {
+			res.Halted = true
 			break // both halted identically (snapshots matched)
 		}
 	}
-	return nil, nil
+	return res, nil
 }
 
 // stepBoth advances both machines k cycles in lockstep, applying the test
 // fault injector on the fast path if one is installed.
 func stepBoth(cfg Config, fast, ref *core.Machine, k uint64) {
-	if cfg.tamper == nil {
+	if cfg.Tamper == nil {
 		fast.RunCycles(k)
 		ref.RunCycles(k)
 		return
 	}
 	for i := uint64(0); i < k && !fast.Halted(); i++ {
-		cfg.tamper(fast.Cycle(), fast)
+		cfg.Tamper(fast.Cycle(), fast)
 		stepFast(cfg, fast)
 		ref.Step()
 	}
@@ -180,8 +224,8 @@ func bisect(cfg Config, prog *masm.Program, lastGood []byte) (*Divergence, error
 		cycle := fast.Cycle()
 		task, pc := fast.CurTask(), fast.CurPC()
 		word := fast.IM(pc)
-		if cfg.tamper != nil {
-			cfg.tamper(cycle, fast)
+		if cfg.Tamper != nil {
+			cfg.Tamper(cycle, fast)
 		}
 		stepFast(cfg, fast)
 		ref.Step()
@@ -226,6 +270,9 @@ func repro(cfg Config, d *Divergence) string {
 	if cfg.Translated {
 		fastPath = "translated"
 	}
+	if cfg.FastIO {
+		fastPath += "+fastio"
+	}
 	return fmt.Sprintf(`// Regression: %s and reference interpreters diverged.
 //   seed=%d cycle=%d task=%d pc=%v
 //   word=%+v (raw %#011x)
@@ -236,6 +283,7 @@ func TestFuzzDiffSeed%d(t *testing.T) {
 		Cycles:          %d,
 		CheckpointEvery: %d,
 		Translated:      %t,
+		FastIO:          %t,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +293,7 @@ func TestFuzzDiffSeed%d(t *testing.T) {
 	}
 }
 `, fastPath, d.Seed, d.Cycle, d.Task, d.PC, d.Word, d.Word.Encode(),
-		d.Seed, d.Seed, cfg.Instructions, d.Cycle+1, cfg.CheckpointEvery, cfg.Translated)
+		d.Seed, d.Seed, cfg.Instructions, d.Cycle+1, cfg.CheckpointEvery, cfg.Translated, cfg.FastIO)
 }
 
 // fuzzMemConfig keeps storage small so per-checkpoint snapshots stay cheap
@@ -304,6 +352,30 @@ func buildMachine(prog *masm.Program, cfg Config, reference bool) (*core.Machine
 	}
 	m.SetIOAddress(9, 9)
 	m.SetTPC(9, prog.MustEntry("svc"))
+
+	if cfg.FastIO {
+		// The §7 fast-I/O pair on the generated "fio" routine: a display
+		// draining blocks from storage and a scanner writing them back.
+		// Block offsets accumulate in RM[2] and wrap within the small fuzz
+		// storage (memory.translate reduces out-of-range addresses mod the
+		// store), so the traffic is endless but deterministic.
+		disp := device.NewDisplay(13, m.Mem(), 24, 4)
+		disp.SetBase(0x800)
+		if err := m.Attach(disp); err != nil {
+			return nil, err
+		}
+		m.SetIOAddress(13, 13)
+		m.SetTPC(13, prog.MustEntry("fio"))
+		m.SetT(13, 16)
+		sc := device.NewScanner(12, m.Mem(), 40, 4)
+		sc.SetBase(0xC00)
+		if err := m.Attach(sc); err != nil {
+			return nil, err
+		}
+		m.SetIOAddress(12, 12)
+		m.SetTPC(12, prog.MustEntry("fio"))
+		m.SetT(12, 16)
+	}
 
 	m.Start(prog.MustEntry("main"))
 	return m, nil

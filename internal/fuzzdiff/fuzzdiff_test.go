@@ -47,7 +47,7 @@ func TestBisectLocalizesInjectedFaultTranslated(t *testing.T) {
 		Cycles:          4000,
 		CheckpointEvery: 512,
 		Translated:      true,
-		tamper: func(cycle uint64, fast *core.Machine) {
+		Tamper: func(cycle uint64, fast *core.Machine) {
 			if cycle == faultCycle {
 				fast.SetRM(5, fast.RM(5)^0x8000)
 			}
@@ -65,6 +65,42 @@ func TestBisectLocalizesInjectedFaultTranslated(t *testing.T) {
 	}
 	if !strings.Contains(d.Repro, "Translated:      true") {
 		t.Errorf("repro does not carry the Translated flag:\n%s", d.Repro)
+	}
+}
+
+// TestCleanSeedsFastIO widens the sweep to the device-driven configuration:
+// a display and a scanner moving 16-word blocks through the fast-I/O path
+// on both sides of the differential, on both fast paths.
+func TestCleanSeedsFastIO(t *testing.T) {
+	for _, translated := range []bool{false, true} {
+		for seed := int64(1); seed <= 4; seed++ {
+			d, err := Run(Config{Seed: seed, Cycles: 4000, CheckpointEvery: 256,
+				FastIO: true, Translated: translated})
+			if err != nil {
+				t.Fatalf("seed %d translated=%t: %v", seed, translated, err)
+			}
+			if d != nil {
+				t.Errorf("seed %d translated=%t: %v\n%s", seed, translated, d, d.Repro)
+			}
+		}
+	}
+}
+
+// TestRunResultAccounting: RunResult must report the cycles actually
+// simulated so campaign throughput numbers mean something.
+func TestRunResultAccounting(t *testing.T) {
+	res, err := RunResult(Config{Seed: 5, Cycles: 3000, CheckpointEvery: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 5 {
+		t.Errorf("Seed = %d, want 5", res.Seed)
+	}
+	if res.Divergence == nil && !res.Halted && res.Cycles != 3000 {
+		t.Errorf("Cycles = %d, want 3000 for a full clean run", res.Cycles)
+	}
+	if res.Cycles == 0 {
+		t.Error("Cycles = 0: accounting missing")
 	}
 }
 
@@ -93,7 +129,7 @@ func TestBisectLocalizesInjectedFault(t *testing.T) {
 		Seed:            3,
 		Cycles:          4000,
 		CheckpointEvery: 512,
-		tamper: func(cycle uint64, fast *core.Machine) {
+		Tamper: func(cycle uint64, fast *core.Machine) {
 			if cycle == faultCycle {
 				fast.SetRM(5, fast.RM(5)^0x8000)
 			}

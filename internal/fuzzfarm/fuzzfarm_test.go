@@ -1,0 +1,363 @@
+package fuzzfarm
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"dorado/internal/core"
+	"dorado/internal/fuzzdiff"
+)
+
+// flipRM5 is the standard seeded bug (the same injector the fuzzdiff
+// bisection tests use): flip a bit in RM 5 on the fast path at a fixed
+// cycle, so every seed on every profile diverges — and the farm had better
+// find all of them.
+func flipRM5(at uint64) func(uint64, *core.Machine) {
+	return func(cycle uint64, fast *core.Machine) {
+		if cycle == at {
+			fast.SetRM(5, fast.RM(5)^0x8000)
+		}
+	}
+}
+
+// tamperedConfig is the shared self-test campaign: every seed diverges at
+// cycle 300, budgets kept small (tampered runs single-step, and every
+// divergence pays a bisection plus minimization reruns) so the whole
+// matrix stays fast even under -race.
+func tamperedConfig(seeds int64, shards int) Config {
+	return Config{
+		Seeds:            seeds,
+		Shards:           shards,
+		Fuzz:             fuzzdiff.Config{Cycles: 600, CheckpointEvery: 256},
+		MinimizeAttempts: 2,
+		Tamper:           flipRM5(300),
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	cases := []struct {
+		start, total int64
+		shards       int
+	}{
+		{1, 10, 3}, {1, 16, 16}, {1, 16, 1}, {100, 7, 4}, {1, 1, 1},
+	}
+	for _, tc := range cases {
+		next := tc.start
+		for i := 0; i < tc.shards; i++ {
+			first, count := shardRange(tc.start, tc.total, tc.shards, i)
+			if first != next {
+				t.Fatalf("(%+v) shard %d starts at %d, want %d (ranges must tile)", tc, i, first, next)
+			}
+			if want := tc.total / int64(tc.shards); count != want && count != want+1 {
+				t.Errorf("(%+v) shard %d has %d seeds, want %d or %d", tc, i, count, want, want+1)
+			}
+			next += count
+		}
+		if next != tc.start+tc.total {
+			t.Errorf("(%+v) ranges cover [%d,%d), want [%d,%d)", tc, tc.start, next, tc.start, tc.start+tc.total)
+		}
+	}
+}
+
+// TestShardDeterminism is the farm's core contract: the same seed range
+// produces the identical divergence set — and the identical report, modulo
+// wall-clock fields and the per-shard breakdown — for any shard count and
+// any worker count. Per-seed fuzz runs are pure functions of their Config,
+// so sharding is free to be whatever the scheduler likes.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign matrix is slow")
+	}
+	// comparable renders the deterministic part of a report: timing fields
+	// and the shard breakdown (whose shape legitimately varies with the
+	// shard count) stripped.
+	comparable := func(r *Report) string {
+		r.StripTiming()
+		r.Shards = 0
+		r.ShardStats = nil
+		b, err := json.MarshalIndent(r, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	var want string
+	for _, k := range []int{1, 4, 16} {
+		cfg := tamperedConfig(16, k)
+		cfg.Workers = 3
+		rep, err := Run(tctx(t), cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if rep.Divergences != 16*len(DefaultProfiles()) {
+			t.Fatalf("shards=%d: %d divergences, want %d (every seed x profile is tampered)",
+				k, rep.Divergences, 16*len(DefaultProfiles()))
+		}
+		got := comparable(rep)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("shards=%d: report differs from shards=1 baseline:\n%s\nvs\n%s", k, got, want)
+		}
+	}
+
+	// Worker count is pure parallelism: same shards, serial execution.
+	cfg := tamperedConfig(16, 4)
+	cfg.Workers = 1
+	rep, err := Run(tctx(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comparable(rep); got != want {
+		t.Errorf("workers=1: report differs from workers=3:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFarmFindsSeededBug is the end-to-end self-test: a tampered campaign
+// must detect every injected divergence, minimize each one, and bank
+// deduped regression tests in the corpus directory.
+func TestFarmFindsSeededBug(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tamperedConfig(4, 2)
+	cfg.CorpusDir = dir
+	rep, err := Run(tctx(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiv := 4 * len(DefaultProfiles())
+	if rep.Divergences != wantDiv || len(rep.Findings) != wantDiv {
+		t.Fatalf("found %d divergences (%d findings), want %d", rep.Divergences, len(rep.Findings), wantDiv)
+	}
+	if rep.Interrupted {
+		t.Error("campaign marked interrupted without cancellation")
+	}
+	if len(rep.Errors) != 0 {
+		t.Errorf("harness errors: %v", rep.Errors)
+	}
+
+	keys := map[string]string{}
+	for _, f := range rep.Findings {
+		if f.Cycle != 300 {
+			t.Errorf("finding %s/%d: divergence at cycle %d, fault injected at 300", f.Profile, f.Seed, f.Cycle)
+		}
+		if f.MinCycles != 301 {
+			t.Errorf("finding %s/%d: MinCycles = %d, want 301 (cycle shrink to one past the fault)",
+				f.Profile, f.Seed, f.MinCycles)
+		}
+		if f.MinInstructions <= 0 || f.Key == "" || f.CorpusFile == "" {
+			t.Errorf("finding %s/%d incomplete: %+v", f.Profile, f.Seed, f)
+		}
+		if !strings.Contains(f.Repro, "fuzzdiff.Run(fuzzdiff.Config{") {
+			t.Errorf("finding %s/%d: repro is not a pasteable test:\n%s", f.Profile, f.Seed, f.Repro)
+		}
+		if prev, ok := keys[f.Key]; ok && prev != f.CorpusFile {
+			t.Errorf("key %s maps to two corpus files: %s and %s", f.Key, prev, f.CorpusFile)
+		}
+		keys[f.Key] = f.CorpusFile
+	}
+
+	// One corpus entry per distinct key, each a .go.txt regression test.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(keys) {
+		t.Errorf("%d corpus files for %d distinct keys", len(entries), len(keys))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go.txt") {
+			t.Errorf("corpus entry %s: want .go.txt (must never join a build)", e.Name())
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), "func TestFuzzDiffSeed") {
+			t.Errorf("corpus entry %s has no test function:\n%s", e.Name(), body)
+		}
+	}
+
+	// Re-running the identical campaign dedupes against the existing corpus:
+	// same findings, zero new files.
+	rep2, err := Run(tctx(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Divergences != wantDiv {
+		t.Fatalf("second run found %d divergences, want %d", rep2.Divergences, wantDiv)
+	}
+	again, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Errorf("corpus grew from %d to %d files on an identical re-run (dedupe broken)", len(entries), len(again))
+	}
+}
+
+// TestFarmCleanCampaign: a small clean campaign over the full profile mix
+// must report zero divergences and full accounting — the smoke-sized
+// version of the nightly CI invariant.
+func TestFarmCleanCampaign(t *testing.T) {
+	rep, err := Run(tctx(t), Config{
+		Seeds:  4,
+		Shards: 2,
+		Fuzz:   fuzzdiff.Config{Cycles: 3000, CheckpointEvery: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergences != 0 || len(rep.Findings) != 0 {
+		t.Fatalf("clean campaign found divergences: %+v", rep.Findings)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("harness errors: %v", rep.Errors)
+	}
+	if rep.SeedsRun != 4 || rep.Interrupted {
+		t.Errorf("SeedsRun = %d, Interrupted = %t; want 4, false", rep.SeedsRun, rep.Interrupted)
+	}
+	if rep.Cycles == 0 {
+		t.Error("Cycles = 0: throughput accounting missing")
+	}
+	if len(rep.ShardStats) != 2 {
+		t.Fatalf("%d shard stats, want 2", len(rep.ShardStats))
+	}
+	var seeds int64
+	for _, s := range rep.ShardStats {
+		seeds += s.SeedsRun
+		if s.SeedsRun != s.SeedsTotal {
+			t.Errorf("shard %d ran %d/%d seeds in an uninterrupted campaign", s.Shard, s.SeedsRun, s.SeedsTotal)
+		}
+	}
+	if seeds != rep.SeedsRun {
+		t.Errorf("shard seed counts sum to %d, report says %d", seeds, rep.SeedsRun)
+	}
+}
+
+// TestFarmGracefulCancel: cancelling mid-campaign stops cleanly — finished
+// work is reported, the rest is skipped, and the report says Interrupted.
+func TestFarmGracefulCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	cfg := Config{
+		Seeds:   64,
+		Shards:  8,
+		Workers: 1,
+		Fuzz:    fuzzdiff.Config{Cycles: 1000, CheckpointEvery: 256},
+		// Cancel as soon as the first seed completes: with one worker the
+		// remaining shards (and the current shard's remaining seeds) must be
+		// skipped at the next context check.
+		Progress: func(done, total int64) { once.Do(cancel) },
+	}
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Error("report not marked Interrupted after cancellation")
+	}
+	if rep.SeedsRun == 0 || rep.SeedsRun >= 64 {
+		t.Errorf("SeedsRun = %d, want partial progress in (0, 64)", rep.SeedsRun)
+	}
+	if len(rep.ShardStats) != 8 {
+		t.Errorf("%d shard stats, want 8 (skipped shards still report)", len(rep.ShardStats))
+	}
+}
+
+// TestMinimizeShrinksCycles checks the minimizer directly: the cycle budget
+// must shrink to one past the divergence while reproducing the identical
+// (PC, word) pair.
+func TestMinimizeShrinksCycles(t *testing.T) {
+	cfg := fuzzdiff.Config{Seed: 3, Cycles: 4000, CheckpointEvery: 512, Tamper: flipRM5(1234)}
+	d, err := fuzzdiff.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("seeded fault not detected")
+	}
+	best, bestD := minimize(cfg, d, 8)
+	if best.Cycles != d.Cycle+1 {
+		t.Errorf("minimized Cycles = %d, want %d", best.Cycles, d.Cycle+1)
+	}
+	if bestD.PC != d.PC || bestD.Word != d.Word {
+		t.Errorf("minimized divergence moved: pc %v word %+v, want pc %v word %+v",
+			bestD.PC, bestD.Word, d.PC, d.Word)
+	}
+	if best.Instructions > cfg.Normalized().Instructions {
+		t.Errorf("minimization grew the program: %d > %d", best.Instructions, cfg.Normalized().Instructions)
+	}
+	// Negative attempts disables minimization entirely.
+	same, sameD := minimize(cfg, d, -1)
+	if same.Cycles != cfg.Normalized().Cycles || sameD != d {
+		t.Error("minimize(-1) modified the config or divergence")
+	}
+}
+
+// TestReproCompilesAndPasses is the compile-and-run check on generated
+// repros: the farm writes a minimized Divergence.Repro into a throwaway
+// package inside the repository (internal packages are invisible outside
+// the module tree) and `go test`s it. The repro encodes a tampered run
+// re-executed without the tamper, so the test must compile, run, and pass.
+func TestReproCompilesAndPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a go test subprocess")
+	}
+	d, err := fuzzdiff.Run(fuzzdiff.Config{Seed: 3, Cycles: 2000, CheckpointEvery: 256, Tamper: flipRM5(700)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("seeded fault not detected")
+	}
+
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source for repo root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(self))) // internal/fuzzfarm -> repo root
+	dir, err := os.MkdirTemp(root, "reprocheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	src := `// Package reprocheck is a generated throwaway: it exists only while
+// fuzzfarm's TestReproCompilesAndPasses verifies a divergence repro
+// compiles and passes verbatim.
+package reprocheck
+
+import (
+	"testing"
+
+	"dorado/internal/fuzzdiff"
+)
+
+` + d.Repro
+	if err := os.WriteFile(filepath.Join(dir, "repro_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "test", "-count=1", "./"+filepath.Base(dir))
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated repro failed to compile or pass:\n%s\n--- repro ---\n%s", out, d.Repro)
+	}
+}
+
+// tctx returns a plain background context (kept as a helper so tests read
+// uniformly; the repo targets Go 1.22, which has no t.Context).
+func tctx(t *testing.T) context.Context {
+	t.Helper()
+	return context.Background()
+}
