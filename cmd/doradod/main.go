@@ -10,6 +10,13 @@
 // demand, and SIGINT/SIGTERM (or POST /v1/drain) drains gracefully:
 // in-flight operations finish, new ones get 503.
 //
+// With -store DIR the fleet survives restarts: parked snapshots land in a
+// content-addressed store under DIR, a graceful drain parks every live
+// session into it, and the next doradod over the same DIR lists those
+// sessions as parked and revives each lazily on first touch. Any stored
+// snapshot hash can also seed a brand-new session ({"from":"<hash>"} on
+// POST /v1/sessions).
+//
 // Usage:
 //
 //	doradod [flags]
@@ -20,6 +27,9 @@
 //	-queue N              per-session operation queue depth (default 8)
 //	-idle-evict DUR       park sessions idle this long, 0 disables
 //	                      (default 5m)
+//	-store DIR            durable snapshot store directory; parked
+//	                      sessions persist across restarts (default
+//	                      none: snapshots stay in memory)
 //	-drain-timeout DUR    shutdown grace period (default 30s)
 //	-log-level LEVEL      structured-log verbosity: debug, info, warn,
 //	                      error, or off (default info; debug adds one
@@ -35,12 +45,22 @@
 //	curl -X POST localhost:7480/v1/sessions -d '{"language":"mesa","metrics":true}'
 //	curl -X POST localhost:7480/v1/sessions -d '{"devices":[{"name":"disk","start":"disk"}]}'
 //	curl -X POST localhost:7480/v1/sessions/s1/boot -d '{"source":"return 6*7;"}'
-//	curl -X POST localhost:7480/v1/sessions/s1/run -d '{"cycles":100000}'
+//	curl -X POST localhost:7480/v1/sessions/s1/runs -d '{"cycles":100000}'
+//	curl localhost:7480/v1/sessions/s1/runs/r1        # poll the async run
+//	curl -X POST localhost:7480/v1/sessions/s1/run -d '{"cycles":100000}'  # deprecated sync form
+//	curl -X POST localhost:7480/v1/sessions/s1/park   # snapshot + evict now
 //	curl localhost:7480/v1/sessions/s1
 //	curl localhost:7480/v1/sessions/s1/trace          # Chrome trace_event JSON
 //	curl localhost:7480/v1/sessions/s1/obs            # wakeup/latency summary
 //	curl -N localhost:7480/v1/sessions/s1/events      # live SSE stats stream
 //	curl localhost:7480/metrics
+//
+// Run endpoints: POST /v1/sessions/{id}/runs is the primary form — it
+// answers 202 with a run id at admission, the result is pollable at
+// GET /v1/sessions/{id}/runs/{rid}, and the completion also arrives as a
+// "run" event on the session's SSE stream. POST /v1/sessions/{id}/run is
+// the deprecated synchronous wrapper over the same machinery, kept for
+// existing clients (simbench -fleet among them).
 //
 // Observability rides on the same listener: /metrics is the Prometheus
 // scrape target (fleet counters, per-operation queue-wait and service-time
@@ -69,6 +89,7 @@ import (
 
 	"dorado/internal/fleet"
 	"dorado/internal/obs"
+	"dorado/internal/store"
 )
 
 // parseLogLevel maps the -log-level flag onto a slog handler; "off"
@@ -98,6 +119,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "maximum live+parked sessions")
 	queue := flag.Int("queue", 8, "per-session operation queue depth")
 	idle := flag.Duration("idle-evict", 5*time.Minute, "park sessions idle this long (0 disables)")
+	storeDir := flag.String("store", "", "durable snapshot store directory (empty: in-memory parking only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error, off")
 	flag.Parse()
@@ -106,12 +128,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var snapStore *store.Store
+	if *storeDir != "" {
+		if snapStore, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
 	mgr := fleet.New(fleet.Config{
 		Workers:     *workers,
 		MaxSessions: *maxSessions,
 		QueueDepth:  *queue,
 		IdleAfter:   *idle,
 		Logger:      logger,
+		Store:       snapStore,
 	})
 	srv := fleet.NewServer(mgr)
 	srv.DrainTimeout = *drainTimeout
@@ -125,6 +154,10 @@ func main() {
 	httpSrv := &http.Server{Handler: srv}
 	fmt.Printf("doradod: serving on http://%s (%d workers, %d sessions max)\n",
 		ln.Addr(), *workers, *maxSessions)
+	if snapStore != nil {
+		fmt.Printf("doradod: durable store at %s (%d stored sessions adopted)\n",
+			snapStore.Dir(), len(snapStore.Sessions()))
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dorado/internal/store"
+)
+
+// parkNow parks a session, retrying the transient ErrBusy window right
+// after an operation completes (the worker may still hold the scheduled
+// flag for an instant).
+func parkNow(t *testing.T, m *Manager, id string) ParkResult {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := m.Park(id)
+		if err == nil {
+			return res
+		}
+		if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+			t.Fatalf("park %s: %v", id, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// openStore opens a snapshot store rooted in dir.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	sdb, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb
+}
+
+// TestDurableParkByteIdentical is the park/revive drift check: parking,
+// reviving from the store blob, and parking again must produce the same
+// content hash — the from-disk revival path reproduces the machine
+// byte-exactly.
+func TestDurableParkByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{Workers: 1, Store: openStore(t, dir)})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(tctx, id, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	res := parkNow(t, m, id)
+	if !res.Parked || res.Snapshot == "" {
+		t.Fatalf("park = %+v", res)
+	}
+	blob, err := m.cfg.Store.Get(res.Snapshot)
+	if err != nil {
+		t.Fatalf("stored blob unreadable: %v", err)
+	}
+	if store.Hash(blob) != res.Snapshot {
+		t.Fatal("blob does not hash to its name")
+	}
+	// Parking again while parked is an idempotent success.
+	again := parkNow(t, m, id)
+	if again.Snapshot != res.Snapshot {
+		t.Fatalf("re-park hash = %s, want %s", again.Snapshot, res.Snapshot)
+	}
+
+	// First touch revives from the store blob.
+	st, err := m.ReadState(tctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Parked || st.Cycle != 1000 {
+		t.Fatalf("revived state = %+v", st)
+	}
+	if m.counters.revived.Load() != 1 || m.counters.persisted.Load() != 1 {
+		t.Fatalf("revived=%d persisted=%d", m.counters.revived.Load(), m.counters.persisted.Load())
+	}
+
+	// The drift check: a second park of the revived machine must address
+	// the exact same bytes.
+	reparked := parkNow(t, m, id)
+	if reparked.Snapshot != res.Snapshot {
+		t.Fatalf("park after revival = %s, want %s (revival drifted)", reparked.Snapshot, res.Snapshot)
+	}
+}
+
+// TestRestartRevival is the restart story at the Manager level: a fresh
+// Manager over the same store directory lists the parked session, its
+// listing carries the stored hash, and first touch revives the exact
+// bytes the previous process parked.
+func TestRestartRevival(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{Workers: 1, Store: openStore(t, dir)})
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(tctx, id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	res := parkNow(t, m, id)
+	drainNow(t, m)
+
+	// "Restart": a brand-new Manager over a brand-new Store handle.
+	m2 := New(Config{Workers: 1, Store: openStore(t, dir)})
+	defer drainNow(t, m2)
+	infos := m2.Sessions()
+	if len(infos) != 1 {
+		t.Fatalf("sessions after restart = %+v", infos)
+	}
+	in := infos[0]
+	if in.ID != id || !in.Parked || in.Snapshot != res.Snapshot || in.Cycle != 1000 {
+		t.Fatalf("adopted session = %+v, want parked %s @1000 with %s", in, id, res.Snapshot)
+	}
+	if m2.counters.adopted.Load() != 1 {
+		t.Fatalf("adopted counter = %d", m2.counters.adopted.Load())
+	}
+
+	// First touch revives; the serialized machine is byte-identical to the
+	// pre-restart park.
+	snap, err := m2.Snapshot(tctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Hash(snap) != res.Snapshot {
+		t.Fatal("revived snapshot differs from the pre-restart bytes")
+	}
+	st, err := m2.ReadState(tctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 1000 || st.Parked {
+		t.Fatalf("post-revival state = %+v", st)
+	}
+
+	// New ids continue past the adopted sequence instead of colliding.
+	id2, err := m2.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("restarted manager reissued id %q", id2)
+	}
+
+	// Destroy removes the manifest entry but keeps the blob (fork
+	// fodder). id2 is live and unparked, so it has no entry yet — the
+	// manifest is empty after the destroy.
+	if err := m2.Destroy(id); err != nil {
+		t.Fatal(err)
+	}
+	sdb := openStore(t, dir)
+	if list := sdb.Sessions(); len(list) != 0 {
+		t.Fatalf("manifest after destroy = %+v", list)
+	}
+	if !sdb.Has(res.Snapshot) {
+		t.Fatal("destroy deleted the content-addressed blob")
+	}
+}
+
+// TestDrainParksIntoStore: sessions still live at drain time are parked
+// into the store, so an abrupt-but-graceful shutdown loses nothing.
+func TestDrainParksIntoStore(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{Workers: 2, Store: openStore(t, dir)})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := m.Create(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(tctx, id, uint64(100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	drainNow(t, m) // no explicit park: Drain must persist all three
+
+	m2 := New(Config{Workers: 1, Store: openStore(t, dir)})
+	defer drainNow(t, m2)
+	infos := m2.Sessions()
+	if len(infos) != len(ids) {
+		t.Fatalf("restarted fleet = %+v", infos)
+	}
+	for i, in := range infos {
+		want := uint64(100 * (i + 1))
+		if in.ID != ids[i] || !in.Parked || in.Cycle != want || in.Snapshot == "" {
+			t.Fatalf("session %d = %+v, want %s parked @%d", i, in, ids[i], want)
+		}
+		st, err := m2.ReadState(tctx, in.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cycle != want {
+			t.Fatalf("revived %s cycle = %d, want %d", in.ID, st.Cycle, want)
+		}
+	}
+}
+
+// TestCreateFromFork: any stored snapshot seeds a new session that then
+// diverges independently of the original.
+func TestCreateFromFork(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{Workers: 1, Store: openStore(t, dir)})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(tctx, id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	res := parkNow(t, m, id)
+
+	fork, err := m.CreateFrom(res.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork == id {
+		t.Fatalf("fork reused id %q", fork)
+	}
+	if st, err := m.ReadState(tctx, fork); err != nil || st.Cycle != 1000 {
+		t.Fatalf("fork state = %+v, %v", st, err)
+	}
+	if _, err := m.Run(tctx, fork, 500); err != nil {
+		t.Fatal(err)
+	}
+	forkSt, err := m.ReadState(tctx, fork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSt, err := m.ReadState(tctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forkSt.Cycle != 1500 || origSt.Cycle != 1000 {
+		t.Fatalf("fork=%d orig=%d, want 1500/1000", forkSt.Cycle, origSt.Cycle)
+	}
+	if m.counters.forked.Load() != 1 {
+		t.Fatalf("forked counter = %d", m.counters.forked.Load())
+	}
+
+	// Unknown hashes and storeless managers fail with typed sentinels.
+	if _, err := m.CreateFrom("0000000000000000000000000000000000000000000000000000000000000000"); !errors.Is(err, store.ErrNoBlob) {
+		t.Fatalf("unknown hash: %v", err)
+	}
+	plain := New(Config{Workers: 1})
+	defer drainNow(t, plain)
+	if _, err := plain.CreateFrom(res.Snapshot); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("storeless fork: %v", err)
+	}
+}
+
+// TestParkBusy: a session with in-flight work refuses an explicit park
+// with ErrBusy instead of waiting or corrupting the queue.
+func TestParkBusy(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer drainNow(t, m)
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, release := blockSession(t, m, id)
+	<-running
+	if _, err := m.Park(id); !errors.Is(err, ErrBusy) {
+		t.Fatalf("park while busy: %v", err)
+	}
+	release()
+	// Without a store, parking still works — snapshot held in memory,
+	// hash empty.
+	res := parkNow(t, m, id)
+	if !res.Parked || res.Snapshot != "" {
+		t.Fatalf("storeless park = %+v", res)
+	}
+	if _, err := m.Park("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("park unknown: %v", err)
+	}
+}

@@ -3,9 +3,13 @@ package fleet_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"time"
 
 	"dorado/internal/fleet"
+	"dorado/internal/store"
 )
 
 // ExampleManager_ObsSummary creates an instrumented session, runs it, and
@@ -64,6 +68,149 @@ func ExampleManager_TraceJSON() {
 	}
 	fmt.Println(len(doc.TraceEvents) > 0)
 	// Output: true
+}
+
+// ExampleManager_SubmitRun submits an asynchronous run and polls it to
+// completion — the Manager-level mirror of POST /v1/sessions/{id}/runs
+// followed by GET /v1/sessions/{id}/runs/{rid}. The submit returns at
+// admission; the result becomes available when the worker finishes.
+func ExampleManager_SubmitRun() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	v, err := m.SubmitRun(ctx, id, 1000)
+	if err != nil {
+		panic(err)
+	}
+	for v.Status != fleet.RunDone && v.Status != fleet.RunFailed {
+		time.Sleep(time.Millisecond)
+		if v, err = m.GetRun(id, v.ID); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(v.ID, v.Status, v.Result.Ran)
+	// Output: r1 done 1000
+}
+
+// ExampleManager_Park parks a session into a durable store and restarts
+// the fleet over the same directory — what `doradod -store DIR` does
+// across a process restart. Park can race the worker's hand-off for an
+// instant after an operation completes, so real clients retry ErrBusy.
+func ExampleManager_Park() {
+	dir, err := os.MkdirTemp("", "dorado-store-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	sdb, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	m := fleet.New(fleet.Config{Workers: 1, Store: sdb})
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, id, 1000); err != nil {
+		panic(err)
+	}
+	var res fleet.ParkResult
+	for {
+		if res, err = m.Park(id); !errors.Is(err, fleet.ErrBusy) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		panic(err)
+	}
+	m.Drain(ctx) //nolint:errcheck // Background never expires
+
+	// "Restart": a fresh Manager over the same store directory adopts the
+	// parked session and revives it lazily on first touch.
+	sdb2, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	m2 := fleet.New(fleet.Config{Workers: 1, Store: sdb2})
+	defer m2.Drain(ctx) //nolint:errcheck // Background never expires
+	info := m2.Sessions()[0]
+	st, err := m2.ReadState(ctx, info.ID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(info.Parked, info.Snapshot == res.Snapshot, st.Cycle)
+	// Output: true true 1000
+}
+
+// ExampleManager_CreateFrom forks a new session from a stored snapshot
+// hash — what POST /v1/sessions with {"from":"<hash>"} does. The fork
+// starts at the donor's exact state and then diverges independently.
+func ExampleManager_CreateFrom() {
+	dir, err := os.MkdirTemp("", "dorado-store-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	sdb, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	m := fleet.New(fleet.Config{Workers: 1, Store: sdb})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, id, 1000); err != nil {
+		panic(err)
+	}
+	var res fleet.ParkResult
+	for {
+		if res, err = m.Park(id); !errors.Is(err, fleet.ErrBusy) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		panic(err)
+	}
+
+	fork, err := m.CreateFrom(res.Snapshot)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, fork, 500); err != nil {
+		panic(err)
+	}
+	forkSt, err := m.ReadState(ctx, fork)
+	if err != nil {
+		panic(err)
+	}
+	origSt, err := m.ReadState(ctx, id)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(origSt.Cycle, forkSt.Cycle)
+	// Output: 1000 1500
 }
 
 // ExampleManager_Health reads the O(1) liveness summary — what GET

@@ -29,10 +29,19 @@
 // restores the snapshot. Drain stops admission and waits for every accepted
 // operation to finish, then stops the workers — the graceful-shutdown path
 // cmd/doradod runs on SIGTERM.
+//
+// With Config.Store set, parking is durable: snapshots land in a
+// content-addressed on-disk store (internal/store) instead of memory, a
+// graceful Drain parks every remaining live session into it, and a fresh
+// Manager over the same directory lists the stored sessions as parked and
+// revives each lazily on first touch — the restart-safe deployment shape.
+// Any stored snapshot can also seed a brand-new session (CreateFrom), the
+// fork-from-snapshot primitive behind microcode A/B experiments.
 package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -40,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dorado/internal/store"
 )
 
 // Sentinel errors returned by Manager operations. Match with errors.Is;
@@ -58,6 +69,14 @@ var (
 	// ErrNoMetrics reports a trace or obs read on a session created
 	// without Spec.Metrics; cmd/doradod returns 409.
 	ErrNoMetrics = errors.New("fleet: session has no metrics recorder")
+	// ErrBusy reports a Park on a session that is scheduled or has pending
+	// operations; the caller should let the queue empty and retry.
+	// cmd/doradod returns 409.
+	ErrBusy = errors.New("fleet: session busy")
+	// ErrNoStore reports a durability operation (Park-to-disk listing,
+	// CreateFrom) on a manager configured without Config.Store;
+	// cmd/doradod returns 409.
+	ErrNoStore = errors.New("fleet: no snapshot store configured")
 )
 
 // Config sizes a Manager. The zero value picks usable defaults.
@@ -83,6 +102,14 @@ type Config struct {
 	// RequestID). Nil disables operation logging; the latency histograms
 	// are always recorded.
 	Logger *slog.Logger
+	// Store, when set, makes parked sessions durable: park writes the
+	// snapshot into this content-addressed store (with the session's Spec
+	// as sidecar metadata and a manifest entry), New lists the store's
+	// sessions as parked, revival loads the blob lazily on first touch,
+	// and Drain parks every remaining live session before stopping — so a
+	// restart over the same store directory resumes the fleet. Nil keeps
+	// parked snapshots in memory only (the pre-store behavior).
+	Store *store.Store
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -154,7 +181,10 @@ type Manager struct {
 }
 
 // New builds a Manager and starts its workers (and, when eviction is
-// configured, its janitor). Stop it with Drain.
+// configured, its janitor). With Config.Store set it also adopts the
+// store's manifest: every recorded session is registered as parked —
+// no machine built, no blob read — and revives lazily on first touch.
+// Stop it with Drain.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
@@ -165,6 +195,9 @@ func New(cfg Config) *Manager {
 		lat:      newOpHistograms(),
 	}
 	m.runCond = sync.NewCond(&m.runMu)
+	if cfg.Store != nil {
+		m.adoptStore()
+	}
 	m.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -173,6 +206,40 @@ func New(cfg Config) *Manager {
 		go m.janitor()
 	}
 	return m
+}
+
+// adoptStore registers every manifest session as parked-on-disk and
+// advances the id counter past the restored sequence numbers. An entry
+// whose Spec no longer decodes is skipped (and logged) rather than
+// poisoning startup; its blob stays in the store untouched.
+func (m *Manager) adoptStore() {
+	for _, e := range m.cfg.Store.Sessions() {
+		var spec Spec
+		if err := json.Unmarshal(e.Spec, &spec); err != nil {
+			if m.cfg.Logger != nil {
+				m.cfg.Logger.Warn("fleet: skipping stored session with undecodable spec",
+					"session", e.ID, "err", err)
+			}
+			continue
+		}
+		now := m.cfg.now()
+		s := &Session{
+			id:         e.ID,
+			seq:        e.Seq,
+			spec:       spec,
+			birth:      now,
+			lastUsed:   now,
+			parkedHash: e.Hash,
+		}
+		s.stats.parked.Store(true)
+		s.stats.cycles.Store(e.Cycle)
+		m.sessions[s.id] = s
+		if e.Seq > m.nextID {
+			m.nextID = e.Seq
+		}
+		m.nParked.Add(1)
+		m.counters.adopted.Add(1)
+	}
 }
 
 // Workers returns the configured worker-pool size.
@@ -221,10 +288,12 @@ func (m *Manager) worker() {
 		op := s.pending[0]
 		copy(s.pending, s.pending[1:])
 		s.pending = s.pending[:len(s.pending)-1]
-		if s.sys == nil && s.parked != nil {
+		if s.parkedLocked() {
 			// Revive before unlocking: the rebuild mutates s.sys, and a
 			// concurrent janitor sweep must observe either parked or live,
-			// never a half-built machine.
+			// never a half-built machine. The same path serves in-memory
+			// parks and store-backed parks (including sessions adopted
+			// from a previous process's store) — see reviveLocked.
 			s.reviveLocked(m)
 		}
 		sys, reviveErr := s.sys, s.reviveErr
@@ -294,12 +363,14 @@ func (m *Manager) logOp(id string, op *op, res opResult) {
 	m.cfg.Logger.LogAttrs(op.ctx, slog.LevelDebug, "fleet op", attrs...)
 }
 
-// submit queues fn on the session and waits for its result. It enforces,
-// in order: drain state, session existence, and queue bound. ctx scopes
-// the wait: if it is canceled before a worker runs the operation, the
-// body is skipped and submit returns ctx's error; it also carries the
-// request id the operation log records (see RequestID).
-func (m *Manager) submit(ctx context.Context, id string, kind opKind, fn func(sys *system) (any, error)) (any, error) {
+// submitAsync queues fn on the session and returns the accepted operation
+// without waiting for it. It enforces, in order: drain state, session
+// existence, and queue bound — the admission decision is synchronous even
+// when the result will be consumed asynchronously (the runs resource), so
+// backpressure errors still reach the submitter immediately. ctx rides on
+// the operation: the worker skips the body if it is canceled at pickup,
+// and the operation log records its request id (see RequestID).
+func (m *Manager) submitAsync(ctx context.Context, id string, kind opKind, fn func(sys *system) (any, error)) (*op, error) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -340,7 +411,17 @@ func (m *Manager) submit(ctx context.Context, id string, kind opKind, fn func(sy
 	if enqueue {
 		m.enqueue(s)
 	}
+	return o, nil
+}
 
+// submit queues fn on the session and waits for its result. ctx scopes
+// the wait: if it is canceled before a worker runs the operation, the
+// body is skipped and submit returns ctx's error.
+func (m *Manager) submit(ctx context.Context, id string, kind opKind, fn func(sys *system) (any, error)) (any, error) {
+	o, err := m.submitAsync(ctx, id, kind, fn)
+	if err != nil {
+		return nil, err
+	}
 	// done is buffered, so a departed caller never blocks the worker; the
 	// worker also sees the canceled ctx and skips the body if it has not
 	// started yet.
@@ -393,9 +474,11 @@ func (m *Manager) Sweep() int {
 
 // Drain gracefully shuts the manager down: new operations are rejected
 // with ErrDraining, every already-accepted operation runs to completion,
-// then the workers and janitor stop. If ctx expires first, Drain returns
-// ctx.Err() with the workers still running (call again to finish). Drain
-// is idempotent.
+// then the workers and janitor stop. With Config.Store set, every session
+// still live after the workers stop is parked into the store, so a
+// subsequent process over the same directory resumes the whole fleet. If
+// ctx expires first, Drain returns ctx.Err() with the workers still
+// running (call again to finish). Drain is idempotent.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
@@ -423,6 +506,20 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.runCond.Broadcast()
 		m.workerWG.Wait()
 		close(m.janitorC)
+		if m.cfg.Store != nil {
+			// The workers are gone and admission is closed, so every
+			// session is idle; park them all while the process still can.
+			cutoff := m.cfg.now().Add(time.Nanosecond)
+			m.mu.Lock()
+			list := make([]*Session, 0, len(m.sessions))
+			for _, s := range m.sessions {
+				list = append(list, s)
+			}
+			m.mu.Unlock()
+			for _, s := range list {
+				s.park(m, cutoff)
+			}
+		}
 	})
 	return nil
 }

@@ -17,6 +17,10 @@ type counters struct {
 	destroyed     atomic.Uint64
 	evicted       atomic.Uint64
 	revived       atomic.Uint64
+	adopted       atomic.Uint64 // sessions restored from a store manifest at startup
+	persisted     atomic.Uint64 // snapshots written durably at park
+	forked        atomic.Uint64 // sessions created from a stored snapshot (CreateFrom)
+	runsSubmitted atomic.Uint64 // async runs accepted (includes the sync wrapper)
 	cycles        atomic.Uint64 // simulated cycles, all sessions ever
 }
 
@@ -83,6 +87,14 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 		obs.Sample{Value: m.counters.evicted.Load()})
 	sn.Add("dorado_fleet_sessions_revived_total", "Parked sessions rebuilt on demand.", "counter",
 		obs.Sample{Value: m.counters.revived.Load()})
+	sn.Add("dorado_fleet_sessions_adopted_total", "Sessions adopted from the store manifest at startup.", "counter",
+		obs.Sample{Value: m.counters.adopted.Load()})
+	sn.Add("dorado_fleet_snapshots_persisted_total", "Snapshots written durably to the store at park.", "counter",
+		obs.Sample{Value: m.counters.persisted.Load()})
+	sn.Add("dorado_fleet_sessions_forked_total", "Sessions created from a stored snapshot.", "counter",
+		obs.Sample{Value: m.counters.forked.Load()})
+	sn.Add("dorado_fleet_runs_submitted_total", "Async runs accepted, including the sync wrapper's.", "counter",
+		obs.Sample{Value: m.counters.runsSubmitted.Load()})
 	sn.Add("dorado_fleet_cycles_total", "Simulated cycles across all sessions.", "counter",
 		obs.Sample{Value: m.counters.cycles.Load()})
 

@@ -15,30 +15,41 @@ import (
 
 	"dorado"
 	"dorado/internal/obs"
+	"dorado/internal/store"
 )
 
 // Server is the HTTP/JSON face of a Manager — the handler cmd/doradod
-// serves. Every session operation maps to one route; fleet errors map to
-// status codes (ErrOverloaded → 429, ErrDraining → 503, ErrNotFound → 404,
-// ErrNoMetrics → 409, bad input → 400). Every request gets a request id
-// ("r1", "r2", ...) threaded through its context, so the access log and
-// the manager's per-operation log correlate (see RequestID).
+// serves. Every session operation maps to one route; every error is the
+// uniform ErrorEnvelope JSON with the sentinel-mapped status code
+// (ErrOverloaded → 429, ErrDraining → 503, ErrNotFound → 404,
+// ErrTooManySessions → 507, ErrNoMetrics/ErrBusy/ErrNoStore → 409, bad
+// input → 400). Every request gets a request id ("r1", "r2", ...)
+// threaded through its context, so the access log and the manager's
+// per-operation log correlate (see RequestID).
 //
 // Routes (all JSON unless noted):
 //
 //	POST   /v1/sessions               create a session {"language":"mesa","metrics":true,
-//	                                  "devices":[{"name":"disk","start":"disk"}]} (see DeviceSpec)
+//	                                  "devices":[{"name":"disk","start":"disk"}]} (see DeviceSpec),
+//	                                  or fork one from a stored snapshot {"from":"<hash>"}
 //	GET    /v1/sessions               list sessions
 //	GET    /v1/sessions/{id}          read architectural state
 //	DELETE /v1/sessions/{id}          destroy the session
 //	POST   /v1/sessions/{id}/microcode  {"text": "...", "start": "label"}
 //	POST   /v1/sessions/{id}/boot       {"source": "..."} (compile + boot)
-//	POST   /v1/sessions/{id}/run        {"cycles": N}
+//	POST   /v1/sessions/{id}/runs       submit an async run {"cycles": N} → 202 + run id
+//	GET    /v1/sessions/{id}/runs       list the session's retained runs
+//	GET    /v1/sessions/{id}/runs/{rid} poll one run's status/result
+//	POST   /v1/sessions/{id}/run        synchronous run {"cycles": N} (deprecated: submits
+//	                                    an async run and waits; prefer the runs resource)
+//	POST   /v1/sessions/{id}/park       snapshot + evict now; returns the store hash
 //	GET    /v1/sessions/{id}/snapshot   machine snapshot (octet-stream)
 //	PUT    /v1/sessions/{id}/snapshot   restore a snapshot (octet-stream)
+//	GET    /v1/snapshots/{hash}         read a stored snapshot blob (octet-stream)
 //	GET    /v1/sessions/{id}/trace      Chrome trace_event export (metrics sessions)
 //	GET    /v1/sessions/{id}/obs        observability summary (metrics sessions)
-//	GET    /v1/sessions/{id}/events     live stats stream (Server-Sent Events)
+//	GET    /v1/sessions/{id}/events     live stats stream (Server-Sent Events; run
+//	                                    completions arrive as "run" events)
 //	POST   /v1/drain                  drain the manager (graceful shutdown)
 //	GET    /healthz                   liveness JSON (503 while draining)
 //	GET    /metrics                   Prometheus text exposition
@@ -102,9 +113,14 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.destroySession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/microcode", s.loadMicrocode)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/boot", s.bootSource)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/runs", s.startRun)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/runs", s.listRuns)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/runs/{rid}", s.getRun)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.runCycles)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/park", s.parkSession)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.getSnapshot)
 	s.mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.putSnapshot)
+	s.mux.HandleFunc("GET /v1/snapshots/{hash}", s.getStoredSnapshot)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.traceJSON)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/obs", s.obsSummary)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.streamEvents)
@@ -142,26 +158,89 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// httpError renders a fleet error as JSON with the mapped status code.
-func httpError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrTooManySessions):
-		code = http.StatusInsufficientStorage
-	case errors.Is(err, ErrNoMetrics):
-		code = http.StatusConflict
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// ErrorEnvelope is the uniform JSON error body every fleet endpoint
+// returns: a stable machine-readable code, the human-readable error, and
+// — when the failing route names a session — that session's residency,
+// so a client distinguishing "404 because destroyed" from "409 because
+// busy" never parses error strings.
+type ErrorEnvelope struct {
+	// Code is the stable classification: "overloaded", "draining",
+	// "not_found", "too_many_sessions", "no_metrics", "busy", "no_store",
+	// "bad_request", "too_large", or "internal".
+	Code string `json:"code"`
+	// Error is the underlying error text.
+	Error string `json:"error"`
+	// SessionState reports the named session's residency at error time:
+	// "live", "parked", "failed" (sticky revive error), or "unknown".
+	// Omitted on routes that name no session.
+	SessionState string `json:"session_state,omitempty"`
 }
 
-func badRequest(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+// errBadInput tags client-input errors (malformed JSON, unknown language,
+// assembly failures) so writeError classifies them "bad_request"/400
+// instead of "internal"/500.
+var errBadInput = errors.New("bad request")
+
+// classifyErr maps an error onto its envelope code and HTTP status.
+func classifyErr(err error) (string, int) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded", http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return "draining", http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound), errors.Is(err, store.ErrNoBlob):
+		return "not_found", http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		return "too_many_sessions", http.StatusInsufficientStorage
+	case errors.Is(err, ErrNoMetrics):
+		return "no_metrics", http.StatusConflict
+	case errors.Is(err, ErrBusy):
+		return "busy", http.StatusConflict
+	case errors.Is(err, ErrNoStore):
+		return "no_store", http.StatusConflict
+	case errors.As(err, &tooBig):
+		return "too_large", http.StatusRequestEntityTooLarge
+	case errors.Is(err, errBadInput):
+		return "bad_request", http.StatusBadRequest
+	}
+	return "internal", http.StatusInternalServerError
+}
+
+// writeError renders any handler error as the ErrorEnvelope with its
+// mapped status. All fleet error responses funnel through here.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	code, status := classifyErr(err)
+	env := ErrorEnvelope{Code: code, Error: err.Error()}
+	if id := r.PathValue("id"); id != "" {
+		env.SessionState = s.mgr.sessionState(id)
+	}
+	writeJSON(w, status, env)
+}
+
+// badRequest wraps a client-input error with the bad_request tag and
+// renders it through the envelope.
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, err error) {
+	s.writeError(w, r, fmt.Errorf("%w: %w", errBadInput, err))
+}
+
+// sessionState classifies a session for the error envelope. It takes
+// only the session lock, so it is safe on any error path.
+func (m *Manager) sessionState(id string) string {
+	s, ok := m.lookup(id)
+	if !ok {
+		return "unknown"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.reviveErr != nil:
+		return "failed"
+	case s.parkedLocked():
+		return "parked"
+	default:
+		return "live"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -199,22 +278,39 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		Language string       `json:"language"`
 		Metrics  bool         `json:"metrics"`
 		Devices  []DeviceSpec `json:"devices"`
+		// From forks the new session from a stored snapshot hash; the
+		// blob's Spec sidecar supplies the machine description, so From is
+		// exclusive with the other fields.
+		From string `json:"from"`
 	}
 	if err := decodeJSON(r, &req); err != nil && err != io.EOF {
-		badRequest(w, err)
+		s.badRequest(w, r, err)
+		return
+	}
+	if req.From != "" {
+		if req.Language != "" || req.Metrics || len(req.Devices) != 0 {
+			s.badRequest(w, r, errors.New(`"from" forks a stored snapshot and takes no other fields`))
+			return
+		}
+		id, err := s.mgr.CreateFrom(req.From)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
 		return
 	}
 	if _, err := parseLanguage(req.Language); err != nil {
-		badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if err := validateDevices(req.Devices); err != nil {
-		badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics, Devices: req.Devices})
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
@@ -227,7 +323,7 @@ func (s *Server) listSessions(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) readState(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.ReadState(r.Context(), r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -235,7 +331,7 @@ func (s *Server) readState(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) destroySession(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.Destroy(r.PathValue("id")); err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"destroyed": true})
@@ -247,7 +343,7 @@ func (s *Server) loadMicrocode(w http.ResponseWriter, r *http.Request) {
 		Start string `json:"start"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if req.Start == "" {
@@ -256,9 +352,9 @@ func (s *Server) loadMicrocode(w http.ResponseWriter, r *http.Request) {
 	res, err := s.mgr.LoadMicrocode(r.Context(), r.PathValue("id"), req.Text, req.Start)
 	if err != nil {
 		if isFleetErr(err) {
-			httpError(w, err)
+			s.writeError(w, r, err)
 		} else {
-			badRequest(w, err) // assembly / placement / label errors
+			s.badRequest(w, r, err) // assembly / placement / label errors
 		}
 		return
 	}
@@ -270,44 +366,118 @@ func (s *Server) bootSource(w http.ResponseWriter, r *http.Request) {
 		Source string `json:"source"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if err := s.mgr.BootSource(r.Context(), r.PathValue("id"), req.Source); err != nil {
 		if isFleetErr(err) {
-			httpError(w, err)
+			s.writeError(w, r, err)
 		} else {
-			badRequest(w, err) // compile errors
+			s.badRequest(w, r, err) // compile errors
 		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"booted": true})
 }
 
-func (s *Server) runCycles(w http.ResponseWriter, r *http.Request) {
+// decodeCycles parses the shared {"cycles": N} request body.
+func (s *Server) decodeCycles(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	var req struct {
 		Cycles uint64 `json:"cycles"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		badRequest(w, err)
-		return
+		s.badRequest(w, r, err)
+		return 0, false
 	}
 	if req.Cycles == 0 {
-		badRequest(w, errors.New("cycles must be positive"))
+		s.badRequest(w, r, errors.New("cycles must be positive"))
+		return 0, false
+	}
+	return req.Cycles, true
+}
+
+// runCycles is the deprecated synchronous run endpoint: it submits an
+// async run and waits for it, so it shares admission, execution, and
+// accounting with the runs resource. New clients should POST .../runs
+// and poll (or watch the SSE stream).
+func (s *Server) runCycles(w http.ResponseWriter, r *http.Request) {
+	cycles, ok := s.decodeCycles(w, r)
+	if !ok {
 		return
 	}
-	res, err := s.mgr.Run(r.Context(), r.PathValue("id"), req.Cycles)
+	res, err := s.mgr.Run(r.Context(), r.PathValue("id"), cycles)
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
+// startRun submits an asynchronous run and answers 202 Accepted with the
+// queued run's view; the id in it is pollable immediately.
+func (s *Server) startRun(w http.ResponseWriter, r *http.Request) {
+	cycles, ok := s.decodeCycles(w, r)
+	if !ok {
+		return
+	}
+	v, err := s.mgr.SubmitRun(r.Context(), r.PathValue("id"), cycles)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	runs, err := s.mgr.Runs(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
+	v, err := s.mgr.GetRun(r.PathValue("id"), r.PathValue("rid"))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// parkSession snapshots and evicts the session right now (vs waiting for
+// the idle janitor); with a store configured the response carries the
+// durable snapshot's hash.
+func (s *Server) parkSession(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.Park(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// getStoredSnapshot serves a stored blob by content hash, without
+// touching (or reviving) any session.
+func (s *Server) getStoredSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.cfg.Store == nil {
+		s.writeError(w, r, ErrNoStore)
+		return
+	}
+	data, err := s.mgr.cfg.Store.Get(r.PathValue("hash"))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck // client disconnects only
+}
+
 func (s *Server) getSnapshot(w http.ResponseWriter, r *http.Request) {
 	data, err := s.mgr.Snapshot(r.Context(), r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -319,18 +489,17 @@ func (s *Server) putSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("snapshot exceeds %d bytes", maxSnapshotBody)})
+			s.writeError(w, r, fmt.Errorf("snapshot exceeds %d bytes: %w", maxSnapshotBody, err))
 			return
 		}
-		badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	if err := s.mgr.Restore(r.Context(), r.PathValue("id"), data); err != nil {
 		if isFleetErr(err) {
-			httpError(w, err)
+			s.writeError(w, r, err)
 		} else {
-			badRequest(w, err) // malformed or mismatched snapshot
+			s.badRequest(w, r, err) // malformed or mismatched snapshot
 		}
 		return
 	}
@@ -350,7 +519,7 @@ func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) traceJSON(w http.ResponseWriter, r *http.Request) {
 	data, err := s.mgr.TraceJSON(r.Context(), r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -360,7 +529,7 @@ func (s *Server) traceJSON(w http.ResponseWriter, r *http.Request) {
 func (s *Server) obsSummary(w http.ResponseWriter, r *http.Request) {
 	res, err := s.mgr.ObsSummary(r.Context(), r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -380,5 +549,6 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 func isFleetErr(err error) bool {
 	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) ||
 		errors.Is(err, ErrNotFound) || errors.Is(err, ErrTooManySessions) ||
-		errors.Is(err, ErrNoMetrics)
+		errors.Is(err, ErrNoMetrics) || errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrNoStore) || errors.Is(err, store.ErrNoBlob)
 }

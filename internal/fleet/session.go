@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"dorado"
 	"dorado/internal/masm"
 	"dorado/internal/obs"
+	"dorado/internal/store"
 )
 
 // system aliases the facade's System so operation bodies read naturally.
@@ -128,10 +130,30 @@ type Session struct {
 	closed    bool
 	lastUsed  time.Time
 	sys       *dorado.System
-	parked    []byte // snapshot of an evicted session; nil while live
-	reviveErr error  // sticky failure rebuilding a parked session
+	parked    []byte // in-memory snapshot of an evicted session; nil while live
+	// parkedHash is the store address of the parked snapshot when the
+	// manager has a Config.Store: park writes the blob and keeps only the
+	// hash, and sessions adopted from a previous process's manifest start
+	// with nothing but it. Revival prefers the in-memory bytes and falls
+	// back to fetching the hash (reviveLocked).
+	parkedHash string
+	reviveErr  error // sticky failure rebuilding a parked session
+
+	// Async-run bookkeeping (runs.go): the per-session run registry and
+	// the SSE watchers notified on run completion. Guarded by mu.
+	runSeq   uint64
+	runs     map[string]*run
+	runOrder []string
+	watchers map[chan RunView]struct{}
 
 	stats sessionStats
+}
+
+// parkedLocked reports whether the session currently exists only as a
+// snapshot — in memory, or as a store blob named by parkedHash. Caller
+// holds s.mu.
+func (s *Session) parkedLocked() bool {
+	return s.sys == nil && (s.parked != nil || s.parkedHash != "")
 }
 
 // sessionStats caches machine counters so scrapes and event streams read
@@ -168,28 +190,87 @@ func (s *Session) noteStats(sys *dorado.System) {
 
 // park snapshots and releases the machine if the session has been idle
 // since before cutoff. Safe against the workers: a scheduled session (one
-// a worker owns or will own) is never parked.
+// a worker owns or will own) is never parked. With a store configured the
+// snapshot is persisted and only its hash retained; if persistence fails
+// the session still parks, falling back to the in-memory bytes so no
+// state is lost (only durability).
 func (s *Session) park(m *Manager, cutoff time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.scheduled || len(s.pending) > 0 || s.sys == nil || !s.lastUsed.Before(cutoff) {
 		return false
 	}
-	s.parked = s.sys.Machine.Snapshot()
+	snap := s.sys.Machine.Snapshot()
 	s.sys = nil
+	s.parked = snap
+	s.parkedHash = ""
+	if m.cfg.Store != nil {
+		hash, err := m.persist(s, snap)
+		if err == nil {
+			s.parkedHash = hash
+			s.parked = nil // the blob is durable; don't hold a second copy
+		} else if m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("fleet: parking session in memory only (store write failed)",
+				"session", s.id, "err", err)
+		}
+	}
 	s.stats.parked.Store(true)
 	m.nLive.Add(-1)
 	m.nParked.Add(1)
 	return true
 }
 
+// persist writes a parked session's snapshot into the durable store:
+// blob first, then its Spec sidecar, then the manifest entry — in that
+// order, so the manifest never names a blob that is not already durable.
+// Caller holds s.mu.
+func (m *Manager) persist(s *Session, snap []byte) (string, error) {
+	specJSON, err := json.Marshal(s.spec)
+	if err != nil {
+		return "", err
+	}
+	hash, err := m.cfg.Store.Put(snap)
+	if err != nil {
+		return "", err
+	}
+	if err := m.cfg.Store.PutMeta(hash, specJSON); err != nil {
+		return "", err
+	}
+	err = m.cfg.Store.SaveSession(store.Entry{
+		ID:       s.id,
+		Seq:      s.seq,
+		Spec:     specJSON,
+		Hash:     hash,
+		Cycle:    s.stats.cycles.Load(),
+		ParkedAt: m.cfg.now(),
+	})
+	if err != nil {
+		return "", err
+	}
+	m.counters.persisted.Add(1)
+	return hash, nil
+}
+
 // reviveLocked rebuilds a parked session's machine and restores its
-// snapshot. Caller holds s.mu. A failure is sticky: the session keeps
-// reporting it rather than silently restarting from scratch.
+// snapshot — from the in-memory bytes when present, else from the store
+// blob named by parkedHash (a store-backed park, or a session adopted
+// from a previous process's manifest). Both shapes share one path: build
+// the machine from the Spec (devices and all), then Restore, so a
+// from-disk revival cannot drift from an in-memory one. Caller holds
+// s.mu. A failure is sticky: the session keeps reporting it rather than
+// silently restarting from scratch.
 func (s *Session) reviveLocked(m *Manager) {
-	sys, err := s.spec.build()
+	data := s.parked
+	var err error
+	if data == nil && s.parkedHash != "" {
+		data, err = m.cfg.Store.Get(s.parkedHash)
+	}
+	var sys *dorado.System
 	if err == nil {
-		err = sys.Machine.Restore(s.parked)
+		sys, err = s.spec.build()
+	}
+	if err == nil {
+		err = sys.Machine.Restore(data)
 	}
 	if err != nil {
 		s.reviveErr = fmt.Errorf("fleet: reviving session %s: %w", s.id, err)
@@ -209,17 +290,68 @@ func (m *Manager) Create(spec Spec) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	spec.Language = sys.Language.String() // canonical name for listings and revival
+	s, err := m.register(spec, sys)
+	if err != nil {
+		return "", err
+	}
+	m.counters.created.Add(1)
+	return s.id, nil
+}
+
+// CreateFrom builds a new session seeded from a stored snapshot: the
+// blob's Spec sidecar describes the machine, the blob restores its
+// state. This is the fork primitive — any number of sessions can branch
+// from one stored snapshot (say, to A/B different microcode against
+// identical machine state). Requires Config.Store (ErrNoStore
+// otherwise); an unknown hash reports store.ErrNoBlob.
+func (m *Manager) CreateFrom(hash string) (string, error) {
+	if m.cfg.Store == nil {
+		return "", ErrNoStore
+	}
+	meta, err := m.cfg.Store.Meta(hash)
+	if err != nil {
+		return "", err
+	}
+	var spec Spec
+	if err := json.Unmarshal(meta, &spec); err != nil {
+		return "", fmt.Errorf("fleet: snapshot %s spec: %w", hash, err)
+	}
+	data, err := m.cfg.Store.Get(hash)
+	if err != nil {
+		return "", err
+	}
+	sys, err := spec.build()
+	if err != nil {
+		return "", err
+	}
+	if err := sys.Machine.Restore(data); err != nil {
+		return "", fmt.Errorf("fleet: restoring snapshot %s: %w", hash, err)
+	}
+	spec.Language = sys.Language.String()
+	s, err := m.register(spec, sys)
+	if err != nil {
+		return "", err
+	}
+	s.noteStats(sys) // no worker has touched it yet; seed the cached counters
+	m.counters.forked.Add(1)
+	return s.id, nil
+}
+
+// register adds a built machine to the session table under a fresh id,
+// enforcing the drain and session-count gates. Create and CreateFrom
+// share it.
+func (m *Manager) register(spec Spec, sys *dorado.System) (*Session, error) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
-		return "", ErrDraining
+		return nil, ErrDraining
 	}
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		m.mu.Unlock()
-		return "", fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
+		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
 	}
 	m.nextID++
-	spec.Language = sys.Language.String() // canonical name for listings and revival
 	s := &Session{
 		id:       fmt.Sprintf("s%d", m.nextID),
 		seq:      m.nextID,
@@ -231,12 +363,51 @@ func (m *Manager) Create(spec Spec) (string, error) {
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	m.nLive.Add(1)
-	m.counters.created.Add(1)
-	return s.id, nil
+	return s, nil
+}
+
+// ParkResult reports an explicit Park: whether the session is parked and,
+// when a store is configured, the content hash its snapshot is durable
+// under (usable with CreateFrom and GET /v1/snapshots/{hash}).
+type ParkResult struct {
+	Parked bool `json:"parked"`
+	// Snapshot is the store hash of the parked snapshot; empty when the
+	// manager has no store (the snapshot is held in memory).
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// Park immediately snapshots and evicts a session, without waiting for
+// the idle janitor. Parking an already-parked session is an idempotent
+// success. A session with queued or running operations reports ErrBusy —
+// let the queue empty and retry.
+func (m *Manager) Park(id string) (ParkResult, error) {
+	s, ok := m.lookup(id)
+	if !ok {
+		return ParkResult{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	// Any instant in the future beats lastUsed; idleness is not required
+	// for an explicit park, only quiescence (no queued or scheduled work).
+	if s.park(m, m.cfg.now().Add(time.Nanosecond)) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return ParkResult{Parked: true, Snapshot: s.parkedHash}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ParkResult{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	case s.parkedLocked():
+		return ParkResult{Parked: true, Snapshot: s.parkedHash}, nil
+	default:
+		return ParkResult{}, fmt.Errorf("%w: session %q has queued or running work", ErrBusy, id)
+	}
 }
 
 // Destroy removes a session. Operations already queued on it complete;
-// new ones get ErrNotFound.
+// new ones get ErrNotFound. With a store configured the session's
+// manifest entry is removed too (its snapshot blob stays — content-
+// addressed blobs may seed forks).
 func (m *Manager) Destroy(id string) error {
 	m.mu.Lock()
 	s := m.sessions[id]
@@ -247,12 +418,18 @@ func (m *Manager) Destroy(id string) error {
 	}
 	s.mu.Lock()
 	s.closed = true
-	wasParked := s.sys == nil && s.parked != nil
+	wasParked := s.parkedLocked()
 	s.mu.Unlock()
 	if wasParked {
 		m.nParked.Add(-1)
 	} else {
 		m.nLive.Add(-1)
+	}
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.DeleteSession(id); err != nil && m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("fleet: destroyed session lingers in store manifest",
+				"session", id, "err", err)
+		}
 	}
 	m.counters.destroyed.Add(1)
 	return nil
@@ -269,19 +446,24 @@ type RunResult struct {
 	Halted bool `json:"halted"`
 }
 
-// Run advances the session's machine by up to cycles cycles.
+// Run advances the session's machine by up to cycles cycles and waits
+// for the result. It is the synchronous wrapper over the async runs
+// resource (SubmitRun): the run is submitted like any other and Run
+// blocks on its completion. If ctx expires first, Run returns early but
+// the accepted run still executes — poll it with GetRun.
 func (m *Manager) Run(ctx context.Context, id string, cycles uint64) (RunResult, error) {
-	v, err := m.submit(ctx, id, opRun, func(sys *system) (any, error) {
-		before := sys.Machine.Cycle()
-		sys.Machine.Run(cycles)
-		ran := sys.Machine.Cycle() - before
-		m.counters.cycles.Add(ran)
-		return RunResult{Ran: ran, Cycle: sys.Machine.Cycle(), Halted: sys.Machine.Halted()}, nil
-	})
+	r, err := m.submitRun(ctx, id, cycles)
 	if err != nil {
 		return RunResult{}, err
 	}
-	return v.(RunResult), nil
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return RunResult{}, ctx.Err()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res, r.err
 }
 
 // LoadResult reports a load-microcode operation.
@@ -379,7 +561,7 @@ func (m *Manager) ReadState(ctx context.Context, id string) (State, error) {
 	wasParked := false
 	if s, ok := m.lookup(id); ok {
 		s.mu.Lock()
-		wasParked = s.sys == nil && s.parked != nil
+		wasParked = s.parkedLocked()
 		s.mu.Unlock()
 	}
 	v, err := m.submit(ctx, id, opState, func(sys *system) (any, error) {
@@ -477,7 +659,7 @@ func (m *Manager) ObsSummary(ctx context.Context, id string) (ObsResult, error) 
 	wasParked := false
 	if s, ok := m.lookup(id); ok {
 		s.mu.Lock()
-		wasParked = s.sys == nil && s.parked != nil
+		wasParked = s.parkedLocked()
 		s.mu.Unlock()
 	}
 	v, err := m.submit(ctx, id, opObs, func(sys *system) (any, error) {
@@ -514,10 +696,15 @@ type Info struct {
 	// Devices lists the mounted controllers' catalog names, in Spec order.
 	Devices []string `json:"devices,omitempty"`
 	Parked  bool     `json:"parked"`
-	Queue   int      `json:"queue"`
-	Cycle   uint64   `json:"cycle"`
-	Halted  bool     `json:"halted"`
-	Ops     uint64   `json:"ops"`
+	// Snapshot is the content hash of the session's most recently
+	// persisted snapshot (managers with Config.Store only). For a parked
+	// session it names the exact bytes revival will restore; it also
+	// seeds forks via CreateFrom.
+	Snapshot string `json:"snapshot,omitempty"`
+	Queue    int    `json:"queue"`
+	Cycle    uint64 `json:"cycle"`
+	Halted   bool   `json:"halted"`
+	Ops      uint64 `json:"ops"`
 }
 
 // Sessions lists every session in creation order.
@@ -532,7 +719,7 @@ func (m *Manager) Sessions() []Info {
 	out := make([]Info, 0, len(list))
 	for _, s := range list {
 		s.mu.Lock()
-		parked, queue := s.sys == nil, len(s.pending)
+		parked, queue, snap := s.sys == nil, len(s.pending), s.parkedHash
 		s.mu.Unlock()
 		var devs []string
 		for _, ds := range s.spec.Devices {
@@ -543,6 +730,7 @@ func (m *Manager) Sessions() []Info {
 			Language: s.spec.Language,
 			Devices:  devs,
 			Parked:   parked,
+			Snapshot: snap,
 			Queue:    queue,
 			Cycle:    s.stats.cycles.Load(),
 			Halted:   s.stats.halted.Load(),

@@ -19,6 +19,13 @@ import (
 // operation, so a stream shows progress at operation granularity (one
 // long /run updates once, at its end).
 //
+// Besides the periodic "stats" snapshots, the stream carries the runs
+// resource's completion notifications: every run that finishes on the
+// session emits one "run" event whose data is the terminal RunView, so a
+// client that submitted POST .../runs can wait on the stream instead of
+// polling. Delivery is best-effort (a slow consumer misses events rather
+// than slowing run completion); GetRun remains the source of truth.
+//
 // A stream ends when the client disconnects, the session is destroyed
 // ("bye" event, reason "destroyed"), or the manager starts draining
 // ("bye", reason "drain"). The drain case matters operationally: Drain
@@ -83,18 +90,20 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess, ok := s.mgr.lookup(id)
 	if !ok {
-		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, id))
+		s.writeError(w, r, fmt.Errorf("%w: %q", ErrNotFound, id))
 		return
 	}
 	interval := defaultEventInterval
 	if q := r.URL.Query().Get("interval_ms"); q != "" {
 		ms, err := strconv.Atoi(q)
 		if err != nil || ms <= 0 {
-			badRequest(w, fmt.Errorf("interval_ms must be a positive integer, got %q", q))
+			s.badRequest(w, r, fmt.Errorf("interval_ms must be a positive integer, got %q", q))
 			return
 		}
 		interval = min(max(time.Duration(ms)*time.Millisecond, minEventInterval), maxEventInterval)
 	}
+	runC := sess.subscribeRuns()
+	defer sess.unsubscribeRuns(runC)
 
 	// Flush must reach the real writer through the access-log wrapper;
 	// statusWriter.Unwrap makes the controller's walk succeed.
@@ -126,6 +135,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 		case <-s.mgr.DrainSignal():
 			writeBye(w, rc, "drain")
 			return
+		case rv := <-runC:
+			data, err := json.Marshal(rv)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: run\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
 		case <-ticker.C:
 		}
 	}

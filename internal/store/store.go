@@ -1,0 +1,288 @@
+// Package store is the durable half of the fleet: a content-addressed
+// on-disk snapshot store plus a session manifest, so a doradod restart
+// does not lose the parked fleet.
+//
+// Layout under the root directory:
+//
+//	blobs/<sha256-hex>         one machine snapshot (internal/state bytes)
+//	blobs/<sha256-hex>.json    the session Spec that produced it (JSON)
+//	manifest.json              session id → {spec, snapshot hash, cycle}
+//
+// Blobs are content-addressed: the file name is the SHA-256 of the bytes,
+// so identical snapshots share storage, a blob on disk is immutable, and
+// any reader can verify integrity by rehashing. The spec sidecar makes a
+// blob self-describing — fork-from-hash rebuilds a machine from the
+// sidecar Spec and restores the blob onto it without consulting any
+// session.
+//
+// Every write is crash-safe by construction, the same discipline as
+// bench.WriteJSONFile: encode into a temporary file in the destination
+// directory, fsync, then rename over the final name. A reader (or a
+// process killed mid-park) sees either the old document or the new one,
+// never a torn one. Ordering makes the manifest trustworthy: the blob and
+// its sidecar are durable before the manifest names them, so every hash a
+// manifest references exists. The worst a crash leaves behind is an
+// unreferenced blob, which is harmless garbage.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNoBlob reports a Get or Meta for a hash the store does not hold.
+var ErrNoBlob = errors.New("store: no such snapshot")
+
+// manifestVersion is the manifest schema generation; a mismatch fails
+// Open loudly instead of misreading session records.
+const manifestVersion = 1
+
+// Entry is one parked session in the manifest: everything a fresh
+// Manager needs to re-list the session and lazily revive it.
+type Entry struct {
+	// ID is the session id ("s1", "s2", ...).
+	ID string `json:"id"`
+	// Seq is the session's creation sequence number; a restarted manager
+	// resumes its id counter past the highest Seq so new sessions never
+	// collide with restored ones.
+	Seq uint64 `json:"seq"`
+	// Spec is the session's fleet Spec, JSON-encoded by the fleet layer
+	// (the store does not depend on the fleet package).
+	Spec json.RawMessage `json:"spec"`
+	// Hash is the SHA-256 of the parked snapshot blob.
+	Hash string `json:"hash"`
+	// Cycle is the machine's cycle counter at park time, so listings show
+	// progress without touching the blob.
+	Cycle uint64 `json:"cycle"`
+	// ParkedAt stamps when the snapshot was written.
+	ParkedAt time.Time `json:"parked_at"`
+}
+
+// manifest is the on-disk session index.
+type manifest struct {
+	Version  int              `json:"version"`
+	Sessions map[string]Entry `json:"sessions"`
+}
+
+// Store is a content-addressed snapshot store rooted at one directory.
+// It is safe for concurrent use; blob reads take no lock at all (blobs
+// are immutable once renamed into place).
+type Store struct {
+	dir string
+
+	mu sync.Mutex // guards manifest mutation and rewrite
+	m  manifest
+}
+
+// Open creates (or reopens) a store rooted at dir, loading the manifest
+// if one exists.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, m: manifest{Version: manifestVersion, Sessions: map[string]Entry{}}}
+	data, err := os.ReadFile(s.manifestPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, this build reads version %d", m.Version, manifestVersion)
+	}
+	if m.Sessions == nil {
+		m.Sessions = map[string]Entry{}
+	}
+	s.m = m
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.json") }
+
+func (s *Store) blobPath(hash string) string { return filepath.Join(s.dir, "blobs", hash) }
+
+// Hash returns the store's content address for data: lowercase SHA-256
+// hex, the blob file name Put would use.
+func Hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// validHash guards file-name construction: exactly 64 lowercase hex
+// characters, so a wire-supplied hash can never escape the blobs
+// directory.
+func validHash(hash string) bool {
+	if len(hash) != 64 {
+		return false
+	}
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put writes data as a content-addressed blob and returns its hash. A
+// blob that already exists is not rewritten — content addressing makes
+// the existing bytes provably identical.
+func (s *Store) Put(data []byte) (string, error) {
+	hash := Hash(data)
+	path := s.blobPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return "", fmt.Errorf("store: writing blob: %w", err)
+	}
+	return hash, nil
+}
+
+// Get reads the blob for hash, verifying the bytes still hash to their
+// name (on-disk corruption fails loudly instead of restoring garbage).
+func (s *Store) Get(hash string) ([]byte, error) {
+	if !validHash(hash) {
+		return nil, fmt.Errorf("%w: malformed hash %q", ErrNoBlob, hash)
+	}
+	data, err := os.ReadFile(s.blobPath(hash))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoBlob, hash)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if got := Hash(data); got != hash {
+		return nil, fmt.Errorf("store: blob %s corrupt (content hashes to %s)", hash, got)
+	}
+	return data, nil
+}
+
+// Has reports whether the store holds a blob for hash.
+func (s *Store) Has(hash string) bool {
+	if !validHash(hash) {
+		return false
+	}
+	_, err := os.Stat(s.blobPath(hash))
+	return err == nil
+}
+
+// PutMeta attaches JSON metadata (the fleet's session Spec) to a blob as
+// its sidecar document, making the blob self-describing for fork-from-
+// hash. Call it after Put; like Put it is idempotent in effect (last
+// write wins, and all writers for one hash carry equivalent specs).
+func (s *Store) PutMeta(hash string, meta json.RawMessage) error {
+	if !validHash(hash) {
+		return fmt.Errorf("%w: malformed hash %q", ErrNoBlob, hash)
+	}
+	if err := writeFileAtomic(s.blobPath(hash)+".json", meta); err != nil {
+		return fmt.Errorf("store: writing blob meta: %w", err)
+	}
+	return nil
+}
+
+// Meta reads the sidecar metadata stored with PutMeta.
+func (s *Store) Meta(hash string) (json.RawMessage, error) {
+	if !validHash(hash) {
+		return nil, fmt.Errorf("%w: malformed hash %q", ErrNoBlob, hash)
+	}
+	data, err := os.ReadFile(s.blobPath(hash) + ".json")
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: no metadata for %s", ErrNoBlob, hash)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// SaveSession records (or replaces) a session's manifest entry and
+// rewrites the manifest atomically. The caller must have made the entry's
+// blob durable first (Put + PutMeta), so a manifest never references a
+// missing hash.
+func (s *Store) SaveSession(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Sessions[e.ID] = e
+	return s.flushLocked()
+}
+
+// DeleteSession removes a session's manifest entry. The blob stays: it is
+// content-addressed and may seed forks. Deleting an absent id is a no-op.
+func (s *Store) DeleteSession(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m.Sessions[id]; !ok {
+		return nil
+	}
+	delete(s.m.Sessions, id)
+	return s.flushLocked()
+}
+
+// Sessions lists every manifest entry in creation (Seq) order.
+func (s *Store) Sessions() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.m.Sessions))
+	for _, e := range s.m.Sessions {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// flushLocked rewrites manifest.json atomically. Caller holds s.mu.
+func (s *Store) flushLocked() error {
+	data, err := json.MarshalIndent(s.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if err := writeFileAtomic(s.manifestPath(), append(data, '\n')); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic is the bench.WriteJSONFile discipline for raw bytes:
+// temp file in the destination directory, fsync, rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

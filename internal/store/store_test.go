@@ -1,0 +1,179 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("DSNP fake snapshot bytes")
+	hash, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != Hash(data) || len(hash) != 64 {
+		t.Fatalf("hash = %q", hash)
+	}
+	if !s.Has(hash) {
+		t.Error("Has = false after Put")
+	}
+	got, err := s.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("Get = %q", got)
+	}
+	// Idempotent: a second Put of the same content is the same blob.
+	again, err := s.Put(data)
+	if err != nil || again != hash {
+		t.Fatalf("second Put = %q, %v", again, err)
+	}
+}
+
+func TestGetUnknownAndMalformed(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := Hash([]byte("never stored"))
+	if _, err := s.Get(missing); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("missing blob: %v", err)
+	}
+	// Malformed hashes must be rejected before any path is built; the
+	// traversal attempt is the case that matters.
+	for _, h := range []string{"", "xyz", "../../etc/passwd", strings.Repeat("A", 64)} {
+		if _, err := s.Get(h); !errors.Is(err, ErrNoBlob) {
+			t.Errorf("Get(%q): %v", h, err)
+		}
+		if s.Has(h) {
+			t.Errorf("Has(%q) = true", h)
+		}
+	}
+}
+
+func TestCorruptBlobDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put([]byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blobs", hash), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(hash); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupt blob read: %v", err)
+	}
+}
+
+func TestMetaSidecar(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put([]byte("blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Meta(hash); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("meta before PutMeta: %v", err)
+	}
+	spec := json.RawMessage(`{"Language":"mesa"}`)
+	if err := s.PutMeta(hash, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Meta(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(spec) {
+		t.Fatalf("meta = %s", got)
+	}
+	if err := s.PutMeta("nope", spec); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("PutMeta malformed hash: %v", err)
+	}
+}
+
+func TestManifestPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put([]byte("snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Unix(1_700_000_000, 0).UTC()
+	for _, e := range []Entry{
+		{ID: "s2", Seq: 2, Spec: json.RawMessage(`{}`), Hash: hash, Cycle: 500, ParkedAt: when},
+		{ID: "s1", Seq: 1, Spec: json.RawMessage(`{"Language":"mesa"}`), Hash: hash, Cycle: 42, ParkedAt: when},
+	} {
+		if err := s.SaveSession(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh Open over the same directory sees both entries, Seq-sorted.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := re.Sessions()
+	if len(list) != 2 || list[0].ID != "s1" || list[1].ID != "s2" {
+		t.Fatalf("sessions = %+v", list)
+	}
+	if list[0].Cycle != 42 || list[0].Hash != hash || !list[0].ParkedAt.Equal(when) {
+		t.Fatalf("entry = %+v", list[0])
+	}
+
+	if err := re.DeleteSession("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.DeleteSession("s1"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := re2.Sessions(); len(list) != 1 || list[0].ID != "s2" {
+		t.Fatalf("after delete = %+v", list)
+	}
+	// The blob survives session deletion (content-addressed, fork fodder).
+	if !re2.Has(hash) {
+		t.Error("blob deleted with session")
+	}
+}
+
+func TestOpenRejectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future manifest version: %v", err)
+	}
+}
