@@ -15,7 +15,13 @@
 // session into it, and the next doradod over the same DIR lists those
 // sessions as parked and revives each lazily on first touch. Any stored
 // snapshot hash can also seed a brand-new session ({"from":"<hash>"} on
-// POST /v1/sessions).
+// POST /v1/sessions). The store garbage-collects itself: a periodic
+// sweeper (-gc-every) reclaims snapshots no session references once they
+// are older than -gc-age, and POST /v1/store/gc runs a sweep on demand.
+// GET /v1/store reports the store's inventory. Sessions created with a
+// "webhook" URL get every run completion POSTed there — gated by the
+// -webhook-allow origin allowlist. docs/OPERATIONS.md is the operator
+// runbook for all of this.
 //
 // Usage:
 //
@@ -30,6 +36,17 @@
 //	-store DIR            durable snapshot store directory; parked
 //	                      sessions persist across restarts (default
 //	                      none: snapshots stay in memory)
+//	-gc-age DUR           store GC: reclaim snapshots unreferenced by
+//	                      the manifest and older than DUR; 0 reclaims
+//	                      unreferenced snapshots immediately (default
+//	                      24h)
+//	-gc-every DUR         store GC sweep interval; 0 disables the
+//	                      periodic sweeper (POST /v1/store/gc still
+//	                      works) (default 1h)
+//	-webhook-allow LIST   comma-separated origin allowlist for session
+//	                      webhooks, e.g. "https://hooks.example.com";
+//	                      "*" allows any origin (default empty:
+//	                      webhooks rejected)
 //	-drain-timeout DUR    shutdown grace period (default 30s)
 //	-log-level LEVEL      structured-log verbosity: debug, info, warn,
 //	                      error, or off (default info; debug adds one
@@ -120,6 +137,9 @@ func main() {
 	queue := flag.Int("queue", 8, "per-session operation queue depth")
 	idle := flag.Duration("idle-evict", 5*time.Minute, "park sessions idle this long (0 disables)")
 	storeDir := flag.String("store", "", "durable snapshot store directory (empty: in-memory parking only)")
+	gcAge := flag.Duration("gc-age", 24*time.Hour, "reclaim unreferenced snapshots older than this (0: immediately)")
+	gcEvery := flag.Duration("gc-every", time.Hour, "periodic store GC sweep interval (0: disable the sweeper)")
+	webhookAllow := flag.String("webhook-allow", "", `comma-separated webhook origin allowlist ("*": any; empty: reject all)`)
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error, off")
 	flag.Parse()
@@ -134,13 +154,31 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Flag zero means "now"/"off"; Config zero means "use the default" —
+	// translate so the flag surface stays the intuitive one.
+	gcAgeCfg, gcEveryCfg := *gcAge, *gcEvery
+	if gcAgeCfg <= 0 {
+		gcAgeCfg = -1 // reclaim unreferenced snapshots regardless of age
+	}
+	if gcEveryCfg <= 0 {
+		gcEveryCfg = -1 // no periodic sweeper; POST /v1/store/gc only
+	}
+	var allow []string
+	for _, o := range strings.Split(*webhookAllow, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			allow = append(allow, o)
+		}
+	}
 	mgr := fleet.New(fleet.Config{
-		Workers:     *workers,
-		MaxSessions: *maxSessions,
-		QueueDepth:  *queue,
-		IdleAfter:   *idle,
-		Logger:      logger,
-		Store:       snapStore,
+		Workers:      *workers,
+		MaxSessions:  *maxSessions,
+		QueueDepth:   *queue,
+		IdleAfter:    *idle,
+		Logger:       logger,
+		Store:        snapStore,
+		GCMaxAge:     gcAgeCfg,
+		GCEvery:      gcEveryCfg,
+		WebhookAllow: allow,
 	})
 	srv := fleet.NewServer(mgr)
 	srv.DrainTimeout = *drainTimeout

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -90,6 +91,20 @@ func TestDurableParkByteIdentical(t *testing.T) {
 	reparked := parkNow(t, m, id)
 	if reparked.Snapshot != res.Snapshot {
 		t.Fatalf("park after revival = %s, want %s (revival drifted)", reparked.Snapshot, res.Snapshot)
+	}
+
+	// A zero-grace GC sweep must not touch the manifest-referenced
+	// snapshot, and what survives must still reassemble to the exact bytes
+	// parked — the sectioned storage is invisible to the drift guarantee.
+	if _, err := m.GCStore(0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.cfg.Store.Get(res.Snapshot)
+	if err != nil {
+		t.Fatalf("snapshot unreadable after GC: %v", err)
+	}
+	if store.Hash(after) != res.Snapshot {
+		t.Fatal("post-GC reassembly drifted from the parked bytes")
 	}
 }
 
@@ -294,5 +309,214 @@ func TestParkBusy(t *testing.T) {
 	}
 	if _, err := m.Park("nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("park unknown: %v", err)
+	}
+}
+
+// TestGCReclaimsSupersededParks is the lifecycle acceptance check: parking
+// a session after each of N work bursts leaves N snapshots in the store,
+// only the newest of which the manifest references; a sweep reclaims the
+// other N-1 (store bytes demonstrably fall), and the surviving snapshot
+// still revives the session.
+func TestGCReclaimsSupersededParks(t *testing.T) {
+	const parks = 4
+	dir := t.TempDir()
+	m := New(Config{Workers: 1, Store: openStore(t, dir), GCMaxAge: -1})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < parks; i++ {
+		if _, err := m.Run(tctx, id, 100); err != nil {
+			t.Fatal(err)
+		}
+		res := parkNow(t, m, id)
+		if seen[res.Snapshot] {
+			t.Fatalf("park %d reused hash %s", i, res.Snapshot)
+		}
+		seen[res.Snapshot] = true
+	}
+
+	before, err := m.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Recipes != parks {
+		t.Fatalf("recipes before GC = %d, want %d", before.Recipes, parks)
+	}
+	res, err := m.GCStore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReclaimedRecipes != parks-1 {
+		t.Fatalf("sweep = %+v, want %d recipes reclaimed", res, parks-1)
+	}
+	after, err := m.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("store bytes %d -> %d: GC did not reclaim", before.Bytes, after.Bytes)
+	}
+	if after.GCRuns == 0 || after.GCReclaimedBytes != uint64(res.ReclaimedBytes) {
+		t.Fatalf("gc stats = %+v vs sweep %+v", after, res)
+	}
+
+	// The manifest-referenced snapshot survived; the session revives.
+	st, err := m.ReadState(tctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != parks*100 {
+		t.Fatalf("revived cycle = %d, want %d", st.Cycle, parks*100)
+	}
+}
+
+// TestReparkDedupesSections is the storage-efficiency acceptance check:
+// a session that runs on between parks shares most of its snapshot (the
+// memory images) with the previous park, so the second park must grow the
+// store by less than half the snapshot size.
+func TestReparkDedupesSections(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{Workers: 1, Store: openStore(t, dir)})
+	defer drainNow(t, m)
+
+	id, err := m.Create(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(tctx, id, 100); err != nil {
+		t.Fatal(err)
+	}
+	first := parkNow(t, m, id)
+	before, _ := m.StoreStats()
+
+	// Advance the machine so the next snapshot differs, then re-park.
+	if _, err := m.Run(tctx, id, 100); err != nil {
+		t.Fatal(err)
+	}
+	second := parkNow(t, m, id)
+	if second.Snapshot == first.Snapshot {
+		t.Fatal("snapshots identical; re-park measures nothing")
+	}
+	after, _ := m.StoreStats()
+
+	snap, err := m.cfg.Store.Get(second.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := after.Bytes - before.Bytes
+	if grew >= int64(len(snap))/2 {
+		t.Fatalf("re-park grew the store by %d bytes for a %d-byte snapshot (dedupe < 50%%)",
+			grew, len(snap))
+	}
+	if after.SectionsDeduped == before.SectionsDeduped {
+		t.Fatal("no sections deduped on re-park")
+	}
+}
+
+// TestGCChurn races park/revive/fork against concurrent GC sweeps: with
+// the pin discipline in place, no session and no fork may ever observe a
+// missing snapshot, whatever interleaving the race detector provokes.
+func TestGCChurn(t *testing.T) {
+	const (
+		sessions   = 4
+		iterations = 8
+	)
+	dir := t.TempDir()
+	m := New(Config{
+		Workers:     4,
+		MaxSessions: 64,
+		Store:       openStore(t, dir),
+		GCMaxAge:    -1, // every unreferenced snapshot is immediately fair game
+	})
+	defer drainNow(t, m)
+
+	stop := make(chan struct{})
+	var gcWG sync.WaitGroup
+	gcWG.Add(1)
+	go func() { // the adversary: sweep as aggressively as possible
+		defer gcWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := m.GCStore(0); err != nil {
+					t.Errorf("GC sweep: %v", err)
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := m.Create(smallSpec())
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			if _, err := m.LoadMicrocode(tctx, id, SpinMicrocode, "start"); err != nil {
+				t.Errorf("load: %v", err)
+				return
+			}
+			cycles := uint64(0)
+			for j := 0; j < iterations; j++ {
+				if _, err := m.Run(tctx, id, 50); err != nil {
+					t.Errorf("run %s: %v", id, err)
+					return
+				}
+				cycles += 50
+				res := parkNow(t, m, id)
+				// Fork from the snapshot we just parked — the read path the
+				// pins protect against a concurrent sweep.
+				fork, err := m.CreateFrom(res.Snapshot)
+				if err != nil {
+					t.Errorf("fork of %s: %v (snapshot lost to GC?)", res.Snapshot, err)
+					return
+				}
+				st, err := m.ReadState(tctx, fork)
+				if err != nil || st.Cycle != cycles {
+					t.Errorf("fork state = %+v, %v (want cycle %d)", st, err, cycles)
+					return
+				}
+				if err := m.Destroy(fork); err != nil {
+					t.Errorf("destroy fork: %v", err)
+					return
+				}
+				// Revive the original and keep going.
+				if st, err := m.ReadState(tctx, id); err != nil || st.Cycle != cycles {
+					t.Errorf("revived state = %+v, %v (want cycle %d)", st, err, cycles)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	gcWG.Wait()
+
+	// Zero lost sessions: every original is still listed and readable.
+	infos := m.Sessions()
+	if len(infos) != sessions {
+		t.Fatalf("sessions after churn = %d, want %d", len(infos), sessions)
+	}
+	for _, in := range infos {
+		if st, err := m.ReadState(tctx, in.ID); err != nil || st.Cycle != iterations*50 {
+			t.Fatalf("session %s after churn = %+v, %v", in.ID, st, err)
+		}
 	}
 }

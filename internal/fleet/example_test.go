@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
@@ -229,4 +231,100 @@ func ExampleManager_Health() {
 	h := m.Health()
 	fmt.Println(h.Status, h.Sessions.Active, h.Sessions.Parked)
 	// Output: ok 2 0
+}
+
+// ExampleManager_GCStore runs the store lifecycle end to end: three parks
+// of a progressing session leave three snapshots in the store, the
+// manifest references only the newest, and one sweep (what POST
+// /v1/store/gc does, with max_age_ms 0 here) reclaims the two superseded
+// ones. StoreStats is what GET /v1/store serves.
+func ExampleManager_GCStore() {
+	dir, err := os.MkdirTemp("", "dorado-store-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	sdb, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	m := fleet.New(fleet.Config{Workers: 1, Store: sdb})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run(ctx, id, 1000); err != nil {
+			panic(err)
+		}
+		for {
+			if _, err = m.Park(id); !errors.Is(err, fleet.ErrBusy) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	before, err := m.StoreStats()
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.GCStore(0) // 0: no age grace, reclaim all unreferenced
+	if err != nil {
+		panic(err)
+	}
+	after, err := m.StoreStats()
+	if err != nil {
+		panic(err)
+	}
+	st, err := m.ReadState(ctx, id) // the referenced snapshot still revives
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(before.Recipes, res.ReclaimedRecipes, after.Recipes, after.Bytes < before.Bytes, st.Cycle)
+	// Output: 3 2 1 true 3000
+}
+
+// ExampleManager_webhook delivers a run completion by webhook: the
+// session's Spec names a receiver URL (origin-allowlisted via
+// Config.WebhookAllow / doradod -webhook-allow), and every terminal run
+// view is POSTed there as JSON — push instead of polling GetRun.
+func ExampleManager_webhook() {
+	got := make(chan fleet.RunView, 1)
+	rcv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var v fleet.RunView
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			panic(err)
+		}
+		got <- v
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer rcv.Close()
+
+	m := fleet.New(fleet.Config{Workers: 1, WebhookAllow: []string{rcv.URL}})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	id, err := m.Create(fleet.Spec{Webhook: rcv.URL + "/hooks/dorado"})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.SubmitRun(ctx, id, 2000); err != nil {
+		panic(err)
+	}
+	v := <-got
+	fmt.Println(v.Session, v.ID, v.Status, v.Result.Cycle)
+	// Output: s1 r1 done 2000
 }

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,28 @@ type Config struct {
 	// restart over the same store directory resumes the fleet. Nil keeps
 	// parked snapshots in memory only (the pre-store behavior).
 	Store *store.Store
+	// GCMaxAge is the store GC policy: an unreferenced snapshot must be
+	// at least this old before a sweep reclaims it. Zero picks the
+	// default (24h); negative reclaims unreferenced snapshots
+	// immediately. Only meaningful with Store set.
+	GCMaxAge time.Duration
+	// GCEvery is the period of the manager's background store-GC sweeper.
+	// Zero picks the default (1h); negative disables periodic sweeps
+	// (on-demand GCStore still works). Only meaningful with Store set.
+	GCEvery time.Duration
+
+	// WebhookAllow is the origin allowlist for Spec.Webhook URLs, entries
+	// like "http://127.0.0.1:9000" or "https://hooks.example.com" (one
+	// entry "*" allows any origin — development only). Empty rejects
+	// every webhook: outbound calls to operator-unapproved hosts are an
+	// SSRF hazard, so delivery is strictly opt-in.
+	WebhookAllow []string
+	// WebhookBackoff is the first retry delay after a failed webhook
+	// delivery; it doubles per attempt. Default 250ms.
+	WebhookBackoff time.Duration
+	// WebhookClient issues webhook POSTs. Nil uses a client with a 10s
+	// timeout.
+	WebhookClient *http.Client
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -130,6 +153,18 @@ func (c Config) withDefaults() Config {
 		if c.SweepEvery < time.Second {
 			c.SweepEvery = time.Second
 		}
+	}
+	if c.GCMaxAge == 0 {
+		c.GCMaxAge = 24 * time.Hour
+	}
+	if c.GCEvery == 0 {
+		c.GCEvery = time.Hour
+	}
+	if c.WebhookBackoff <= 0 {
+		c.WebhookBackoff = 250 * time.Millisecond
+	}
+	if c.WebhookClient == nil {
+		c.WebhookClient = &http.Client{Timeout: 10 * time.Second}
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -159,7 +194,12 @@ type Manager struct {
 	runq     []*Session
 	stopping bool // set by Drain once all operations finished; workers exit
 
-	opsWG    sync.WaitGroup // accepted-but-unfinished operations
+	opsWG sync.WaitGroup // accepted-but-unfinished operations
+	// runWG tracks the per-run completion waiters (runs.go), which also
+	// carry webhook delivery; Drain waits for them after the operations
+	// themselves, and deliveries abort on the drain signal, so shutdown
+	// stays bounded.
+	runWG    sync.WaitGroup
 	workerWG sync.WaitGroup
 	stopOnce sync.Once
 	janitorC chan struct{} // closed to stop the janitor
@@ -204,6 +244,9 @@ func New(cfg Config) *Manager {
 	}
 	if cfg.IdleAfter > 0 {
 		go m.janitor()
+	}
+	if cfg.Store != nil && cfg.GCEvery > 0 {
+		go m.gcJanitor()
 	}
 	return m
 }
@@ -447,6 +490,53 @@ func (m *Manager) janitor() {
 	}
 }
 
+// gcJanitor periodically sweeps the durable store for unreferenced
+// snapshots (Config.GCEvery / Config.GCMaxAge). It shares the janitor's
+// stop channel, so Drain ends it.
+func (m *Manager) gcJanitor() {
+	t := time.NewTicker(m.cfg.GCEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorC:
+			return
+		case <-t.C:
+			if _, err := m.GCStore(-1); err != nil && m.cfg.Logger != nil {
+				m.cfg.Logger.Warn("fleet: store GC sweep failed", "err", err)
+			}
+		}
+	}
+}
+
+// GCStore runs one GC sweep of the durable store, reclaiming every
+// snapshot (whole blob or recipe + orphaned sections) that no manifest
+// entry references, no in-flight fork or park has pinned, and that is
+// older than the age threshold. A negative maxAge uses the configured
+// Config.GCMaxAge; zero reclaims every unreferenced snapshot immediately.
+// The background sweeper calls it on a timer; POST /v1/store/gc and tests
+// call it on demand. ErrNoStore without Config.Store.
+func (m *Manager) GCStore(maxAge time.Duration) (store.SweepResult, error) {
+	if m.cfg.Store == nil {
+		return store.SweepResult{}, ErrNoStore
+	}
+	if maxAge < 0 {
+		maxAge = m.cfg.GCMaxAge
+	}
+	if maxAge < 0 {
+		maxAge = 0
+	}
+	return m.cfg.Store.Sweep(store.GCPolicy{MaxAge: maxAge})
+}
+
+// StoreStats inventories the durable store — what GET /v1/store serves.
+// ErrNoStore without Config.Store.
+func (m *Manager) StoreStats() (store.Stats, error) {
+	if m.cfg.Store == nil {
+		return store.Stats{}, ErrNoStore
+	}
+	return m.cfg.Store.Stats(), nil
+}
+
 // Sweep parks every session idle for at least Config.IdleAfter and returns
 // how many it parked. The janitor calls it on a timer; it is exported so
 // tests and operators can force a pass.
@@ -492,6 +582,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.opsWG.Wait()
+		// Then the run waiters: each consumes a result the workers have
+		// now delivered and aborts any webhook backoff on the drain
+		// signal closed above, so this wait is bounded by one in-flight
+		// HTTP attempt at most.
+		m.runWG.Wait()
 		close(done)
 	}()
 	select {

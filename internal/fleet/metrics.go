@@ -22,6 +22,10 @@ type counters struct {
 	forked        atomic.Uint64 // sessions created from a stored snapshot (CreateFrom)
 	runsSubmitted atomic.Uint64 // async runs accepted (includes the sync wrapper)
 	cycles        atomic.Uint64 // simulated cycles, all sessions ever
+
+	webhookDelivered atomic.Uint64 // run webhooks acknowledged with a 2xx
+	webhookRetried   atomic.Uint64 // delivery attempts that failed and were retried
+	webhookDropped   atomic.Uint64 // dead-lettered deliveries (retries exhausted, origin rejected, or drain)
 }
 
 // MetricsSnapshot assembles the fleet's Prometheus families: manager-level
@@ -97,6 +101,32 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 		obs.Sample{Value: m.counters.runsSubmitted.Load()})
 	sn.Add("dorado_fleet_cycles_total", "Simulated cycles across all sessions.", "counter",
 		obs.Sample{Value: m.counters.cycles.Load()})
+	sn.Add("dorado_fleet_webhook_delivered_total", "Run webhooks acknowledged by the receiver (2xx).", "counter",
+		obs.Sample{Value: m.counters.webhookDelivered.Load()})
+	sn.Add("dorado_fleet_webhook_retried_total", "Failed webhook attempts that were retried.", "counter",
+		obs.Sample{Value: m.counters.webhookRetried.Load()})
+	sn.Add("dorado_fleet_webhook_dropped_total", "Dead-lettered webhook deliveries (retries exhausted, origin rejected, or drain).", "counter",
+		obs.Sample{Value: m.counters.webhookDropped.Load()})
+
+	if m.cfg.Store != nil {
+		st := m.cfg.Store.Stats()
+		sn.Add("dorado_store_blobs", "Durable-store payload files, by kind.", "gauge",
+			obs.Sample{Label: `{kind="whole"}`, Value: uint64(st.Blobs)},
+			obs.Sample{Label: `{kind="recipe"}`, Value: uint64(st.Recipes)},
+			obs.Sample{Label: `{kind="section"}`, Value: uint64(st.Sections)})
+		sn.Add("dorado_store_bytes", "Durable-store payload bytes (whole blobs + sections + recipes).", "gauge",
+			obs.Sample{Value: uint64(st.Bytes)})
+		sn.Add("dorado_store_sessions", "Sessions the store manifest references.", "gauge",
+			obs.Sample{Value: uint64(st.Sessions)})
+		sn.Add("dorado_store_sections_deduped_total", "Snapshot sections not rewritten because an identical blob existed.", "counter",
+			obs.Sample{Value: st.SectionsDeduped})
+		sn.Add("dorado_store_deduped_bytes_total", "Bytes those deduplicated sections would have written.", "counter",
+			obs.Sample{Value: st.DedupedBytes})
+		sn.Add("dorado_store_gc_runs_total", "Completed store GC sweeps.", "counter",
+			obs.Sample{Value: st.GCRuns})
+		sn.Add("dorado_store_gc_reclaimed_bytes_total", "Bytes reclaimed by store GC sweeps.", "counter",
+			obs.Sample{Value: st.GCReclaimedBytes})
+	}
 
 	sn.AddHistogramVec("dorado_fleet_op_queue_us",
 		"Operation queue wait (submit accepted to worker pickup), microseconds, by kind.",

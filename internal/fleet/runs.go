@@ -142,6 +142,22 @@ func (m *Manager) submitRun(ctx context.Context, id string, cycles uint64) (*run
 		status:    RunQueued,
 		submitted: m.cfg.now(),
 	}
+	// The waiter registration must precede admission and happen under the
+	// manager lock, mirroring submitAsync's opsWG accounting: Drain flips
+	// draining under the same lock before it waits on runWG, so once it
+	// begins waiting no new Add can slip in behind it — an Add after
+	// enqueueing would race runWG.Add against runWG.Wait (the op can
+	// finish, and opsWG.Wait return, before the submitter resumes) and
+	// let Drain miss the waiter. Registered-then-rejected admissions just
+	// Done the registration.
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.counters.rejectedDrain.Add(1)
+		return nil, ErrDraining
+	}
+	m.runWG.Add(1)
+	m.mu.Unlock()
 	o, err := m.submitAsync(detach(ctx), id, opRun, func(sys *system) (any, error) {
 		r.setRunning()
 		before := sys.Machine.Cycle()
@@ -151,19 +167,27 @@ func (m *Manager) submitRun(ctx context.Context, id string, cycles uint64) (*run
 		return RunResult{Ran: ran, Cycle: sys.Machine.Cycle(), Halted: sys.Machine.Halted()}, nil
 	})
 	if err != nil {
+		m.runWG.Done()
 		return nil, err
 	}
 	s.addRun(r)
 	m.counters.runsSubmitted.Add(1)
-	// The waiter owns completion: it flips the run's terminal status and
-	// fans the view out to the session's SSE watchers. It always ends —
-	// the worker pool always delivers exactly one result per accepted op,
-	// even during drain.
+	// The waiter owns completion: it flips the run's terminal status,
+	// fans the view out to the session's SSE watchers, and delivers the
+	// session's webhook if one is configured. It always ends — the worker
+	// pool always delivers exactly one result per accepted op, even
+	// during drain, and webhook retries abort on the drain signal. runWG
+	// is what Drain waits on after the operations themselves.
 	go func() {
+		defer m.runWG.Done()
 		res := <-o.done
 		rr, _ := res.value.(RunResult)
 		r.finish(rr, res.err, m.cfg.now())
-		s.notifyRun(r.view())
+		v := r.view()
+		s.notifyRun(v)
+		if s.spec.Webhook != "" { // immutable after Create; safe to read
+			m.deliverWebhook(s.spec.Webhook, v)
+		}
 	}()
 	return r, nil
 }

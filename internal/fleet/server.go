@@ -46,6 +46,11 @@ import (
 //	GET    /v1/sessions/{id}/snapshot   machine snapshot (octet-stream)
 //	PUT    /v1/sessions/{id}/snapshot   restore a snapshot (octet-stream)
 //	GET    /v1/snapshots/{hash}         read a stored snapshot blob (octet-stream)
+//	GET    /v1/store                  durable-store stats (blob/section/recipe
+//	                                  counts and bytes, dedupe and GC counters)
+//	POST   /v1/store/gc               sweep the store now; optional body
+//	                                  {"max_age_ms": N} overrides the configured
+//	                                  GC age threshold for this sweep
 //	GET    /v1/sessions/{id}/trace      Chrome trace_event export (metrics sessions)
 //	GET    /v1/sessions/{id}/obs        observability summary (metrics sessions)
 //	GET    /v1/sessions/{id}/events     live stats stream (Server-Sent Events; run
@@ -121,6 +126,8 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.getSnapshot)
 	s.mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.putSnapshot)
 	s.mux.HandleFunc("GET /v1/snapshots/{hash}", s.getStoredSnapshot)
+	s.mux.HandleFunc("GET /v1/store", s.storeStats)
+	s.mux.HandleFunc("POST /v1/store/gc", s.storeGC)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.traceJSON)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/obs", s.obsSummary)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.streamEvents)
@@ -278,6 +285,9 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		Language string       `json:"language"`
 		Metrics  bool         `json:"metrics"`
 		Devices  []DeviceSpec `json:"devices"`
+		// Webhook is a URL run completions are POSTed to; its origin
+		// must be in the server's allowlist (doradod -webhook-allow).
+		Webhook string `json:"webhook"`
 		// From forks the new session from a stored snapshot hash; the
 		// blob's Spec sidecar supplies the machine description, so From is
 		// exclusive with the other fields.
@@ -288,7 +298,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.From != "" {
-		if req.Language != "" || req.Metrics || len(req.Devices) != 0 {
+		if req.Language != "" || req.Metrics || len(req.Devices) != 0 || req.Webhook != "" {
 			s.badRequest(w, r, errors.New(`"from" forks a stored snapshot and takes no other fields`))
 			return
 		}
@@ -308,7 +318,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, r, err)
 		return
 	}
-	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics, Devices: req.Devices})
+	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics, Devices: req.Devices, Webhook: req.Webhook})
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -504,6 +514,45 @@ func (s *Server) putSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"restored": true})
+}
+
+// storeStats serves GET /v1/store: the durable store's inventory and
+// lifecycle counters (409 no_store without -store).
+func (s *Server) storeStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.StoreStats()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// storeGC serves POST /v1/store/gc: run one GC sweep now. The optional
+// body {"max_age_ms": N} overrides the configured age threshold for this
+// sweep only (0 reclaims every unreferenced snapshot immediately — the
+// "disk full" recovery lever, see docs/OPERATIONS.md).
+func (s *Server) storeGC(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		MaxAgeMS *int64 `json:"max_age_ms"`
+	}
+	if err := decodeJSON(r, &req); err != nil && err != io.EOF {
+		s.badRequest(w, r, err)
+		return
+	}
+	maxAge := -1 * time.Millisecond // negative: use the configured policy
+	if req.MaxAgeMS != nil {
+		if *req.MaxAgeMS < 0 {
+			s.badRequest(w, r, errors.New("max_age_ms must be non-negative"))
+			return
+		}
+		maxAge = time.Duration(*req.MaxAgeMS) * time.Millisecond
+	}
+	res, err := s.mgr.GCStore(maxAge)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) drain(w http.ResponseWriter, r *http.Request) {

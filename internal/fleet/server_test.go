@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"dorado/internal/store"
 )
 
 // newTestServer builds a manager + HTTP server; the manager is returned so
@@ -320,5 +322,93 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+func TestServerStoreEndpoints(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1, Store: openStore(t, t.TempDir()), GCMaxAge: -1})
+	id := createSession(t, ts.URL, "")
+	if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/microcode",
+		map[string]any{"text": SpinMicrocode, "start": "start"}, nil); code != http.StatusOK {
+		t.Fatalf("microcode: status %d", code)
+	}
+	// Two parks with work in between: the store holds two snapshots, the
+	// manifest references one.
+	for i := 0; i < 2; i++ {
+		if code := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/run",
+			map[string]any{"cycles": 100}, nil); code != http.StatusOK {
+			t.Fatalf("run: status %d", code)
+		}
+		parkNow(t, m, id)
+	}
+
+	var before store.Stats
+	if code := call(t, "GET", ts.URL+"/v1/store", nil, &before); code != http.StatusOK {
+		t.Fatalf("store stats: status %d", code)
+	}
+	if before.Sessions != 1 || before.Recipes != 2 || before.Bytes == 0 {
+		t.Fatalf("stats = %+v", before)
+	}
+
+	// A sweep with no age grace reclaims the superseded snapshot; bytes
+	// demonstrably fall.
+	var res store.SweepResult
+	if code := call(t, "POST", ts.URL+"/v1/store/gc",
+		map[string]any{"max_age_ms": 0}, &res); code != http.StatusOK {
+		t.Fatalf("gc: status %d", code)
+	}
+	if res.ReclaimedRecipes != 1 || res.ReclaimedBytes == 0 {
+		t.Fatalf("sweep = %+v", res)
+	}
+	var after store.Stats
+	call(t, "GET", ts.URL+"/v1/store", nil, &after)
+	if after.Bytes >= before.Bytes || after.GCRuns != 1 {
+		t.Fatalf("after gc = %+v (before %+v)", after, before)
+	}
+
+	// An empty body means "use the configured policy" (immediate here).
+	if code := call(t, "POST", ts.URL+"/v1/store/gc", nil, &res); code != http.StatusOK {
+		t.Fatalf("gc default policy: status %d", code)
+	}
+	// Negative ages are client errors.
+	if code := call(t, "POST", ts.URL+"/v1/store/gc", map[string]any{"max_age_ms": -5}, nil); code != http.StatusBadRequest {
+		t.Fatalf("gc negative age: status %d", code)
+	}
+}
+
+func TestServerStoreEndpointsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var e ErrorEnvelope
+	if code := call(t, "GET", ts.URL+"/v1/store", nil, &e); code != http.StatusConflict || e.Code != "no_store" {
+		t.Fatalf("stats without store: %d %+v", code, e)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/store/gc", nil, &e); code != http.StatusConflict || e.Code != "no_store" {
+		t.Fatalf("gc without store: %d %+v", code, e)
+	}
+}
+
+func TestServerCreateWebhook(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, WebhookAllow: []string{"https://hooks.example.com"}})
+	// Disallowed origin is rejected at create time.
+	var e ErrorEnvelope
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"webhook": "https://evil.example.net/x"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad webhook origin: status %d (%+v)", code, e)
+	}
+	// webhook and from are mutually exclusive with the spec fields.
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"from": strings.Repeat("a", 64), "webhook": "https://hooks.example.com/x"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("from+webhook: status %d", code)
+	}
+	// Allowlisted webhook creates fine.
+	var res struct {
+		ID string `json:"id"`
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"webhook": "https://hooks.example.com/runs"}, &res); code != http.StatusCreated {
+		t.Fatalf("allowlisted webhook: status %d", code)
+	}
+	if res.ID == "" {
+		t.Fatal("no session id")
 	}
 }

@@ -46,6 +46,14 @@ type Spec struct {
 	// revived session gets the same controllers back before its snapshot —
 	// which includes their mutable state — is restored.
 	Devices []DeviceSpec
+	// Webhook, when set, is a URL every terminal run view is POSTed to
+	// (JSON RunView body, bounded retry with exponential backoff) — the
+	// push alternative to polling GetRun or holding an SSE stream. The
+	// URL's origin must be in the manager's Config.WebhookAllow
+	// (doradod -webhook-allow); Create rejects it otherwise, and
+	// delivery re-checks, so a sidecar Spec restored under a narrower
+	// allowlist is dead-lettered instead of called.
+	Webhook string
 }
 
 func (sp Spec) build() (*dorado.System, error) {
@@ -223,14 +231,21 @@ func (s *Session) park(m *Manager, cutoff time.Time) bool {
 // persist writes a parked session's snapshot into the durable store:
 // blob first, then its Spec sidecar, then the manifest entry — in that
 // order, so the manifest never names a blob that is not already durable.
+// The snapshot goes through the section-dedupe path (store.PutSnapshot),
+// so re-parking a mostly-unchanged session writes only the sections that
+// changed. The hash is pinned for the whole sequence: between the blob
+// write and the manifest entry the snapshot is unreferenced, and the pin
+// is what keeps a concurrent GC sweep from reclaiming it in that window.
 // Caller holds s.mu.
 func (m *Manager) persist(s *Session, snap []byte) (string, error) {
 	specJSON, err := json.Marshal(s.spec)
 	if err != nil {
 		return "", err
 	}
-	hash, err := m.cfg.Store.Put(snap)
-	if err != nil {
+	hash := store.Hash(snap)
+	unpin := m.cfg.Store.Pin(hash)
+	defer unpin()
+	if _, err := m.cfg.Store.PutSnapshot(snap); err != nil {
 		return "", err
 	}
 	if err := m.cfg.Store.PutMeta(hash, specJSON); err != nil {
@@ -284,8 +299,16 @@ func (s *Session) reviveLocked(m *Manager) {
 	m.counters.revived.Add(1)
 }
 
-// Create builds a new session from spec and returns its id.
+// Create builds a new session from spec and returns its id. A
+// Spec.Webhook whose origin is not in Config.WebhookAllow is rejected
+// up front (as a bad_request over HTTP) — better at create time than a
+// dead-letter per run.
 func (m *Manager) Create(spec Spec) (string, error) {
+	if spec.Webhook != "" {
+		if err := m.checkWebhook(spec.Webhook); err != nil {
+			return "", fmt.Errorf("%w: %w", errBadInput, err)
+		}
+	}
 	sys, err := spec.build()
 	if err != nil {
 		return "", err
@@ -309,6 +332,11 @@ func (m *Manager) CreateFrom(hash string) (string, error) {
 	if m.cfg.Store == nil {
 		return "", ErrNoStore
 	}
+	// Pin the donor for the whole read: the hash may be unreferenced
+	// (Destroy keeps blobs as fork fodder), and the pin is the guarantee
+	// a concurrent GC sweep cannot delete it between Meta and Get.
+	unpin := m.cfg.Store.Pin(hash)
+	defer unpin()
 	meta, err := m.cfg.Store.Meta(hash)
 	if err != nil {
 		return "", err

@@ -215,6 +215,72 @@ func (d *Decoder) Finish() error {
 	return nil
 }
 
+// RawSection is one framed section of a snapshot document, split out by
+// Split: the four-byte tag and the body bytes exactly as written.
+type RawSection struct {
+	Tag  string
+	Body []byte
+}
+
+// Doc is the structural view of a snapshot document: the header (magic
+// plus version, verbatim) and the framed sections in document order.
+// Split produces it and Join reverses it byte-exactly; the store's
+// section-level dedupe rests on that round trip.
+type Doc struct {
+	// Header is the document prefix before the first section: the magic
+	// and the little-endian format version, byte-exact.
+	Header []byte
+	// Sections are the framed sections in the order they were written.
+	Sections []RawSection
+}
+
+// Split parses only the framing of a snapshot document — header, then
+// (tag, length, body) triples — without interpreting any section body and
+// without checking the format version. Deduplicating storage must keep
+// working across format generations, so Split accepts any version as long
+// as the framing is intact; NewDecoder is where version strictness lives.
+// Section bodies alias data (no copy).
+func Split(data []byte) (Doc, error) {
+	hdr := len(magic) + 2
+	if len(data) < hdr || string(data[:len(magic)]) != magic {
+		return Doc{}, fmt.Errorf("state: not a snapshot (bad magic)")
+	}
+	d := Doc{Header: data[:hdr]}
+	rest := data[hdr:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return Doc{}, fmt.Errorf("state: truncated section header (%d bytes left)", len(rest))
+		}
+		tag := string(rest[:4])
+		n := binary.LittleEndian.Uint32(rest[4:8])
+		rest = rest[8:]
+		if uint64(n) > uint64(len(rest)) {
+			return Doc{}, fmt.Errorf("state: section %q claims %d bytes, %d remain", tag, n, len(rest))
+		}
+		d.Sections = append(d.Sections, RawSection{Tag: tag, Body: rest[:n]})
+		rest = rest[n:]
+	}
+	return d, nil
+}
+
+// Join reassembles the document Split took apart. For any data Split
+// accepts, Join(Split(data)) == data, byte for byte — the reassembly
+// invariant the content-addressed store verifies by rehashing.
+func (d Doc) Join() []byte {
+	n := len(d.Header)
+	for _, s := range d.Sections {
+		n += 8 + len(s.Body)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, d.Header...)
+	for _, s := range d.Sections {
+		out = append(out, s.Tag...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Body)))
+		out = append(out, s.Body...)
+	}
+	return out
+}
+
 // take returns the next n bytes of the open section.
 func (d *Decoder) take(n int) []byte {
 	if d.err != nil {

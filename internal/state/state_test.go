@@ -141,3 +141,49 @@ func TestHeaderValidation(t *testing.T) {
 		t.Error("truncated section accepted")
 	}
 }
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Section("AAAA")
+	e.U32(0xDEADBEEF)
+	e.Section("BBBB")
+	e.String("payload")
+	e.Section("CCCC") // empty section: framing only
+	doc := e.Bytes()
+
+	d, err := Split(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Header) != 6 || string(d.Header[:4]) != "DSNP" {
+		t.Fatalf("header = % x", d.Header)
+	}
+	if len(d.Sections) != 3 || d.Sections[0].Tag != "AAAA" || d.Sections[2].Tag != "CCCC" {
+		t.Fatalf("sections = %+v", d.Sections)
+	}
+	if len(d.Sections[2].Body) != 0 {
+		t.Fatalf("empty section body = % x", d.Sections[2].Body)
+	}
+	// The invariant the store's dedupe rests on: byte-exact reassembly.
+	if !bytes.Equal(d.Join(), doc) {
+		t.Fatal("Join(Split(doc)) != doc")
+	}
+
+	// Split is version-agnostic (storage must outlive format bumps) …
+	future := append([]byte(nil), doc...)
+	future[4], future[5] = 0xFF, 0xFF
+	fd, err := Split(future)
+	if err != nil {
+		t.Fatalf("Split rejected a future version: %v", err)
+	}
+	if !bytes.Equal(fd.Join(), future) {
+		t.Fatal("future-version round trip drifted")
+	}
+	// … but still rejects broken framing.
+	if _, err := Split([]byte("junk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Split(doc[:len(doc)-2]); err == nil {
+		t.Error("truncated section accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package store
+
+// This file is the structural-dedupe half of the store: instead of
+// writing every park as one opaque blob, PutSnapshot content-addresses
+// the snapshot's *sections* (the internal/state format is section-framed
+// by design) and records a small recipe that names them. Re-parking a
+// mostly-unchanged session then writes only the sections that changed —
+// typically the processor core and a couple of device FIFOs — while the
+// big memory images dedupe against the previous park.
+//
+// Layout additions under the store root:
+//
+//	sections/<sha256-hex>     one section body, named by its own hash
+//	recipes/<sha256-hex>      JSON recipe for the snapshot whose full
+//	                          bytes hash to the file name
+//
+// The public content address is unchanged: it is still the SHA-256 of
+// the complete snapshot document, so every hash that worked against a
+// whole-blob store (fork-from-hash, GET /v1/snapshots/{hash}, manifest
+// entries) works identically against a sectioned one. Get reassembles
+// transparently — header, then each section reframed in recipe order —
+// and verifies the result hashes to its name, which subsumes verifying
+// every individual section.
+//
+// The recipe document carries its own format version. A recipe version
+// this build does not understand fails Get loudly (ErrNoBlob would lie:
+// the data exists, this build just cannot read it), exactly the
+// strictness discipline of internal/state.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dorado/internal/state"
+)
+
+// recipeVersion is the recipe schema generation. Bump it on any change to
+// the recipe document layout; readers accept exactly the versions they
+// know how to reassemble.
+const recipeVersion = 1
+
+// recipe is the on-disk reassembly instruction for one sectioned
+// snapshot: the verbatim document header plus the ordered section list.
+type recipe struct {
+	Version int `json:"version"`
+	// Header is the snapshot's pre-section prefix (magic + format
+	// version), base64 in JSON.
+	Header []byte `json:"header"`
+	// Sections name the section blobs in document order.
+	Sections []recipeSection `json:"sections"`
+}
+
+// recipeSection is one section reference in a recipe.
+type recipeSection struct {
+	// Tag is the four-byte section tag.
+	Tag string `json:"tag"`
+	// Hash is the SHA-256 of the section body, the file name under
+	// sections/.
+	Hash string `json:"hash"`
+}
+
+func (s *Store) sectionPath(hash string) string { return filepath.Join(s.dir, "sections", hash) }
+
+func (s *Store) recipePath(hash string) string { return filepath.Join(s.dir, "recipes", hash) }
+
+// PutStats reports what one PutSnapshot actually wrote — the dedupe
+// accounting behind the dorado_store_sections_deduped metrics family and
+// the "re-parking stores less" acceptance check.
+type PutStats struct {
+	// Hash is the snapshot's content address (SHA-256 of the full
+	// document), identical to what Put would have returned.
+	Hash string
+	// Sectioned reports that the snapshot was stored as sections + recipe;
+	// false means the bytes did not parse as a snapshot document and were
+	// stored as one whole blob.
+	Sectioned bool
+	// Sections is the number of sections in the document.
+	Sections int
+	// DedupedSections counts sections that already existed in the store
+	// and were not rewritten.
+	DedupedSections int
+	// NewBytes is the number of payload bytes actually written (new
+	// sections plus the recipe, or the whole blob on fallback).
+	NewBytes int64
+	// DedupedBytes is the number of section bytes shared with blobs
+	// already in the store.
+	DedupedBytes int64
+}
+
+// PutSnapshot stores a machine snapshot with section-level dedupe: each
+// section body becomes (or joins) a content-addressed blob under
+// sections/, and a recipe under recipes/<full-hash> records how to
+// reassemble the document. Bytes that do not parse as a snapshot document
+// fall back to a whole Put. Like Put it is idempotent: a snapshot the
+// store already holds (whole or sectioned) writes nothing.
+func (s *Store) PutSnapshot(data []byte) (PutStats, error) {
+	// The whole write holds the store lock, serializing against Sweep: the
+	// dedupe decision ("this section already exists, skip it") and the
+	// recipe write that depends on it must see a frozen reclamation state,
+	// or a concurrent sweep could delete a section between the two.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := PutStats{Hash: Hash(data)}
+	if s.Has(st.Hash) {
+		doc, err := state.Split(data)
+		if err == nil {
+			st.Sectioned = true
+			st.Sections = len(doc.Sections)
+			st.DedupedSections = len(doc.Sections)
+			for _, sec := range doc.Sections {
+				st.DedupedBytes += int64(len(sec.Body))
+			}
+		}
+		s.dedupe.sections.Add(uint64(st.DedupedSections))
+		s.dedupe.bytes.Add(uint64(st.DedupedBytes))
+		return st, nil
+	}
+	doc, err := state.Split(data)
+	if err != nil {
+		// Not a snapshot document; store it whole so PutSnapshot accepts
+		// anything Put accepts.
+		if _, perr := s.putLocked(data); perr != nil {
+			return PutStats{}, perr
+		}
+		st.NewBytes = int64(len(data))
+		return st, nil
+	}
+	st.Sectioned = true
+	st.Sections = len(doc.Sections)
+	r := recipe{Version: recipeVersion, Header: doc.Header}
+	for _, sec := range doc.Sections {
+		sh := Hash(sec.Body)
+		r.Sections = append(r.Sections, recipeSection{Tag: sec.Tag, Hash: sh})
+		if _, err := os.Stat(s.sectionPath(sh)); err == nil {
+			st.DedupedSections++
+			st.DedupedBytes += int64(len(sec.Body))
+			continue
+		}
+		if err := writeFileAtomic(s.sectionPath(sh), sec.Body); err != nil {
+			return PutStats{}, fmt.Errorf("store: writing section: %w", err)
+		}
+		st.NewBytes += int64(len(sec.Body))
+	}
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return PutStats{}, fmt.Errorf("store: encoding recipe: %w", err)
+	}
+	// Recipe last: a crash before this rename leaves only unreferenced
+	// section blobs (GC fodder), never a recipe naming missing sections.
+	if err := writeFileAtomic(s.recipePath(st.Hash), enc); err != nil {
+		return PutStats{}, fmt.Errorf("store: writing recipe: %w", err)
+	}
+	st.NewBytes += int64(len(enc))
+	s.dedupe.sections.Add(uint64(st.DedupedSections))
+	s.dedupe.bytes.Add(uint64(st.DedupedBytes))
+	return st, nil
+}
+
+// readRecipe loads and validates the recipe for hash. A recipe from a
+// future format generation fails loudly rather than reassembling garbage.
+func (s *Store) readRecipe(hash string) (*recipe, error) {
+	data, err := os.ReadFile(s.recipePath(hash))
+	if err != nil {
+		return nil, err
+	}
+	var r recipe
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("store: recipe %s: %w", hash, err)
+	}
+	if r.Version != recipeVersion {
+		return nil, fmt.Errorf("store: recipe %s version %d, this build reads version %d", hash, r.Version, recipeVersion)
+	}
+	return &r, nil
+}
+
+// assemble reconstructs a sectioned snapshot from its recipe and verifies
+// the result hashes to its name.
+func (s *Store) assemble(hash string) ([]byte, error) {
+	r, err := s.readRecipe(hash)
+	if err != nil {
+		return nil, err
+	}
+	doc := state.Doc{Header: r.Header}
+	for _, sec := range r.Sections {
+		if !validHash(sec.Hash) {
+			return nil, fmt.Errorf("store: recipe %s: malformed section hash %q", hash, sec.Hash)
+		}
+		body, err := os.ReadFile(s.sectionPath(sec.Hash))
+		if err != nil {
+			return nil, fmt.Errorf("store: recipe %s section %s: %w", hash, sec.Tag, err)
+		}
+		doc.Sections = append(doc.Sections, state.RawSection{Tag: sec.Tag, Body: body})
+	}
+	data := doc.Join()
+	if got := Hash(data); got != hash {
+		return nil, fmt.Errorf("store: snapshot %s corrupt (reassembly hashes to %s)", hash, got)
+	}
+	return data, nil
+}
+
+// Stats is the operator-facing inventory of a store — what GET /v1/store
+// serves and the dorado_store_* metric families export. Counts and bytes
+// come from a directory walk at call time (the store is small by
+// construction: hundreds of files, not millions); the dedupe and GC
+// counters are process-lifetime atomics.
+type Stats struct {
+	// Dir is the store's root directory.
+	Dir string `json:"dir"`
+	// Sessions is the number of manifest entries (parked or adopted
+	// sessions the manifest still references).
+	Sessions int `json:"sessions"`
+	// Blobs counts whole snapshot blobs under blobs/ (sidecars excluded).
+	Blobs int `json:"blobs"`
+	// Recipes counts sectioned snapshots under recipes/.
+	Recipes int `json:"recipes"`
+	// Sections counts section blobs under sections/.
+	Sections int `json:"sections"`
+	// Bytes is the payload total: whole blobs + sections + recipes
+	// (spec sidecars excluded).
+	Bytes int64 `json:"bytes"`
+	// SectionsDeduped counts sections PutSnapshot skipped because an
+	// identical blob already existed (process lifetime).
+	SectionsDeduped uint64 `json:"sections_deduped"`
+	// DedupedBytes is the byte total of those skipped sections.
+	DedupedBytes uint64 `json:"deduped_bytes"`
+	// GCRuns counts completed Sweep passes (process lifetime).
+	GCRuns uint64 `json:"gc_runs"`
+	// GCReclaimedBytes is the byte total Sweep has deleted.
+	GCReclaimedBytes uint64 `json:"gc_reclaimed_bytes"`
+}
+
+// dirStats totals one directory's files, skipping names with the given
+// suffix exclusion (the .json spec sidecars under blobs/).
+func dirStats(dir, excludeSuffix string) (n int, bytes int64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || (excludeSuffix != "" && filepath.Ext(e.Name()) == excludeSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		n++
+		bytes += info.Size()
+	}
+	return n, bytes
+}
+
+// Stats inventories the store. Safe for concurrent use; it reads the
+// manifest under the store lock and walks the payload directories without
+// one (blobs are immutable; a file appearing or vanishing mid-walk skews
+// a count by one, never corrupts it).
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	sessions := len(s.m.Sessions)
+	s.mu.Unlock()
+	st := Stats{
+		Dir:              s.dir,
+		Sessions:         sessions,
+		SectionsDeduped:  s.dedupe.sections.Load(),
+		DedupedBytes:     s.dedupe.bytes.Load(),
+		GCRuns:           s.gc.runs.Load(),
+		GCReclaimedBytes: s.gc.bytes.Load(),
+	}
+	var b int64
+	st.Blobs, b = dirStats(filepath.Join(s.dir, "blobs"), ".json")
+	st.Bytes += b
+	st.Recipes, b = dirStats(filepath.Join(s.dir, "recipes"), "")
+	st.Bytes += b
+	st.Sections, b = dirStats(filepath.Join(s.dir, "sections"), "")
+	st.Bytes += b
+	return st
+}
+
+// hasRecipe reports whether a recipe exists for hash (already validated).
+func (s *Store) hasRecipe(hash string) bool {
+	_, err := os.Stat(s.recipePath(hash))
+	return err == nil
+}
+
+// getSectioned is Get's fallback when no whole blob exists: reassemble
+// from the recipe, mapping a missing recipe onto ErrNoBlob.
+func (s *Store) getSectioned(hash string) ([]byte, error) {
+	data, err := s.assemble(hash)
+	if errors.Is(err, os.ErrNotExist) && !s.hasRecipe(hash) {
+		return nil, fmt.Errorf("%w: %s", ErrNoBlob, hash)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

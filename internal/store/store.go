@@ -4,16 +4,27 @@
 //
 // Layout under the root directory:
 //
-//	blobs/<sha256-hex>         one machine snapshot (internal/state bytes)
+//	blobs/<sha256-hex>         one machine snapshot, stored whole
 //	blobs/<sha256-hex>.json    the session Spec that produced it (JSON)
+//	sections/<sha256-hex>      one snapshot section body (see section.go)
+//	recipes/<sha256-hex>       reassembly recipe for a sectioned snapshot
 //	manifest.json              session id → {spec, snapshot hash, cycle}
 //
 // Blobs are content-addressed: the file name is the SHA-256 of the bytes,
 // so identical snapshots share storage, a blob on disk is immutable, and
-// any reader can verify integrity by rehashing. The spec sidecar makes a
-// blob self-describing — fork-from-hash rebuilds a machine from the
-// sidecar Spec and restores the blob onto it without consulting any
-// session.
+// any reader can verify integrity by rehashing. A snapshot is stored
+// either whole (Put) or as content-addressed sections plus a recipe
+// (PutSnapshot, the structural-dedupe path) — the address is the same
+// full-document hash either way, and Get reassembles transparently. The
+// spec sidecar makes a snapshot self-describing — fork-from-hash rebuilds
+// a machine from the sidecar Spec and restores the bytes onto it without
+// consulting any session.
+//
+// The store also manages its own lifecycle: Sweep (gc.go) reclaims
+// snapshots unreachable from the manifest once they age past a policy
+// threshold, with Pin protecting in-flight readers (a fork between its
+// Meta read and its Get, a park between its blob write and its manifest
+// entry).
 //
 // Every write is crash-safe by construction, the same discipline as
 // bench.WriteJSONFile: encode into a temporary file in the destination
@@ -35,15 +46,21 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrNoBlob reports a Get or Meta for a hash the store does not hold.
 var ErrNoBlob = errors.New("store: no such snapshot")
 
-// manifestVersion is the manifest schema generation; a mismatch fails
-// Open loudly instead of misreading session records.
-const manifestVersion = 1
+// manifestVersion is the manifest schema generation; a version newer than
+// this build fails Open loudly instead of misreading session records.
+// Version 2 marks a store that may hold sectioned snapshots (sections/ +
+// recipes/, see section.go); the session-record shape is unchanged from
+// version 1, so version-1 manifests are still read (and rewritten as
+// version 2 on the next flush), while a version-1 build refuses a
+// version-2 store rather than missing its sectioned blobs.
+const manifestVersion = 2
 
 // Entry is one parked session in the manifest: everything a fresh
 // Manager needs to re-list the session and lazily revive it.
@@ -78,17 +95,31 @@ type manifest struct {
 type Store struct {
 	dir string
 
-	mu sync.Mutex // guards manifest mutation and rewrite
-	m  manifest
+	mu   sync.Mutex // guards manifest mutation/rewrite, pins, and Sweep
+	m    manifest
+	pins map[string]int // hash → refcount; Sweep treats pinned as reachable
+
+	// dedupe and gc are the process-lifetime observability counters
+	// behind Stats (section.go) and the dorado_store_* metric families.
+	dedupe struct {
+		sections atomic.Uint64 // sections PutSnapshot did not rewrite
+		bytes    atomic.Uint64 // bytes those sections would have taken
+	}
+	gc struct {
+		runs  atomic.Uint64 // completed Sweep passes
+		bytes atomic.Uint64 // bytes Sweep has deleted
+	}
 }
 
 // Open creates (or reopens) a store rooted at dir, loading the manifest
 // if one exists.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	for _, sub := range []string{"blobs", "sections", "recipes"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
 	}
-	s := &Store{dir: dir, m: manifest{Version: manifestVersion, Sessions: map[string]Entry{}}}
+	s := &Store{dir: dir, m: manifest{Version: manifestVersion, Sessions: map[string]Entry{}}, pins: map[string]int{}}
 	data, err := os.ReadFile(s.manifestPath())
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -100,9 +131,13 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("store: manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
+	// Version 1 manifests (whole-blob-only stores) have the same record
+	// shape; read them and upgrade on the next flush. Anything newer than
+	// this build is refused.
+	if m.Version != manifestVersion && m.Version != 1 {
 		return nil, fmt.Errorf("store: manifest version %d, this build reads version %d", m.Version, manifestVersion)
 	}
+	m.Version = manifestVersion
 	if m.Sessions == nil {
 		m.Sessions = map[string]Entry{}
 	}
@@ -144,6 +179,16 @@ func validHash(hash string) bool {
 // blob that already exists is not rewritten — content addressing makes
 // the existing bytes provably identical.
 func (s *Store) Put(data []byte) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(data)
+}
+
+// putLocked is Put under the store lock. Writes serialize against Sweep
+// (which holds the lock for its whole pass), so the exists-check and the
+// write are one atomic step with respect to reclamation — a sweep can
+// never delete a blob between a writer observing it and relying on it.
+func (s *Store) putLocked(data []byte) (string, error) {
 	hash := Hash(data)
 	path := s.blobPath(hash)
 	if _, err := os.Stat(path); err == nil {
@@ -155,15 +200,17 @@ func (s *Store) Put(data []byte) (string, error) {
 	return hash, nil
 }
 
-// Get reads the blob for hash, verifying the bytes still hash to their
-// name (on-disk corruption fails loudly instead of restoring garbage).
+// Get reads the snapshot for hash — a whole blob when one exists, else a
+// sectioned snapshot reassembled from its recipe — verifying either way
+// that the bytes hash to their name (on-disk corruption fails loudly
+// instead of restoring garbage).
 func (s *Store) Get(hash string) ([]byte, error) {
 	if !validHash(hash) {
 		return nil, fmt.Errorf("%w: malformed hash %q", ErrNoBlob, hash)
 	}
 	data, err := os.ReadFile(s.blobPath(hash))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %s", ErrNoBlob, hash)
+		return s.getSectioned(hash)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -174,13 +221,16 @@ func (s *Store) Get(hash string) ([]byte, error) {
 	return data, nil
 }
 
-// Has reports whether the store holds a blob for hash.
+// Has reports whether the store holds a snapshot for hash, whole or
+// sectioned.
 func (s *Store) Has(hash string) bool {
 	if !validHash(hash) {
 		return false
 	}
-	_, err := os.Stat(s.blobPath(hash))
-	return err == nil
+	if _, err := os.Stat(s.blobPath(hash)); err == nil {
+		return true
+	}
+	return s.hasRecipe(hash)
 }
 
 // PutMeta attaches JSON metadata (the fleet's session Spec) to a blob as
