@@ -10,7 +10,12 @@
 //	benchtab -host BENCH_SIM.json
 //	                    also render the host-throughput report as a
 //	                    workload × execution-path table (predecoded,
-//	                    reference, instrumented, translated)
+//	                    reference, instrumented, translated, profiled)
+//	benchtab -profile profiles.json
+//	                    also render a simbench -profile artifact as a
+//	                    workload × abort-reason table (why each workload's
+//	                    superblocks exit: fallthrough, IFU dispatch, task
+//	                    switch, hold, ...)
 //	benchtab -json      emit the tables as JSON instead of text
 //	benchtab -json -o tables.json
 //	                    write the JSON to a file (atomically: a killed run
@@ -18,12 +23,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"dorado/internal/bench"
 	"dorado/internal/obs"
+	"dorado/internal/obs/prof"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 	out := flag.String("o", "", "with -json: write to this file instead of stdout")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while experiments run")
 	host := flag.String("host", "", "also render this simbench report (e.g. BENCH_SIM.json) as a workload × path table")
+	profile := flag.String("profile", "", "also render this simbench -profile artifact as a workload × abort-reason table")
 	flag.Parse()
 	if *host != "" {
 		rep, err := bench.ReadHostReportFile(*host)
@@ -39,6 +47,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep.HostTable())
+	}
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		var rep prof.BenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", *profile, err)
+			os.Exit(1)
+		}
+		fmt.Println(prof.AbortTable(&rep))
 	}
 	if *httpAddr != "" {
 		srv, err := obs.ServeDebug(*httpAddr, nil)

@@ -72,6 +72,21 @@
 //	curl -N localhost:7480/v1/sessions/s1/events      # live SSE stats stream
 //	curl localhost:7480/metrics
 //
+// Profiling: sessions created with {"profile":true} carry a
+// microarchitectural profiler (add {"translation":true} for the
+// superblock translator whose abort accounting the profile explains).
+// GET /v1/sessions/{id}/profile serves gzipped pprof — `go tool pprof
+// 'http://localhost:7480/v1/sessions/s1/profile'` opens it directly, hot
+// microaddresses named by their masm symbols — and ?format=json the
+// symbolized document (render offline with cmd/profview).
+// GET /v1/profile merges every profiled session into one fleet-wide
+// profile. See docs/OPERATIONS.md ("Profiling a live fleet"):
+//
+//	curl -X POST localhost:7480/v1/sessions -d '{"profile":true,"translation":true}'
+//	go tool pprof 'http://localhost:7480/v1/sessions/s1/profile'
+//	curl 'localhost:7480/v1/sessions/s1/profile?format=json' | profview /dev/stdin
+//	curl 'localhost:7480/v1/profile'                  # fleet-wide merge
+//
 // Run endpoints: POST /v1/sessions/{id}/runs is the primary form — it
 // answers 202 with a run id at admission, the result is pollable at
 // GET /v1/sessions/{id}/runs/{rid}, and the completion also arrives as a

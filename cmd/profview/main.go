@@ -1,0 +1,102 @@
+// Profview renders microarchitectural profiles offline: the top-N hottest
+// microaddresses by cycle count (symbolized with masm labels), the
+// superblock abort-reason breakdown, and the hottest superblocks with
+// their dominant exits.
+//
+// It reads any of the three JSON shapes the toolchain produces:
+//
+//   - a simbench -profile artifact (prof.BenchReport) — one report per
+//     workload;
+//   - a session profile fetched from a fleet daemon with
+//     GET /v1/sessions/{id}/profile?format=json;
+//   - a merged fleet profile from GET /v1/profile?format=json.
+//
+// The shape is sniffed from the document, so one command covers the bench
+// artifact and both endpoint payloads. For interactive drill-down fetch
+// the endpoint without ?format=json and open it with `go tool pprof`
+// instead — the server's default encoding is standard gzipped pprof.
+//
+// Usage:
+//
+//	profview profiles.json             report every workload/profile
+//	profview -n 20 profiles.json       deeper top-N tables
+//	profview -workload emulator p.json one workload from a bench artifact
+//	profview session.json              a saved ?format=json endpoint payload
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dorado/internal/obs/prof"
+)
+
+// document is the union of the three accepted shapes; sniffing checks the
+// populated fields rather than trusting a type tag.
+type document struct {
+	// prof.BenchReport
+	Cycles    uint64                 `json:"cycles"`
+	Workloads []prof.WorkloadProfile `json:"workloads"`
+	// fleet session / merged payloads
+	ID       string        `json:"id"`
+	Sessions []string      `json:"sessions"`
+	Profile  *prof.Profile `json:"profile"`
+}
+
+func main() {
+	n := flag.Int("n", 10, "rows in the top-address and hottest-block tables")
+	workload := flag.String("workload", "", "report only this workload of a bench artifact")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: profview [-n rows] [-workload id] profile.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profview: %v\n", err)
+		os.Exit(1)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "profview: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+
+	switch {
+	case len(doc.Workloads) > 0:
+		matched := false
+		for _, w := range doc.Workloads {
+			if *workload != "" && w.ID != *workload {
+				continue
+			}
+			matched = true
+			fmt.Printf("=== %s — %s (%d cycles)\n\n", w.ID, w.Name, doc.Cycles)
+			report(w.Profile, *n)
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "profview: no workload %q in %s\n", *workload, flag.Arg(0))
+			os.Exit(1)
+		}
+	case doc.Profile != nil:
+		switch {
+		case doc.ID != "":
+			fmt.Printf("=== session %s\n\n", doc.ID)
+		case len(doc.Sessions) > 0:
+			fmt.Printf("=== fleet merge of %d sessions %v\n\n", len(doc.Sessions), doc.Sessions)
+		}
+		report(doc.Profile, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "profview: %s: not a bench profile artifact or a profile endpoint payload\n", flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+func report(p *prof.Profile, n int) {
+	if err := prof.WriteReport(os.Stdout, p, n); err != nil {
+		fmt.Fprintf(os.Stderr, "profview: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

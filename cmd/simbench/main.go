@@ -1,12 +1,18 @@
 // Simbench measures host performance: how many simulated Dorado cycles per
 // second the simulator sustains on the machine running it, across the §7
 // workload families (emulator mix, disk, fast I/O, BitBlt). Each workload
-// runs four times — on the predecoded hot loop, on the reference
+// runs five times — on the predecoded hot loop, on the reference
 // interpreter (per-cycle decode, the pre-optimization baseline), on the
-// hot loop with an observability recorder attached, and on the superblock
-// translator (hot microcode traces fused into Go closures) — and the
-// report records all four plus the predecode speedup, the metrics-on
-// overhead, and the translated speedup.
+// hot loop with an observability recorder attached, on the superblock
+// translator (hot microcode traces fused into Go closures), and on the hot
+// loop with a microarchitectural profiler attached — and the report
+// records all five plus the predecode speedup, the metrics-on overhead,
+// the translated speedup, and the profiler-on overhead.
+//
+// With -profile PATH the profiler additionally runs over every workload on
+// the translated path and the per-workload symbolized profiles (cycle
+// attribution plus the superblock abort-reason breakdown) are written as a
+// JSON artifact for cmd/profview and benchtab -profile.
 //
 // With -path only the named path is measured (e.g. -path=translated for a
 // quick look at the translator alone); ratios need paired measurements, so
@@ -66,7 +72,10 @@ func main() {
 	fleetOn := flag.Float64("fleet-on", bench.DefaultGuardThresholds.FleetMetricsOn, "with -guard: instrumented-fleet allowed fractional overhead")
 	transMin := flag.Float64("translated-min", bench.DefaultGuardThresholds.TranslatedMin, "with -guard: required translated-over-predecoded speedup")
 	transN := flag.Int("translated-workloads", bench.DefaultGuardThresholds.TranslatedWorkloads, "with -guard: workloads that must reach -translated-min")
-	onePath := flag.String("path", "", "measure only this path (predecoded, reference, instrumented, translated); no ratios, no report file")
+	profOff := flag.Float64("prof-off", bench.DefaultGuardThresholds.ProfOff, "with -guard: profiler-off allowed fractional regression")
+	profOn := flag.Float64("prof-on", bench.DefaultGuardThresholds.ProfOn, "with -guard: profiler-on allowed fractional overhead")
+	profOut := flag.String("profile", "", "also run the microarchitectural profiler over every workload and write the per-workload profiles (prof.BenchReport JSON) here; view with cmd/profview")
+	onePath := flag.String("path", "", "measure only this path (predecoded, reference, instrumented, translated, profiled); no ratios, no report file")
 	doFleet := flag.Bool("fleet", false, "also measure fleet scaling (aggregate cycles/sec, 1→N sessions)")
 	fleetMax := flag.Int("fleet-sessions", 8, "with -fleet: largest session count (doubling from 1)")
 	fleetCycles := flag.Uint64("fleet-cycles", 250_000, "with -fleet: cycles per run operation")
@@ -91,7 +100,7 @@ func main() {
 			os.Exit(1)
 		}
 		switch *onePath {
-		case bench.PathPredecoded, bench.PathReference, bench.PathInstrumented, bench.PathTranslated:
+		case bench.PathPredecoded, bench.PathReference, bench.PathInstrumented, bench.PathTranslated, bench.PathProfiled:
 		default:
 			fmt.Fprintf(os.Stderr, "simbench: unknown path %q\n", *onePath)
 			os.Exit(1)
@@ -119,6 +128,7 @@ func main() {
 	th := bench.GuardThresholds{
 		MetricsOff: *off, MetricsOn: *on, FleetMetricsOn: *fleetOn,
 		TranslatedMin: *transMin, TranslatedWorkloads: *transN,
+		ProfOff: *profOff, ProfOn: *profOn,
 	}
 	if *guard {
 		var err error
@@ -127,6 +137,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simbench: baseline: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *profOut != "" {
+		prep, err := bench.RunProfileReport(*cycles)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSONFile(*profOut, prep); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (per-workload profiles; view with profview)\n", *profOut)
 	}
 
 	tries := 1
@@ -152,8 +175,9 @@ func main() {
 		}
 		fmt.Println()
 		for _, w := range bench.HostWorkloads() {
-			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%   translated %.2fx\n",
-				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1), rep.Translation[w.ID])
+			fmt.Printf("%-10s speedup %.2fx   metrics-on overhead %.1f%%   translated %.2fx   prof-on overhead %.1f%%\n",
+				w.ID, rep.Speedup[w.ID], 100*(rep.Overhead[w.ID]-1), rep.Translation[w.ID],
+				100*(rep.ProfOverhead[w.ID]-1))
 		}
 
 		if *doFleet {
@@ -216,9 +240,9 @@ func main() {
 		}
 
 		checks, ok := bench.Guard(baseline, &rep, th)
-		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%% fleet-on %.0f%% translated %.1fx on %d+ workloads\n",
+		fmt.Printf("\nguard: baseline %s, thresholds off %.0f%% on %.0f%% fleet-on %.0f%% translated %.1fx on %d+ workloads prof-off %.0f%% prof-on %.0f%%\n",
 			*baselinePath, 100*th.MetricsOff, 100*th.MetricsOn, 100*th.FleetMetricsOn,
-			th.TranslatedMin, th.TranslatedWorkloads)
+			th.TranslatedMin, th.TranslatedWorkloads, 100*th.ProfOff, 100*th.ProfOn)
 		for _, c := range checks {
 			fmt.Println(c)
 		}

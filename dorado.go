@@ -135,12 +135,14 @@ func (l Language) String() string {
 
 // System is a machine built by New — with an emulator installed (the
 // configuration a Dorado user saw) or bare (Language None). Metrics is the
-// recorder attached via WithMetrics, nil otherwise.
+// recorder attached via WithMetrics and Profiler the microarchitectural
+// profiler attached via WithProfiler; each is nil when not requested.
 type System struct {
 	Machine  *Machine
 	Language Language
 	Emulator *emulator.Program
 	Metrics  *Metrics
+	Profiler *Profiler
 }
 
 // NewSystem builds a machine running the given language's emulator.

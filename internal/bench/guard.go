@@ -13,7 +13,11 @@ import "fmt"
 //     GuardThresholds.MetricsOn of the same run's predecoded path;
 //   - fleet-metrics-on: an instrumented fleet (every session created with
 //     Spec.Metrics) must stay within GuardThresholds.FleetMetricsOn of the
-//     same run's uninstrumented fleet at each session count.
+//     same run's uninstrumented fleet at each session count;
+//   - prof-off / prof-on: the same pair of bounds for the
+//     microarchitectural profiler (core.Profiler) — detached it is one nil
+//     check per cycle in the same step the recorder hooks, attached it
+//     charges every cycle to its microaddress.
 //
 // CI hosts differ from the host that recorded the baseline, so the
 // metrics-off check compares the *predecode speedup* (predecoded over
@@ -37,6 +41,14 @@ type GuardThresholds struct {
 	// friendly — the emulator's microcode runs are IFU-dispatch-bounded.
 	TranslatedMin       float64
 	TranslatedWorkloads int
+	// ProfOff bounds the detached-profiler cost: like the recorder, the
+	// profiler hook is one nil check in the shared step, so the check uses
+	// the same observable as metrics-off (predecode speedup vs baseline)
+	// under its own budget — tightening either budget trips independently.
+	// ProfOn bounds the attached profiler (profiled vs predecoded,
+	// current run).
+	ProfOff float64
+	ProfOn  float64
 }
 
 // DefaultGuardThresholds are the budgets the CI job enforces.
@@ -50,12 +62,13 @@ type GuardThresholds struct {
 var DefaultGuardThresholds = GuardThresholds{
 	MetricsOff: 0.03, MetricsOn: 0.20, FleetMetricsOn: 0.15,
 	TranslatedMin: 1.5, TranslatedWorkloads: 2,
+	ProfOff: 0.03, ProfOn: 0.15,
 }
 
 // GuardCheck is one pass/fail comparison.
 type GuardCheck struct {
 	Workload string
-	Check    string  // "metrics-off" or "metrics-on"
+	Check    string  // "metrics-off", "metrics-on", "translated", "prof-off", or "prof-on"
 	Baseline float64 // reference value the current one is held to
 	Current  float64
 	Limit    float64 // minimum acceptable Current
@@ -92,6 +105,17 @@ func Guard(baseline, current *HostReport, th GuardThresholds) ([]GuardCheck, boo
 			checks = append(checks, c)
 			ok = ok && c.OK
 		}
+		// prof-off: the detached-profiler hook shares the recorder's step, so
+		// it is held to the same observable under its own budget.
+		if base, cur := baseline.Speedup[w.ID], current.Speedup[w.ID]; base > 0 && cur > 0 && th.ProfOff > 0 {
+			limit := base * (1 - th.ProfOff)
+			c := GuardCheck{
+				Workload: w.ID, Check: "prof-off",
+				Baseline: base, Current: cur, Limit: limit, OK: cur >= limit,
+			}
+			checks = append(checks, c)
+			ok = ok && c.OK
+		}
 		// metrics-on: instrumented throughput vs this run's predecoded.
 		fast := current.Result(w.ID, PathPredecoded)
 		inst := current.Result(w.ID, PathInstrumented)
@@ -100,6 +124,19 @@ func Guard(baseline, current *HostReport, th GuardThresholds) ([]GuardCheck, boo
 			limit := 1 - th.MetricsOn
 			c := GuardCheck{
 				Workload: w.ID, Check: "metrics-on",
+				Baseline: 1, Current: rel, Limit: limit, OK: rel >= limit,
+			}
+			checks = append(checks, c)
+			ok = ok && c.OK
+		}
+		// prof-on: profiled throughput vs this run's predecoded. Skipped for
+		// reports recorded before the profiled path existed.
+		prof := current.Result(w.ID, PathProfiled)
+		if fast != nil && prof != nil && fast.CyclesPerSec > 0 && th.ProfOn > 0 {
+			rel := prof.CyclesPerSec / fast.CyclesPerSec
+			limit := 1 - th.ProfOn
+			c := GuardCheck{
+				Workload: w.ID, Check: "prof-on",
 				Baseline: 1, Current: rel, Limit: limit, OK: rel >= limit,
 			}
 			checks = append(checks, c)

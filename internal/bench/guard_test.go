@@ -16,9 +16,11 @@ func TestGuardPassesIdenticalReports(t *testing.T) {
 	if !ok {
 		t.Fatalf("identical reports failed the guard: %v", checks)
 	}
-	// 4 metrics-off checks + 1 metrics-on (only emulator has both paths).
-	if len(checks) != 5 {
-		t.Errorf("%d checks, want 5", len(checks))
+	// 4 metrics-off + 4 prof-off (same observable, own budget) + 1
+	// metrics-on (only emulator has both paths; no profiled result, so no
+	// prof-on row).
+	if len(checks) != 9 {
+		t.Errorf("%d checks, want 9", len(checks))
 	}
 }
 
@@ -56,6 +58,49 @@ func TestGuardCatchesInstrumentationOverhead(t *testing.T) {
 	checks, ok := Guard(&HostReport{}, cur, DefaultGuardThresholds)
 	if ok {
 		t.Fatalf("28%% instrumentation overhead passed a 20%% threshold: %v", checks)
+	}
+}
+
+func TestGuardCatchesProfilerOverhead(t *testing.T) {
+	cur := guardReport(nil, []HostResult{
+		{Workload: "disk", Path: PathPredecoded, CyclesPerSec: 30e6},
+		{Workload: "disk", Path: PathProfiled, CyclesPerSec: 30e6 * 0.80}, // 20% overhead
+	})
+	checks, ok := Guard(&HostReport{}, cur, DefaultGuardThresholds)
+	if ok {
+		t.Fatalf("20%% profiler overhead passed a 15%% threshold: %v", checks)
+	}
+	var failed bool
+	for _, c := range checks {
+		if !c.OK && c.Check == "prof-on" && c.Workload == "disk" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Errorf("no failing prof-on check in %v", checks)
+	}
+
+	// 10% overhead is inside the budget.
+	cur.Results[1].CyclesPerSec = 30e6 * 0.90
+	if _, ok := Guard(&HostReport{}, cur, DefaultGuardThresholds); !ok {
+		t.Error("10% profiler overhead failed a 15% threshold")
+	}
+}
+
+func TestGuardToleratesMissingProfiledPath(t *testing.T) {
+	// A report recorded before the profiled path existed: no prof-on rows,
+	// and the guard passes.
+	cur := guardReport(nil, []HostResult{
+		{Workload: "disk", Path: PathPredecoded, CyclesPerSec: 30e6},
+	})
+	checks, ok := Guard(&HostReport{}, cur, DefaultGuardThresholds)
+	if !ok {
+		t.Fatalf("guard failed: %v", checks)
+	}
+	for _, c := range checks {
+		if c.Check == "prof-on" {
+			t.Errorf("prof-on check without a profiled result: %v", c)
+		}
 	}
 }
 
@@ -146,7 +191,7 @@ func TestRunHostReportThreePaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, w := range HostWorkloads() {
-		for _, path := range []string{PathPredecoded, PathReference, PathInstrumented} {
+		for _, path := range []string{PathPredecoded, PathReference, PathInstrumented, PathProfiled} {
 			r := rep.Result(w.ID, path)
 			if r == nil {
 				t.Fatalf("missing (%s, %s)", w.ID, path)
@@ -157,6 +202,9 @@ func TestRunHostReportThreePaths(t *testing.T) {
 		}
 		if rep.Overhead[w.ID] <= 0 {
 			t.Errorf("%s: overhead %f", w.ID, rep.Overhead[w.ID])
+		}
+		if rep.ProfOverhead[w.ID] <= 0 {
+			t.Errorf("%s: prof overhead %f", w.ID, rep.ProfOverhead[w.ID])
 		}
 	}
 }

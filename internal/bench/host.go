@@ -28,6 +28,7 @@ const (
 	PathReference    = "reference"    // per-cycle decode (seed behavior)
 	PathInstrumented = "instrumented" // hot loop + obs.Recorder attached
 	PathTranslated   = "translated"   // superblock translation (core.Translation)
+	PathProfiled     = "profiled"     // hot loop + core.Profiler attached
 )
 
 // HostWorkload is one host-throughput scenario. Build constructs a machine
@@ -130,6 +131,9 @@ func MeasureHost(w HostWorkload, path string, budget uint64) (HostResult, error)
 		// buffers (overflow is counted, not stored).
 		m.SetRecorder(obs.NewRecorder(obs.Config{}))
 	}
+	if path == PathProfiled {
+		m.SetProfiler(core.NewProfiler())
+	}
 	// Warm up: caches, device queues, and the host branch predictor.
 	if _, err := run(budget / 10); err != nil {
 		return HostResult{}, err
@@ -200,7 +204,11 @@ type HostReport struct {
 	// (translated over predecoded cycles/sec, same run). Reports written
 	// before the translated path existed lack it.
 	Translation map[string]float64 `json:"translation,omitempty"`
-	Fleet       []FleetPoint       `json:"fleet,omitempty"`
+	// ProfOverhead is the per-workload profiler-on cost (predecoded over
+	// profiled cycles/sec, same run; 1.0 means free). Reports written
+	// before the profiled path existed lack it.
+	ProfOverhead map[string]float64 `json:"prof_overhead,omitempty"`
+	Fleet        []FleetPoint       `json:"fleet,omitempty"`
 }
 
 // Result returns the measurement for (workload, path), or nil.
@@ -219,14 +227,14 @@ func (r *HostReport) Result(workload, path string) *HostResult {
 // as "-", so a pre-translation BENCH_SIM.json still formats cleanly.
 func (r *HostReport) HostTable() string {
 	var b strings.Builder
-	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated}
+	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated, PathProfiled}
 	fmt.Fprintf(&b, "host throughput, Mcycles/sec (%s %s/%s, %d cycles per run)\n",
 		r.GoVersion, r.GOOS, r.GOARCH, r.CyclesPerRun)
 	fmt.Fprintf(&b, "%-10s", "workload")
 	for _, p := range paths {
 		fmt.Fprintf(&b, " %12s", p)
 	}
-	fmt.Fprintf(&b, " %9s %9s %11s\n", "speedup", "metrics", "translated")
+	fmt.Fprintf(&b, " %9s %9s %11s %9s\n", "speedup", "metrics", "translated", "prof")
 	for _, w := range HostWorkloads() {
 		fmt.Fprintf(&b, "%-10s", w.ID)
 		for _, p := range paths {
@@ -242,8 +250,9 @@ func (r *HostReport) HostTable() string {
 			}
 			return "-"
 		}
-		fmt.Fprintf(&b, " %9s %9s %11s\n",
-			ratio(r.Speedup, w.ID), ratio(r.Overhead, w.ID), ratio(r.Translation, w.ID))
+		fmt.Fprintf(&b, " %9s %9s %11s %9s\n",
+			ratio(r.Speedup, w.ID), ratio(r.Overhead, w.ID), ratio(r.Translation, w.ID),
+			ratio(r.ProfOverhead, w.ID))
 	}
 	return b.String()
 }
@@ -267,8 +276,9 @@ func RunHostReport(budget uint64, reps int) (HostReport, error) {
 		Speedup:      map[string]float64{},
 		Overhead:     map[string]float64{},
 		Translation:  map[string]float64{},
+		ProfOverhead: map[string]float64{},
 	}
-	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated}
+	paths := []string{PathPredecoded, PathReference, PathInstrumented, PathTranslated, PathProfiled}
 	for _, w := range HostWorkloads() {
 		best := map[string]HostResult{}
 		for i := 0; i < reps; i++ {
@@ -282,11 +292,13 @@ func RunHostReport(budget uint64, reps int) (HostReport, error) {
 				}
 			}
 		}
-		fast, ref, inst, trans := best[PathPredecoded], best[PathReference], best[PathInstrumented], best[PathTranslated]
-		rep.Results = append(rep.Results, fast, ref, inst, trans)
+		fast, ref, inst, trans, prof := best[PathPredecoded], best[PathReference],
+			best[PathInstrumented], best[PathTranslated], best[PathProfiled]
+		rep.Results = append(rep.Results, fast, ref, inst, trans, prof)
 		rep.Speedup[w.ID] = fast.CyclesPerSec / ref.CyclesPerSec
 		rep.Overhead[w.ID] = fast.CyclesPerSec / inst.CyclesPerSec
 		rep.Translation[w.ID] = trans.CyclesPerSec / fast.CyclesPerSec
+		rep.ProfOverhead[w.ID] = fast.CyclesPerSec / prof.CyclesPerSec
 	}
 	return rep, nil
 }

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestRunProfileReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiled measurement in -short")
+	}
+	rep, err := RunProfileReport(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != len(HostWorkloads()) {
+		t.Fatalf("%d workload profiles, want %d", len(rep.Workloads), len(HostWorkloads()))
+	}
+	for _, w := range rep.Workloads {
+		if len(w.Profile.Addrs) == 0 {
+			t.Errorf("%s: empty profile", w.ID)
+		}
+		// Every workload must carry a non-empty abort-reason breakdown —
+		// the artifact cmd/profview and benchtab -profile render.
+		var exits uint64
+		for _, n := range w.Profile.Exits {
+			exits += n
+		}
+		if exits == 0 {
+			t.Errorf("%s: no superblock exits recorded", w.ID)
+		}
+		symbolized := false
+		for _, a := range w.Profile.Addrs {
+			// Unsymbolized rows fall back to the bare "page.word" form.
+			if a.Cycles > 0 && a.Name != a.Addr.String() {
+				symbolized = true
+				break
+			}
+		}
+		if !symbolized {
+			t.Errorf("%s: no symbolized hot address", w.ID)
+		}
+	}
+}

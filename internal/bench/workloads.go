@@ -65,9 +65,10 @@ func BuildEmulatorMachine(cfg core.Config) (*core.Machine, error) {
 	return m, nil
 }
 
-// BuildDiskMachine is the E4 machine: the counting emulator in task 0 plus
-// the 3-cycles-per-2-words disk microcode woken by a word source.
-func BuildDiskMachine(cfg core.Config) (*core.Machine, error) {
+// diskProgram assembles the E4 microcode: the counting emulator plus the
+// 3-cycles-per-2-words disk loop. Split from BuildDiskMachine so profiling
+// runs can reach the program's symbol table.
+func diskProgram() (*masm.Program, error) {
 	b := masm.NewBuilder()
 	emuLoop(b)
 	b.EmitAt("disk", masm.I{FF: microcode.FFInput, ALU: microcode.ALUB, LC: microcode.LCLoadT})
@@ -76,7 +77,13 @@ func BuildDiskMachine(cfg core.Config) (*core.Machine, error) {
 	b.Emit(masm.I{A: microcode.ASelStore, R: 1, FF: microcode.FFInput,
 		ALU: microcode.ALUAplus1, LC: microcode.LCLoadRM,
 		Block: true, Flow: masm.Goto("disk")})
-	p, err := b.Assemble()
+	return b.Assemble()
+}
+
+// BuildDiskMachine is the E4 machine: the counting emulator in task 0 plus
+// the 3-cycles-per-2-words disk microcode woken by a word source.
+func BuildDiskMachine(cfg core.Config) (*core.Machine, error) {
+	p, err := diskProgram()
 	if err != nil {
 		return nil, err
 	}
@@ -95,15 +102,21 @@ func BuildDiskMachine(cfg core.Config) (*core.Machine, error) {
 	return m, nil
 }
 
-// BuildFastIOMachine is the E5 machine: the display consuming full memory
-// bandwidth with two microinstructions per 16-word block.
-func BuildFastIOMachine(cfg core.Config) (*core.Machine, error) {
+// fastioProgram assembles the E5 microcode: the counting emulator plus the
+// two-instruction display loop.
+func fastioProgram() (*masm.Program, error) {
 	b := masm.NewBuilder()
 	emuLoop(b)
 	b.EmitAt("disp", masm.I{A: microcode.ASelT, B: microcode.BSelRM, R: 2,
 		ALU: microcode.ALUAplusB, LC: microcode.LCLoadRM, FF: microcode.FFOutput})
 	b.Emit(masm.I{Block: true, Flow: masm.Goto("disp")})
-	p, err := b.Assemble()
+	return b.Assemble()
+}
+
+// BuildFastIOMachine is the E5 machine: the display consuming full memory
+// bandwidth with two microinstructions per 16-word block.
+func BuildFastIOMachine(cfg core.Config) (*core.Machine, error) {
+	p, err := fastioProgram()
 	if err != nil {
 		return nil, err
 	}

@@ -171,6 +171,7 @@ type Machine struct {
 	tracer Tracer
 	rec    *obs.Recorder // attached metrics recorder, or nil (the fast path)
 	trans  *translator   // superblock translator, or nil (predecoded path)
+	prof   *Profiler     // microarchitectural profiler, or nil (the fast path)
 
 	halted bool
 	haltPC microcode.Addr

@@ -95,7 +95,8 @@ func (m *Machine) step(traced bool) {
 
 	// Execute this cycle's instruction (or burn a DelayedBranch dead cycle).
 	execTask := m.curTask
-	var held, blocked bool
+	execPC := m.curPC
+	var held, blocked, didExec bool
 	var nextPC = m.curPC
 	if m.stalls > 0 {
 		m.stalls--
@@ -106,8 +107,10 @@ func (m *Machine) step(traced bool) {
 		// cycle (the seed behavior; the host-performance baseline).
 		d := decodeWord(m.im[m.curPC])
 		held, blocked, nextPC = m.exec(&d, now)
+		didExec = true
 	} else {
 		held, blocked, nextPC = m.exec(&m.dim[m.curPC], now)
+		didExec = true
 	}
 	if traced {
 		m.tracer.Trace(TraceEvent{
@@ -167,6 +170,11 @@ func (m *Machine) step(traced bool) {
 	// switches, or a due timeline sample pay the Cycle call.
 	if r := m.rec; r != nil && r.NeedsCycle(now, execTask, held, lines) {
 		r.Cycle(now, execTask, held, lines, &m.stats.TaskCycles)
+	}
+	// Profiler hook: same shape as the recorder's — one predicted-not-taken
+	// branch when detached, three array increments when attached.
+	if p := m.prof; p != nil {
+		p.cycle(execPC, held, didExec && !held)
 	}
 	m.cycle++
 }

@@ -60,21 +60,21 @@ func (t Translation) withDefaults() Translation {
 // and accumulate across invalidations.
 type TranslationStats struct {
 	// BlocksBuilt is the number of superblocks ever constructed.
-	BlocksBuilt uint64
+	BlocksBuilt uint64 `json:"blocks_built"`
 	// Instructions is the total number of microinstructions fused into
 	// those blocks.
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// Entries counts block executions (entries into a fused closure).
-	Entries uint64
+	Entries uint64 `json:"entries"`
 	// FusedCycles counts machine cycles retired inside superblocks — the
 	// coverage the translator actually achieves (compare Machine.Cycle).
-	FusedCycles uint64
+	FusedCycles uint64 `json:"fused_cycles"`
 	// QuietCycles counts fused cycles that skipped the per-cycle device
 	// scan under a device.Idler quiet-horizon promise.
-	QuietCycles uint64
+	QuietCycles uint64 `json:"quiet_cycles"`
 	// Invalidations counts whole-cache flushes (microstore writes, Load,
 	// Restore).
-	Invalidations uint64
+	Invalidations uint64 `json:"invalidations"`
 }
 
 // instExit is a fused instruction's report to the block loop.
@@ -108,6 +108,13 @@ type instFn func(m *Machine, now uint64) instExit
 type superblock struct {
 	start microcode.Addr
 	code  []instFn
+	// addrs maps each code slot to its microstore address, so an attached
+	// Profiler can charge fused cycles to exact microaddresses.
+	addrs []microcode.Addr
+	// termReason is the ExitReason an instEnd from the terminator reports:
+	// ExitIFUJump for an IFUJUMP terminator, ExitBranch for the other
+	// dynamic kinds, ExitFallThrough when the block has no terminator.
+	termReason ExitReason
 	// task0Only marks blocks containing stack-modifier (Block-bit) words:
 	// under task 0 the bit selects a stack operation, under any other task
 	// it releases the processor, so such blocks only run as task 0.
@@ -183,6 +190,13 @@ func (m *Machine) runTranslated(limit uint64) {
 				}
 				continue
 			}
+			// Entry guard rejected a compiled block: the cycle runs on the
+			// generic loop. Each rejected attempt is one guard-fail event —
+			// sustained rejection (a long higher-priority burst) shows up as
+			// a proportionally large count, which is the point.
+			if p := m.prof; p != nil {
+				p.blockExit(pc, ExitGuardFail, pc, 0, m.cycle)
+			}
 		} else if !t.noBlock[pc] {
 			c := t.counts[pc] + 1
 			t.counts[pc] = c
@@ -214,11 +228,24 @@ func (m *Machine) runTranslated(limit uint64) {
 func (m *Machine) runBlockFast(b *superblock, limit uint64) {
 	n := uint64(0)
 	code := b.code
+	reason := ExitFallThrough
+	lastHeld := false
 	// A stopped IFU stays stopped (nothing in the block can Reset it, see
 	// ifuSafe), so its no-op Tick is hoisted out of the cycle loop.
 	tickIFU := !b.ifuSafe || m.ifu.Running()
 	for i := 0; i < len(code); {
-		if m.cycle >= limit || m.ready != 0 {
+		if m.cycle >= limit {
+			reason = ExitLimit
+			break
+		}
+		if m.ready != 0 {
+			// Quiescence broken mid-hold means the hold is what the generic
+			// loop must retire; otherwise another task became ready.
+			if lastHeld {
+				reason = ExitHold
+			} else {
+				reason = ExitTaskSwitch
+			}
 			break
 		}
 		now := m.cycle
@@ -233,7 +260,12 @@ func (m *Machine) runBlockFast(b *superblock, limit uint64) {
 		m.ready &^= 1
 		m.cycle++
 		n++
+		if p := m.prof; p != nil {
+			p.cycle(b.addrs[i], exit == instHeld, exit != instHeld)
+		}
+		lastHeld = exit == instHeld
 		if m.halted {
+			reason = ExitHalt
 			break
 		}
 		switch exit {
@@ -248,11 +280,15 @@ func (m *Machine) runBlockFast(b *superblock, limit uint64) {
 			// and curPC is unchanged, so retry the same fused instruction
 			// next cycle; memory timing and the IFU advance with now.
 		default:
+			reason = b.termReason
 			goto out // instEnd: terminator done, curPC points past the block
 		}
 	}
 out:
 	m.trans.stats.FusedCycles += n
+	if p := m.prof; p != nil {
+		p.blockExit(b.start, reason, m.curPC, n, m.cycle)
+	}
 }
 
 // runBlock executes fused cycles on a machine with live controllers, a
@@ -284,8 +320,25 @@ func (m *Machine) runBlock(b *superblock, limit uint64) {
 	horizon := b.devSafe && m.anyIdler
 	quiet := uint64(0) // first cycle requiring a device scan
 	tickIFU := !b.ifuSafe || m.ifu.Running()
+	reason := ExitFallThrough
+	lastHeld := false
 	for i := 0; i < len(code); {
-		if m.cycle >= limit || m.bestNext > cur {
+		if m.cycle >= limit {
+			reason = ExitLimit
+			break
+		}
+		if m.bestNext > cur {
+			// A higher-priority task won arbitration: distinguish a device
+			// wakeup (the fast-I/O churn) from READY-flipflop work, and a
+			// break taken while the head instruction held from both.
+			switch {
+			case lastHeld:
+				reason = ExitHold
+			case m.devs[m.bestNext] != nil:
+				reason = ExitDeviceWakeup
+			default:
+				reason = ExitTaskSwitch
+			}
 			break
 		}
 		now := m.cycle
@@ -336,7 +389,12 @@ func (m *Machine) runBlock(b *superblock, limit uint64) {
 		}
 		m.cycle++
 		n++
+		if p := m.prof; p != nil {
+			p.cycle(b.addrs[i], exit == instHeld, exit != instHeld)
+		}
+		lastHeld = exit == instHeld
 		if m.halted {
+			reason = ExitHalt
 			break
 		}
 		switch exit {
@@ -349,11 +407,15 @@ func (m *Machine) runBlock(b *superblock, limit uint64) {
 			// BESTNEXTTASK check hands a preempting wakeup to the generic
 			// loop exactly one arbitration later, as step would.
 		default:
+			reason = b.termReason
 			goto out // instEnd
 		}
 	}
 out:
 	m.trans.stats.FusedCycles += n
+	if p := m.prof; p != nil {
+		p.blockExit(b.start, reason, m.curPC, n, m.cycle)
+	}
 }
 
 // translate fuses the straight-line run beginning at start into a
@@ -370,8 +432,8 @@ out:
 func (m *Machine) translate(start microcode.Addr) *superblock {
 	t := m.trans
 	b := &superblock{start: start, devSafe: true, ifuSafe: true}
-	addrs := make([]microcode.Addr, 0, t.cfg.MaxBlock)
-	addrs = append(addrs, start)
+	visited := make([]microcode.Addr, 0, t.cfg.MaxBlock)
+	visited = append(visited, start)
 	pc := start
 	iterLen := 0 // instructions per unrolled iteration, once known
 	for len(b.code) < t.cfg.MaxBlock {
@@ -390,6 +452,7 @@ func (m *Machine) translate(start microcode.Addr) *superblock {
 			microcode.NextLongGoto, microcode.NextLongCall:
 			next, link := staticNext(pc, d)
 			b.code = append(b.code, fuseInst(d, next, link))
+			b.addrs = append(b.addrs, pc)
 			if next == start {
 				// Closed loop: unroll further whole iterations.
 				if iterLen == 0 {
@@ -405,15 +468,21 @@ func (m *Machine) translate(start microcode.Addr) *superblock {
 				// First pass: stop at an interior revisit. While unrolling
 				// (iterLen set) the chain is already proven to cycle through
 				// start, so interior addresses repeat by construction.
-				if blockContains(addrs, next) {
+				if blockContains(visited, next) {
 					goto done
 				}
-				addrs = append(addrs, next)
+				visited = append(visited, next)
 			}
 			pc = next
 		case microcode.NextBranch, microcode.NextReturn, microcode.NextIFUJump,
 			microcode.NextDispatch8, microcode.NextDispatch256:
 			b.code = append(b.code, fuseTerm(start, pc, d))
+			b.addrs = append(b.addrs, pc)
+			if d.op.Kind == microcode.NextIFUJump {
+				b.termReason = ExitIFUJump
+			} else {
+				b.termReason = ExitBranch
+			}
 			goto done
 		default:
 			// Reserved NextControl: end the block before it; executing it on
@@ -427,6 +496,9 @@ done:
 	}
 	t.stats.BlocksBuilt++
 	t.stats.Instructions += uint64(len(b.code))
+	if p := m.prof; p != nil {
+		p.blockCompiled(start, len(b.code))
+	}
 	return b
 }
 

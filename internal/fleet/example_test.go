@@ -294,6 +294,71 @@ func ExampleManager_GCStore() {
 	// Output: 3 2 1 true 3000
 }
 
+// ExampleManager_Profile reads a profiled session's microarchitectural
+// profile — what GET /v1/sessions/{id}/profile?format=json serves. The
+// session carries a profiler (Spec.Profile) and the superblock translator,
+// so the profile attributes every cycle to its microaddress and records
+// why each superblock execution ended.
+func ExampleManager_Profile() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	spec := fleet.Spec{Profile: true}
+	spec.Machine.Translation.Enable = true
+	id, err := m.Create(spec)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(ctx, id, 10_000); err != nil {
+		panic(err)
+	}
+	res, err := m.Profile(ctx, id)
+	if err != nil {
+		panic(err)
+	}
+	var cycles uint64
+	for _, a := range res.Profile.Addrs {
+		cycles += a.Cycles
+	}
+	fmt.Println(res.ID, cycles, res.Translation.BlocksBuilt > 0, len(res.Profile.Blocks) > 0)
+	// Output: s1 10000 true true
+}
+
+// ExampleManager_FleetProfile merges every profiled session into one
+// fleet-wide profile — what GET /v1/profile serves. Sessions without a
+// profiler are skipped; the merge is deterministic (creation order).
+func ExampleManager_FleetProfile() {
+	m := fleet.New(fleet.Config{Workers: 1})
+	defer m.Drain(context.Background()) //nolint:errcheck // Background never expires
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		id, err := m.Create(fleet.Spec{Profile: true})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := m.LoadMicrocode(ctx, id, fleet.SpinMicrocode, "start"); err != nil {
+			panic(err)
+		}
+		if _, err := m.Run(ctx, id, 5_000); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := m.Create(fleet.Spec{}); err != nil { // unprofiled bystander
+		panic(err)
+	}
+	res, err := m.FleetProfile(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Sessions, res.Profile.Cycles)
+	// Output: [s1 s2] 10000
+}
+
 // ExampleManager_webhook delivers a run completion by webhook: the
 // session's Spec names a receiver URL (origin-allowlisted via
 // Config.WebhookAllow / doradod -webhook-allow), and every terminal run

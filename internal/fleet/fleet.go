@@ -70,6 +70,9 @@ var (
 	// ErrNoMetrics reports a trace or obs read on a session created
 	// without Spec.Metrics; cmd/doradod returns 409.
 	ErrNoMetrics = errors.New("fleet: session has no metrics recorder")
+	// ErrNoProfiler reports a profile read on a session created without
+	// Spec.Profile; cmd/doradod returns 409.
+	ErrNoProfiler = errors.New("fleet: session has no profiler")
 	// ErrBusy reports a Park on a session that is scheduled or has pending
 	// operations; the caller should let the queue empty and retry.
 	// cmd/doradod returns 409.

@@ -3,6 +3,7 @@ package fleet
 import (
 	"sync/atomic"
 
+	"dorado"
 	"dorado/internal/obs"
 )
 
@@ -47,6 +48,8 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 	cyc := make([]obs.Sample, 0, len(list))
 	exec := make([]obs.Sample, 0, len(list))
 	holds := make([]obs.Sample, 0, len(list))
+	var transBlocks, transEntries, transFused, transInvalids []obs.Sample
+	var profExits []obs.Sample
 	for _, s := range list {
 		s.mu.Lock()
 		if s.sys == nil {
@@ -60,6 +63,23 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 		cyc = append(cyc, obs.Sample{Label: label, Value: s.stats.cycles.Load()})
 		exec = append(exec, obs.Sample{Label: label, Value: s.stats.executed.Load()})
 		holds = append(holds, obs.Sample{Label: label, Value: s.stats.holds.Load()})
+		// Translator families export only for sessions with translation
+		// enabled, profiler exits only with Spec.Profile — all-zero series
+		// for the rest would just bloat the scrape.
+		if s.spec.Machine.Translation.Enable {
+			transBlocks = append(transBlocks, obs.Sample{Label: label, Value: s.stats.transBlocks.Load()})
+			transEntries = append(transEntries, obs.Sample{Label: label, Value: s.stats.transEntries.Load()})
+			transFused = append(transFused, obs.Sample{Label: label, Value: s.stats.transFused.Load()})
+			transInvalids = append(transInvalids, obs.Sample{Label: label, Value: s.stats.transInvalids.Load()})
+		}
+		if s.spec.Profile {
+			for r := dorado.ExitReason(0); r < dorado.NumExitReasons; r++ {
+				profExits = append(profExits, obs.Sample{
+					Label: `{session="` + s.id + `",reason="` + r.String() + `"}`,
+					Value: s.stats.profExits[r].Load(),
+				})
+			}
+		}
 	}
 
 	sn := &obs.Snapshot{}
@@ -138,6 +158,17 @@ func (m *Manager) MetricsSnapshot() *obs.Snapshot {
 	sn.Add("dorado_fleet_session_cycles_total", "Machine cycle counter per session.", "counter", cyc...)
 	sn.Add("dorado_fleet_session_instructions_total", "Executed microinstructions per session.", "counter", exec...)
 	sn.Add("dorado_fleet_session_holds_total", "Held cycles per session.", "counter", holds...)
+	if len(transBlocks) > 0 {
+		sn.Add("dorado_translate_blocks_built_total", "Superblocks compiled, per translated session.", "counter", transBlocks...)
+		sn.Add("dorado_translate_entries_total", "Superblock executions, per translated session.", "counter", transEntries...)
+		sn.Add("dorado_translate_fused_cycles_total", "Cycles retired inside superblocks, per translated session.", "counter", transFused...)
+		sn.Add("dorado_translate_invalidations_total", "Translation-cache flushes, per translated session.", "counter", transInvalids...)
+	}
+	if len(profExits) > 0 {
+		sn.Add("dorado_prof_block_exits_total",
+			"Superblock exits by reason, per profiled session (guard_fail counts rejected entries).",
+			"counter", profExits...)
+	}
 	return sn
 }
 

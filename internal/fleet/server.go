@@ -15,6 +15,7 @@ import (
 
 	"dorado"
 	"dorado/internal/obs"
+	"dorado/internal/obs/prof"
 	"dorado/internal/store"
 )
 
@@ -53,6 +54,11 @@ import (
 //	                                  GC age threshold for this sweep
 //	GET    /v1/sessions/{id}/trace      Chrome trace_event export (metrics sessions)
 //	GET    /v1/sessions/{id}/obs        observability summary (metrics sessions)
+//	GET    /v1/sessions/{id}/profile    microarchitectural profile (profile sessions):
+//	                                    gzipped pprof by default (go tool pprof opens the
+//	                                    URL directly), ?format=json for the symbolized
+//	                                    JSON document with superblock abort accounting
+//	GET    /v1/profile                  fleet-wide merged profile (pprof, ?format=json)
 //	GET    /v1/sessions/{id}/events     live stats stream (Server-Sent Events; run
 //	                                    completions arrive as "run" events)
 //	POST   /v1/drain                  drain the manager (graceful shutdown)
@@ -130,6 +136,8 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/store/gc", s.storeGC)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.traceJSON)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/obs", s.obsSummary)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/profile", s.sessionProfile)
+	s.mux.HandleFunc("GET /v1/profile", s.fleetProfile)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("POST /v1/drain", s.drain)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -172,8 +180,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // busy" never parses error strings.
 type ErrorEnvelope struct {
 	// Code is the stable classification: "overloaded", "draining",
-	// "not_found", "too_many_sessions", "no_metrics", "busy", "no_store",
-	// "bad_request", "too_large", or "internal".
+	// "not_found", "too_many_sessions", "no_metrics", "no_profiler",
+	// "busy", "no_store", "bad_request", "too_large", or "internal".
 	Code string `json:"code"`
 	// Error is the underlying error text.
 	Error string `json:"error"`
@@ -202,6 +210,8 @@ func classifyErr(err error) (string, int) {
 		return "too_many_sessions", http.StatusInsufficientStorage
 	case errors.Is(err, ErrNoMetrics):
 		return "no_metrics", http.StatusConflict
+	case errors.Is(err, ErrNoProfiler):
+		return "no_profiler", http.StatusConflict
 	case errors.Is(err, ErrBusy):
 		return "busy", http.StatusConflict
 	case errors.Is(err, ErrNoStore):
@@ -282,9 +292,15 @@ func parseLanguage(name string) (dorado.Language, error) {
 
 func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Language string       `json:"language"`
-		Metrics  bool         `json:"metrics"`
-		Devices  []DeviceSpec `json:"devices"`
+		Language string `json:"language"`
+		Metrics  bool   `json:"metrics"`
+		// Profile attaches a microarchitectural profiler (Spec.Profile).
+		Profile bool `json:"profile"`
+		// Translation enables the superblock translator on the session's
+		// machine — the usual companion of Profile, whose abort accounting
+		// explains the translator's coverage.
+		Translation bool         `json:"translation"`
+		Devices     []DeviceSpec `json:"devices"`
 		// Webhook is a URL run completions are POSTed to; its origin
 		// must be in the server's allowlist (doradod -webhook-allow).
 		Webhook string `json:"webhook"`
@@ -298,7 +314,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.From != "" {
-		if req.Language != "" || req.Metrics || len(req.Devices) != 0 || req.Webhook != "" {
+		if req.Language != "" || req.Metrics || req.Profile || req.Translation || len(req.Devices) != 0 || req.Webhook != "" {
 			s.badRequest(w, r, errors.New(`"from" forks a stored snapshot and takes no other fields`))
 			return
 		}
@@ -318,7 +334,11 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, r, err)
 		return
 	}
-	id, err := s.mgr.Create(Spec{Language: req.Language, Metrics: req.Metrics, Devices: req.Devices, Webhook: req.Webhook})
+	spec := Spec{Language: req.Language, Metrics: req.Metrics, Profile: req.Profile, Devices: req.Devices, Webhook: req.Webhook}
+	if req.Translation {
+		spec.Machine.Translation = dorado.Translation{Enable: true}
+	}
+	id, err := s.mgr.Create(spec)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -584,6 +604,43 @@ func (s *Server) obsSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// sessionProfile serves one session's microarchitectural profile: gzipped
+// pprof protobuf by default (so `go tool pprof <url>` works), the
+// symbolized JSON document with ?format=json.
+func (s *Server) sessionProfile(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.Profile(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeProfile(w, r, res, res.Profile)
+}
+
+// fleetProfile serves the merged fleet-wide profile in the same two
+// formats as sessionProfile.
+func (s *Server) fleetProfile(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.FleetProfile(r.Context())
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeProfile(w, r, res, res.Profile)
+}
+
+// writeProfile renders a profile response: v as JSON when format=json, the
+// bare profile as gzipped pprof otherwise.
+func (s *Server) writeProfile(w http.ResponseWriter, r *http.Request, v any, p *prof.Profile) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "json":
+		writeJSON(w, http.StatusOK, v)
+	case "", "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		prof.WritePprof(w, p) //nolint:errcheck // client disconnects only
+	default:
+		s.badRequest(w, r, fmt.Errorf("unknown profile format %q (want pprof or json)", format))
+	}
+}
+
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.mgr.Health()
 	code := http.StatusOK
@@ -598,6 +655,7 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 func isFleetErr(err error) bool {
 	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) ||
 		errors.Is(err, ErrNotFound) || errors.Is(err, ErrTooManySessions) ||
-		errors.Is(err, ErrNoMetrics) || errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrNoMetrics) || errors.Is(err, ErrNoProfiler) ||
+		errors.Is(err, ErrBusy) ||
 		errors.Is(err, ErrNoStore) || errors.Is(err, store.ErrNoBlob)
 }

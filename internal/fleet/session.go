@@ -13,6 +13,7 @@ import (
 	"dorado"
 	"dorado/internal/masm"
 	"dorado/internal/obs"
+	"dorado/internal/obs/prof"
 	"dorado/internal/store"
 )
 
@@ -41,6 +42,13 @@ type Spec struct {
 	// serializes only machine state: a revived session runs with a fresh
 	// recorder, so trace data covers the span since revival.
 	MetricsConfig obs.Config
+	// Profile attaches a microarchitectural profiler (dorado.WithProfiler):
+	// every cycle is charged to its microaddress and superblock executions
+	// record their exit reason. Enables GET /v1/sessions/{id}/profile and
+	// the session's dorado_prof_* metric families. Like the recorder, the
+	// profiler is recreated fresh at revival: a revived session's profile
+	// covers the span since then.
+	Profile bool
 	// Devices mounts I/O controllers on the session's machine (see
 	// DeviceSpec for the catalog). Devices are part of the Spec, so a
 	// revived session gets the same controllers back before its snapshot —
@@ -67,6 +75,9 @@ func (sp Spec) build() (*dorado.System, error) {
 	}
 	if sp.Metrics {
 		opts = append(opts, dorado.WithMetrics(dorado.NewMetricsWith(sp.MetricsConfig)))
+	}
+	if sp.Profile {
+		opts = append(opts, dorado.WithProfiler(dorado.NewProfiler()))
 	}
 	sys, err := dorado.New(opts...)
 	if err != nil {
@@ -116,11 +127,12 @@ const (
 	opRestore
 	opTrace
 	opObs
+	opProfile
 	numOpKinds
 )
 
 func (k opKind) String() string {
-	return [...]string{"run", "microcode", "boot", "state", "snapshot", "restore", "trace", "obs"}[k]
+	return [...]string{"run", "microcode", "boot", "state", "snapshot", "restore", "trace", "obs", "profile"}[k]
 }
 
 // Session is one simulated machine owned by a Manager. All fields behind
@@ -146,6 +158,11 @@ type Session struct {
 	// back to fetching the hash (reviveLocked).
 	parkedHash string
 	reviveErr  error // sticky failure rebuilding a parked session
+	// symbols names microaddresses in profiles for sessions whose microcode
+	// arrived via LoadMicrocode (emulator sessions resolve through the
+	// built-in program's symbols instead). Survives park/revive — symbols
+	// describe the microstore image, which the snapshot restores.
+	symbols *prof.SymbolTable
 
 	// Async-run bookkeeping (runs.go): the per-session run registry and
 	// the SSE watchers notified on run completion. Guarded by mu.
@@ -177,6 +194,17 @@ type sessionStats struct {
 	ops        atomic.Uint64
 	parked     atomic.Bool
 	taskCycles [obs.MaxTasks]atomic.Uint64
+
+	// Translator activity (zero on sessions without translation) for the
+	// dorado_translate_* families.
+	transBlocks   atomic.Uint64
+	transEntries  atomic.Uint64
+	transFused    atomic.Uint64
+	transInvalids atomic.Uint64
+
+	// Superblock exits by reason (sessions with Spec.Profile) for the
+	// dorado_prof_block_exits_total family.
+	profExits [dorado.NumExitReasons]atomic.Uint64
 }
 
 // ID returns the session's identifier ("s1", "s2", ...).
@@ -192,6 +220,17 @@ func (s *Session) noteStats(sys *dorado.System) {
 	s.stats.halted.Store(sys.Machine.Halted())
 	for t := 0; t < obs.MaxTasks && t < len(st.TaskCycles); t++ {
 		s.stats.taskCycles[t].Store(st.TaskCycles[t])
+	}
+	ts := sys.Machine.TranslationStats()
+	s.stats.transBlocks.Store(ts.BlocksBuilt)
+	s.stats.transEntries.Store(ts.Entries)
+	s.stats.transFused.Store(ts.FusedCycles)
+	s.stats.transInvalids.Store(ts.Invalidations)
+	if sys.Profiler != nil {
+		exits := sys.Profiler.ExitCounts()
+		for r := range exits {
+			s.stats.profExits[r].Store(exits[r])
+		}
 	}
 	s.stats.ops.Add(1)
 }
@@ -509,8 +548,9 @@ type LoadResult struct {
 // wires the program and its service routines together.
 func (m *Manager) LoadMicrocode(ctx context.Context, id, text, start string) (LoadResult, error) {
 	var devices []DeviceSpec
-	if s, ok := m.lookup(id); ok {
-		devices = s.spec.Devices // immutable after Create; safe to read
+	sess, found := m.lookup(id)
+	if found {
+		devices = sess.spec.Devices // immutable after Create; safe to read
 	}
 	v, err := m.submit(ctx, id, opMicrocode, func(sys *system) (any, error) {
 		prog, err := masm.AssembleText(text)
@@ -546,6 +586,14 @@ func (m *Manager) LoadMicrocode(ctx context.Context, id, text, start string) (Lo
 		sys.Machine.Start(entry)
 		for _, t := range tpcs {
 			sys.Machine.SetTPC(t.task, dorado.Addr(t.entry))
+		}
+		if found {
+			// Retain the program's symbols so profiles name microaddresses
+			// by label; built once here, read by every profile op.
+			st := prof.NewSymbolTable(prog.Symbols)
+			sess.mu.Lock()
+			sess.symbols = st
+			sess.mu.Unlock()
 		}
 		return LoadResult{Entry: uint16(entry), Placement: prog.Stats.String()}, nil
 	})
@@ -677,6 +725,9 @@ type ObsResult struct {
 	// cover only the span since then.
 	Revived bool        `json:"revived,omitempty"`
 	Obs     obs.Summary `json:"obs"`
+	// Translation surfaces the machine's superblock-translator counters
+	// (all zero on sessions built without translation).
+	Translation dorado.TranslationStats `json:"translation"`
 }
 
 // ObsSummary condenses the session's observability recorder — wakeup
@@ -696,9 +747,10 @@ func (m *Manager) ObsSummary(ctx context.Context, id string) (ObsResult, error) 
 		}
 		sys.Metrics.Flush(sys.Machine.Cycle())
 		return ObsResult{
-			ID:    id,
-			Cycle: sys.Machine.Cycle(),
-			Obs:   obs.Summarize(sys.Metrics),
+			ID:          id,
+			Cycle:       sys.Machine.Cycle(),
+			Obs:         obs.Summarize(sys.Metrics),
+			Translation: sys.Machine.TranslationStats(),
 		}, nil
 	})
 	if err != nil {

@@ -1,0 +1,203 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// This file serializes a Profile in the pprof profile.proto format so
+// `go tool pprof` (and the pprof web UI) open Dorado microcode profiles
+// directly. The encoder is a minimal hand-rolled protobuf writer — the
+// format is stable and tiny (varints plus length-delimited fields), and
+// the repo's no-new-dependencies rule rules out the protobuf module.
+//
+// The mapping onto pprof's model: each masm symbol becomes a synthetic
+// Function (filename "microstore"), each microaddress a Location whose
+// address is the microaddress and whose Line points at its symbol's
+// Function with the offset as the line number. Samples are depth-1 stacks
+// with three values — executed instructions, held cycles, total cycles —
+// with cycles last, which pprof picks as the default sample type.
+
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType   = 1
+	profSample       = 2
+	profLocation     = 4
+	profFunction     = 5
+	profStringTable  = 6
+	profPeriodType   = 11
+	profPeriod       = 12
+	profDefaultType  = 14
+	valueTypeType    = 1
+	valueTypeUnit    = 2
+	sampleLocationID = 1
+	sampleValue      = 2
+	locationID       = 1
+	locationAddress  = 3
+	locationLine     = 4
+	lineFunctionID   = 1
+	lineLine         = 2
+	functionID       = 1
+	functionName     = 2
+	functionSystem   = 3
+	functionFilename = 4
+)
+
+// protoBuf is an append-only protobuf writer (proto3 semantics: zero
+// values are simply not written).
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// uintField writes a varint-typed field (wire type 0), omitting zeros.
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField writes a length-delimited field (wire type 2).
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedField writes a packed repeated varint field (wire type 2).
+func (p *protoBuf) packedField(field int, vs ...uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strings interns the pprof string table (index 0 must be "").
+type strtab struct {
+	index map[string]uint64
+	table []string
+}
+
+func newStrings() *strtab {
+	return &strtab{index: map[string]uint64{"": 0}, table: []string{""}}
+}
+
+func (s *strtab) id(str string) uint64 {
+	if i, ok := s.index[str]; ok {
+		return i
+	}
+	i := uint64(len(s.table))
+	s.index[str] = i
+	s.table = append(s.table, str)
+	return i
+}
+
+func valueType(st *strtab, typ, unit string) []byte {
+	var b protoBuf
+	b.uintField(valueTypeType, st.id(typ))
+	b.uintField(valueTypeUnit, st.id(unit))
+	return b.b
+}
+
+// MarshalPprof renders the profile as uncompressed profile.proto bytes.
+// Rows keep the Profile's address order, so the output is deterministic.
+func MarshalPprof(p *Profile) []byte {
+	st := newStrings()
+	var out protoBuf
+
+	out.bytesField(profSampleType, valueType(st, "executed", "instructions"))
+	out.bytesField(profSampleType, valueType(st, "holds", "cycles"))
+	out.bytesField(profSampleType, valueType(st, "cycles", "cycles"))
+
+	// One Function per distinct row name. Profile names are already either
+	// "SYMBOL+off" or bare addresses; strip the offset back off so pprof
+	// aggregates by symbol and the offset lands in the line number.
+	funcIDs := map[string]uint64{}
+	var funcs protoBuf
+	function := func(name string) uint64 {
+		if id, ok := funcIDs[name]; ok {
+			return id
+		}
+		id := uint64(len(funcIDs) + 1)
+		funcIDs[name] = id
+		var f protoBuf
+		f.uintField(functionID, id)
+		f.uintField(functionName, st.id(name))
+		f.uintField(functionSystem, st.id(name))
+		f.uintField(functionFilename, st.id("microstore"))
+		funcs.bytesField(profFunction, f.b)
+		return id
+	}
+
+	var locs, samples protoBuf
+	for i, a := range p.Addrs {
+		locID := uint64(i + 1)
+		name, off := splitOffset(a.Name)
+		var line protoBuf
+		line.uintField(lineFunctionID, function(name))
+		line.uintField(lineLine, uint64(off))
+		var loc protoBuf
+		loc.uintField(locationID, locID)
+		loc.uintField(locationAddress, uint64(a.Addr))
+		loc.bytesField(locationLine, line.b)
+		locs.bytesField(profLocation, loc.b)
+
+		var smp protoBuf
+		smp.packedField(sampleLocationID, locID)
+		smp.packedField(sampleValue, a.Executed, a.Holds, a.Cycles)
+		samples.bytesField(profSample, smp.b)
+	}
+
+	out.b = append(out.b, samples.b...)
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+	out.bytesField(profPeriodType, valueType(st, "cycles", "cycles"))
+	out.uintField(profPeriod, 1)
+	out.uintField(profDefaultType, st.id("cycles"))
+	var tbl protoBuf
+	for _, s := range st.table {
+		tbl.bytesField(profStringTable, []byte(s))
+	}
+	out.b = append(out.b, tbl.b...)
+	return out.b
+}
+
+// splitOffset splits "SYMBOL+off" into (SYMBOL, off); names without an
+// offset (bare symbols, "page.word" addresses) return offset 0.
+func splitOffset(name string) (string, int) {
+	for i := len(name) - 1; i >= 0; i-- {
+		c := name[i]
+		if c == '+' {
+			off := 0
+			for _, d := range name[i+1:] {
+				if d < '0' || d > '9' {
+					return name, 0
+				}
+				off = off*10 + int(d-'0')
+			}
+			return name[:i], off
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	return name, 0
+}
+
+// WritePprof writes the profile as gzipped profile.proto — the on-wire
+// format pprof tools expect from a profile endpoint.
+func WritePprof(w io.Writer, p *Profile) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(MarshalPprof(p)); err != nil {
+		return err
+	}
+	return gz.Close()
+}

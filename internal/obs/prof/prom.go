@@ -1,0 +1,60 @@
+package prof
+
+import (
+	"dorado/internal/core"
+	"dorado/internal/obs"
+)
+
+// AddMetrics appends the dorado_prof_* families for one profile to a
+// Prometheus snapshot. label is a rendered label clause (`{session="s1"}`
+// or "") applied to every sample; families append in a fixed order and the
+// exit family emits every reason in enum order, so exposition stays
+// byte-deterministic.
+func AddMetrics(s *obs.Snapshot, label string, p *Profile) {
+	s.Add("dorado_prof_cycles_total",
+		"Cycles attributed to microaddresses by the profiler.",
+		"counter", obs.Sample{Label: label, Value: p.Cycles})
+	s.Add("dorado_prof_executed_total",
+		"Completed microinstructions attributed by the profiler.",
+		"counter", obs.Sample{Label: label, Value: p.Executed})
+	s.Add("dorado_prof_holds_total",
+		"Held cycles attributed by the profiler.",
+		"counter", obs.Sample{Label: label, Value: p.Holds})
+	s.Add("dorado_prof_blocks",
+		"Distinct superblocks in the profile.",
+		"gauge", obs.Sample{Label: label, Value: uint64(len(p.Blocks))})
+	var entries, fused uint64
+	for _, b := range p.Blocks {
+		entries += b.Entries
+		fused += b.Cycles
+	}
+	s.Add("dorado_prof_block_entries_total",
+		"Superblock executions recorded by the profiler.",
+		"counter", obs.Sample{Label: label, Value: entries})
+	s.Add("dorado_prof_block_cycles_total",
+		"Fused cycles retired inside superblocks.",
+		"counter", obs.Sample{Label: label, Value: fused})
+	exits := make([]obs.Sample, 0, int(core.NumExitReasons))
+	for r := core.ExitReason(0); r < core.NumExitReasons; r++ {
+		exits = append(exits, obs.Sample{
+			Label: reasonLabel(label, r.String()),
+			Value: p.Exits[r.String()],
+		})
+	}
+	s.Add("dorado_prof_block_exits_total",
+		"Superblock exits by reason (guard_fail counts rejected entries).",
+		"counter", exits...)
+	s.Add("dorado_prof_spans_dropped_total",
+		"Superblock spans dropped from the bounded span ring.",
+		"counter", obs.Sample{Label: label, Value: p.SpansDropped})
+}
+
+// reasonLabel merges a reason pair into an existing rendered label clause.
+func reasonLabel(label, reason string) string {
+	pair := `reason="` + reason + `"`
+	if label == "" {
+		return "{" + pair + "}"
+	}
+	// label is `{...}`: splice the reason pair before the closing brace.
+	return label[:len(label)-1] + "," + pair + "}"
+}

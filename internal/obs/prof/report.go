@@ -1,0 +1,209 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dorado/internal/core"
+)
+
+// Offline report rendering shared by cmd/profview and cmd/benchtab: top-N
+// hot microaddresses, the abort-reason breakdown, and the hottest (and
+// most-aborted) superblocks.
+
+// Top returns the n hottest microaddresses by cycles (ties break by
+// address, so the report is deterministic).
+func Top(p *Profile, n int) []Addr {
+	rows := append([]Addr(nil), p.Addrs...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Addr < rows[j].Addr
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// HottestBlocks returns the n superblocks that retired the most fused
+// cycles (ties break by start address).
+func HottestBlocks(p *Profile, n int) []Block {
+	rows := append([]Block(nil), p.Blocks...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Start < rows[j].Start
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// ReasonCount is one row of the abort-reason breakdown.
+type ReasonCount struct {
+	Reason string
+	Count  uint64
+	Abort  bool
+}
+
+// Breakdown returns the block-exit reasons in enum order, zero rows
+// omitted, with each reason's abort classification.
+func Breakdown(p *Profile) []ReasonCount {
+	var rows []ReasonCount
+	for r := core.ExitReason(0); r < core.NumExitReasons; r++ {
+		if n := p.Exits[r.String()]; n != 0 {
+			rows = append(rows, ReasonCount{Reason: r.String(), Count: n, Abort: r.Abort()})
+		}
+	}
+	return rows
+}
+
+// AbortRatio returns the fraction of block endings that were aborts
+// (terminator never reached, guard rejections included) — the headline
+// number for "why is this workload not speeding up".
+func AbortRatio(p *Profile) float64 {
+	var aborts, total uint64
+	for _, row := range Breakdown(p) {
+		total += row.Count
+		if row.Abort {
+			aborts += row.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(aborts) / float64(total)
+}
+
+// WriteReport renders the human-readable profile report: totals, top-n hot
+// microaddresses, the abort-reason breakdown, and the hottest blocks.
+func WriteReport(w io.Writer, p *Profile, n int) error {
+	if _, err := fmt.Fprintf(w, "cycles %d  executed %d  holds %d  stalls %d\n",
+		p.Cycles, p.Executed, p.Holds, p.Cycles-p.Executed-p.Holds); err != nil {
+		return err
+	}
+
+	if rows := Top(p, n); len(rows) > 0 {
+		fmt.Fprintf(w, "\nTop %d microaddresses by cycles:\n", len(rows))
+		fmt.Fprintf(w, "  %-6s %-24s %10s %6s %10s %10s\n", "addr", "symbol", "cycles", "%", "executed", "holds")
+		for _, a := range rows {
+			fmt.Fprintf(w, "  %-6s %-24s %10d %5.1f%% %10d %10d\n",
+				a.Addr, a.Name, a.Cycles, pct(a.Cycles, p.Cycles), a.Executed, a.Holds)
+		}
+	}
+
+	if rows := Breakdown(p); len(rows) > 0 {
+		var total uint64
+		for _, row := range rows {
+			total += row.Count
+		}
+		fmt.Fprintf(w, "\nSuperblock exits (%d, %.1f%% aborts):\n", total, 100*AbortRatio(p))
+		for _, row := range rows {
+			kind := "exit"
+			if row.Abort {
+				kind = "abort"
+			}
+			fmt.Fprintf(w, "  %-14s %-5s %10d %5.1f%%\n", row.Reason, kind, row.Count, pct(row.Count, total))
+		}
+	}
+
+	if rows := HottestBlocks(p, n); len(rows) > 0 {
+		fmt.Fprintf(w, "\nHottest %d superblocks by fused cycles:\n", len(rows))
+		fmt.Fprintf(w, "  %-6s %-24s %5s %10s %10s %s\n", "start", "symbol", "insts", "entries", "cycles", "top exits")
+		for _, b := range rows {
+			fmt.Fprintf(w, "  %-6s %-24s %5d %10d %10d %s\n",
+				b.Start, b.Name, b.Instructions, b.Entries, b.Cycles, topExits(b.Exits, 3))
+		}
+	}
+	return nil
+}
+
+func pct(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// topExits renders a block's k most frequent exit reasons as
+// "reason:count" pairs (count-descending, reason as tiebreak).
+func topExits(exits map[string]uint64, k int) string {
+	type kv struct {
+		reason string
+		count  uint64
+	}
+	rows := make([]kv, 0, len(exits))
+	for r, n := range exits {
+		rows = append(rows, kv{r, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].reason < rows[j].reason
+	})
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	s := ""
+	for i, row := range rows {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", row.reason, row.count)
+	}
+	return s
+}
+
+// WorkloadProfile is one workload's profile in a simbench -profile
+// artifact.
+type WorkloadProfile struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Profile *Profile `json:"profile"`
+}
+
+// BenchReport is the simbench -profile artifact: one profile per §7 host
+// workload, consumed by cmd/profview and cmd/benchtab.
+type BenchReport struct {
+	Cycles    uint64            `json:"cycles"` // cycles simulated per workload
+	Workloads []WorkloadProfile `json:"workloads"`
+}
+
+// AbortTable renders a bench artifact as a workload × exit-reason table
+// (percent of superblock exits per reason, every reason in enum order, and
+// the abort ratio), the layout benchtab -profile prints. It reads the
+// abort story across workloads at a glance — which §7 family's
+// superblocks run to their static end, and which die on dispatch,
+// scheduling, or memory holds.
+func AbortTable(rep *BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "superblock exit reasons, %% of exits (%d cycles per workload)\n", rep.Cycles)
+	fmt.Fprintf(&b, "%-10s %8s", "workload", "exits")
+	for r := core.ExitReason(0); r < core.NumExitReasons; r++ {
+		fmt.Fprintf(&b, " %13s", r)
+	}
+	fmt.Fprintf(&b, " %7s\n", "aborts")
+	for _, w := range rep.Workloads {
+		var total uint64
+		for _, n := range w.Profile.Exits {
+			total += n
+		}
+		fmt.Fprintf(&b, "%-10s %8d", w.ID, total)
+		for r := core.ExitReason(0); r < core.NumExitReasons; r++ {
+			if n := w.Profile.Exits[r.String()]; n != 0 {
+				fmt.Fprintf(&b, " %12.1f%%", pct(n, total))
+			} else {
+				fmt.Fprintf(&b, " %13s", "-")
+			}
+		}
+		fmt.Fprintf(&b, " %6.1f%%\n", 100*AbortRatio(w.Profile))
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ type settings struct {
 	cfg     Config
 	tracer  core.Tracer
 	metrics *Metrics
+	prof    *core.Profiler
 	devices []Device
 }
 
@@ -110,10 +111,13 @@ func New(opts ...Option) (*System, error) {
 			st.metrics.SetTaskName(0, prog.Name)
 		}
 	}
+	if st.prof != nil {
+		m.SetProfiler(st.prof)
+	}
 	for _, d := range st.devices {
 		if err := m.Attach(d); err != nil {
 			return nil, err
 		}
 	}
-	return &System{Machine: m, Language: st.lang, Emulator: prog, Metrics: st.metrics}, nil
+	return &System{Machine: m, Language: st.lang, Emulator: prog, Metrics: st.metrics, Profiler: st.prof}, nil
 }
